@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! The analytical model and design-space search of the paper (Sections III
+//! and IV).
+//!
+//! SCALE-Sim answers "how long does this layer take on this exact
+//! configuration?" cycle-accurately; this crate answers the *design*
+//! questions around it, fast enough to sweep thousands of configurations:
+//!
+//! * [`runtime`] — the closed-form stall-free runtime model:
+//!   Eq. 1 (unlimited PEs), Eq. 3 (one fold), Eq. 4 (scale-up with
+//!   folding) and Eq. 6 (scale-out).
+//! * [`search`] — enumerate and rank all aspect ratios of a monolithic
+//!   array with a given MAC budget (the x-axis of Fig. 9).
+//! * [`partition`] — enumerate scale-out configurations
+//!   (`P_R × P_C` grids of `R × C` arrays, Eq. 5) and find the best
+//!   (Figs. 9–11).
+//! * [`pareto`] — multi-workload optimization: gather each workload's
+//!   locally-optimal candidates and pick the global
+//!   `argmin_a Σ_w runtime(w, a)` (Sec. IV-B, Figs. 13–14).
+
+pub mod advisor;
+pub mod dataflow_choice;
+pub mod os_drain;
+pub mod pareto;
+pub mod reconfig;
+pub mod roofline;
+pub mod partition;
+pub mod runtime;
+pub mod search;
+
+pub use advisor::{estimate_bandwidth, estimate_scaleout_bandwidth, recommend, Recommendation};
+pub use dataflow_choice::{best_dataflow, rank_dataflows, DataflowScore};
+pub use os_drain::{drain_fraction, fold_duration_with, scaleup_with_drain, OsDrain};
+pub use pareto::{pareto_optimal, CandidateScore, ParetoOutcome};
+pub use reconfig::{reconfiguration_gain, ReconfigGain};
+pub use roofline::{achieved_intensity, compulsory_intensity, Roofline};
+pub use partition::{
+    best_scaleout, scaleout_configs, scaleout_runtime, split_dims, PartitionGrid, ScaleOutConfig,
+};
+pub use runtime::{eq1_unlimited, eq4_scaleup, exact_scaleup, AnalyticalModel, RuntimeModel};
+pub use search::{aspect_ratio_shapes, best_scaleup, rank_scaleup, ScaleUpScore};
+
+// Frequently used alongside this crate.
+pub use scalesim_systolic::ArrayShape;
+pub use scalesim_topology::{Dataflow, GemmShape, MappedDims};

@@ -1,0 +1,155 @@
+//! Roofline analysis for systolic configurations.
+//!
+//! The paper frames the scaling decision as performance vs. DRAM bandwidth;
+//! the roofline is the classical summary of that tension (the paper's
+//! related work cites Caffeine's roofline-driven methodology). For a
+//! configuration with `P` MACs and an interface of `B` elements/cycle, a
+//! workload with operational intensity `I` MACs/element attains at most
+//! `min(P, I · B)` MACs/cycle. The intensities come from the same
+//! first-order traffic model the advisor uses.
+
+use scalesim_systolic::ArrayShape;
+use scalesim_topology::{GemmShape, MappedDims};
+
+use crate::advisor::estimate_bandwidth;
+use crate::runtime::exact_scaleup;
+
+/// A machine roofline: compute ceiling and memory slope.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Roofline {
+    /// Peak throughput in MACs/cycle (the MAC count of the array(s)).
+    pub peak_macs_per_cycle: f64,
+    /// Interface bandwidth in elements/cycle.
+    pub bandwidth: f64,
+}
+
+impl Roofline {
+    /// Creates a roofline for a (possibly aggregate) MAC count and
+    /// bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is not positive and finite.
+    pub fn new(peak_macs_per_cycle: f64, bandwidth: f64) -> Self {
+        assert!(
+            peak_macs_per_cycle.is_finite() && peak_macs_per_cycle > 0.0,
+            "peak must be positive"
+        );
+        assert!(
+            bandwidth.is_finite() && bandwidth > 0.0,
+            "bandwidth must be positive"
+        );
+        Roofline {
+            peak_macs_per_cycle,
+            bandwidth,
+        }
+    }
+
+    /// Attainable throughput at operational intensity `intensity`
+    /// (MACs per element moved): `min(peak, intensity · bandwidth)`.
+    pub fn attainable(&self, intensity: f64) -> f64 {
+        self.peak_macs_per_cycle.min(intensity * self.bandwidth)
+    }
+
+    /// The ridge point: the intensity above which the machine is
+    /// compute-bound.
+    pub fn ridge_intensity(&self) -> f64 {
+        self.peak_macs_per_cycle / self.bandwidth
+    }
+
+    /// Whether a workload of the given intensity is compute-bound here.
+    pub fn is_compute_bound(&self, intensity: f64) -> bool {
+        intensity >= self.ridge_intensity()
+    }
+
+    /// Roofline-predicted runtime lower bound for `macs` of work at
+    /// `intensity`.
+    pub fn runtime_bound(&self, macs: u64, intensity: f64) -> f64 {
+        macs as f64 / self.attainable(intensity)
+    }
+}
+
+/// The *compulsory* operational intensity of a GEMM: MACs per element when
+/// every operand and output crosses the interface exactly once — the
+/// workload's intrinsic ceiling, independent of any mapping.
+pub fn compulsory_intensity(shape: GemmShape) -> f64 {
+    let traffic = shape.operand_a_elems() + shape.operand_b_elems() + shape.output_elems();
+    shape.macs() as f64 / traffic as f64
+}
+
+/// The *achieved* operational intensity of a mapping: MACs per element of
+/// first-order streamed traffic on `array` (fold re-streaming included).
+/// Always ≤ [`compulsory_intensity`]; the gap is the reuse the mapping
+/// failed to capture.
+pub fn achieved_intensity(dims: &MappedDims, array: ArrayShape) -> f64 {
+    // estimate_bandwidth gives elements/cycle at steady state; multiply by
+    // the exact runtime for total traffic.
+    let traffic = estimate_bandwidth(dims, array) * exact_scaleup(dims, array) as f64;
+    if traffic == 0.0 {
+        f64::INFINITY
+    } else {
+        dims.macs() as f64 / traffic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalesim_topology::Dataflow;
+
+    #[test]
+    fn attainable_respects_both_ceilings() {
+        let r = Roofline::new(1024.0, 16.0);
+        assert_eq!(r.ridge_intensity(), 64.0);
+        assert_eq!(r.attainable(1.0), 16.0); // memory bound
+        assert_eq!(r.attainable(64.0), 1024.0); // ridge
+        assert_eq!(r.attainable(1000.0), 1024.0); // compute bound
+        assert!(r.is_compute_bound(100.0));
+        assert!(!r.is_compute_bound(10.0));
+    }
+
+    #[test]
+    fn runtime_bound_scales_inversely_with_attainable() {
+        let r = Roofline::new(100.0, 10.0);
+        // Memory bound at I=2: 20 MACs/cycle -> 1000 MACs take 50 cycles.
+        assert_eq!(r.runtime_bound(1000, 2.0), 50.0);
+        // Compute bound: 10 cycles.
+        assert_eq!(r.runtime_bound(1000, 50.0), 10.0);
+    }
+
+    #[test]
+    fn compulsory_intensity_grows_with_square_gemms() {
+        // Big square GEMMs reuse each element ~n/3 times.
+        let small = compulsory_intensity(GemmShape::new(16, 16, 16));
+        let big = compulsory_intensity(GemmShape::new(512, 512, 512));
+        assert!(big > small);
+        assert!((big - 512.0 / 3.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn achieved_never_exceeds_compulsory_by_much() {
+        // The first-order traffic model charges each fold's fresh tiles, so
+        // achieved intensity must be below the once-only ceiling (within
+        // the fill/drain slack of the duration denominator).
+        let shape = GemmShape::new(256, 64, 256);
+        let dims = shape.project(Dataflow::OutputStationary);
+        let achieved = achieved_intensity(&dims, ArrayShape::square(16));
+        assert!(achieved <= compulsory_intensity(shape) * 1.05);
+        assert!(achieved > 0.0);
+    }
+
+    #[test]
+    fn bigger_arrays_capture_more_reuse() {
+        let shape = GemmShape::new(1024, 64, 1024);
+        let dims = shape.project(Dataflow::OutputStationary);
+        let small = achieved_intensity(&dims, ArrayShape::square(8));
+        let large = achieved_intensity(&dims, ArrayShape::square(64));
+        assert!(large > small);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bandwidth_roofline_panics() {
+        let _ = Roofline::new(10.0, 0.0);
+    }
+}

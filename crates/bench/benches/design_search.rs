@@ -1,0 +1,23 @@
+//! Design-space search throughput: the full scale-up and scale-out
+//! candidate enumerations the Sec. IV methodology sweeps per workload.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use scalesim_analytical::{best_scaleout, best_scaleup, AnalyticalModel, Dataflow};
+use scalesim_topology::networks;
+
+fn bench_searches(c: &mut Criterion) {
+    let tf0 = networks::language_model("TF0").unwrap();
+    let dims = tf0.shape().project(Dataflow::OutputStationary);
+    let model = AnalyticalModel;
+
+    c.bench_function("best_scaleup_tf0_2^16", |b| {
+        b.iter(|| black_box(best_scaleup(black_box(&dims), 1 << 16, 8, &model)))
+    });
+    c.bench_function("best_scaleout_tf0_2^16", |b| {
+        b.iter(|| black_box(best_scaleout(black_box(&dims), 1 << 16, 8, &model)))
+    });
+}
+
+criterion_group!(benches, bench_searches);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! DRAM-model throughput: fold demand enumeration plus the double-buffered
+//! miss classification, on a convolution with real window-overlap reuse.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use scalesim_memory::{ConvAddressMap, DramModel, OperandBufferSpec, RegionOffsets};
+use scalesim_systolic::{fold_demands, ArrayShape, Dataflow};
+use scalesim_topology::ConvLayer;
+
+fn bench_demand_and_dram(c: &mut Criterion) {
+    let layer = ConvLayer::new("CB2a_2-like", 58, 58, 3, 3, 64, 64, 1).unwrap();
+    let map = ConvAddressMap::new(&layer, RegionOffsets::default());
+    let array = ArrayShape::square(32);
+    let spec = OperandBufferSpec::from_kb(512, 1);
+    let ospec = OperandBufferSpec::from_kb(256, 1);
+
+    let mut group = c.benchmark_group("dram_model");
+    group.sample_size(20);
+    for df in Dataflow::ALL {
+        let dims = layer.shape().project(df);
+        group.bench_function(format!("conv_{}", df.mnemonic()), |b| {
+            b.iter(|| {
+                let mut dram = DramModel::new(spec, spec, ospec);
+                for d in fold_demands(black_box(&dims), array, &map) {
+                    dram.fold(d.fold.duration, d.a, d.b, d.o_spill, d.o_writes);
+                }
+                black_box(dram.finish())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_demand_and_dram);
+criterion_main!(benches);

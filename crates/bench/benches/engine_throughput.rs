@@ -1,0 +1,38 @@
+//! Trace-engine throughput: events generated per second, per dataflow,
+//! plus the closed-form `analyze` path used by design-space sweeps.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use scalesim_memory::{GemmAddressMap, RegionOffsets};
+use scalesim_systolic::{analyze, simulate, ArrayShape, CountingSink, Dataflow};
+use scalesim_topology::GemmShape;
+
+fn bench_trace_engines(c: &mut Criterion) {
+    let shape = GemmShape::new(256, 64, 256);
+    let map = GemmAddressMap::from_shape(shape, RegionOffsets::default());
+    let array = ArrayShape::square(32);
+
+    let mut group = c.benchmark_group("trace_engine");
+    for df in Dataflow::ALL {
+        let dims = shape.project(df);
+        group.bench_function(df.mnemonic(), |b| {
+            b.iter(|| {
+                let mut sink = CountingSink::new();
+                simulate(black_box(&dims), array, &map, &mut sink);
+                black_box(sink.counts())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_analyze(c: &mut Criterion) {
+    // The closed-form report used inside sweeps: must be microseconds.
+    let dims = GemmShape::new(31999, 84, 1024).project(Dataflow::OutputStationary);
+    c.bench_function("analyze_tf0_128x128", |b| {
+        b.iter(|| black_box(analyze(black_box(&dims), ArrayShape::square(128))))
+    });
+}
+
+criterion_group!(benches, bench_trace_engines, bench_analyze);
+criterion_main!(benches);

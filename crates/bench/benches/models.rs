@@ -1,0 +1,68 @@
+//! Benchmarks for the auxiliary models: occupancy timelines, the stall
+//! model, and the advisor/reconfiguration searches.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use scalesim_analytical::{recommend, reconfiguration_gain, AnalyticalModel, Dataflow, MappedDims};
+use scalesim_memory::{ReuseProfile, StallModel};
+use scalesim_systolic::{occupancy_histogram, ArrayShape};
+use scalesim_topology::networks;
+
+fn bench_occupancy(c: &mut Criterion) {
+    let tf0 = networks::language_model("TF0").unwrap();
+    let dims = tf0.shape().project(Dataflow::OutputStationary);
+    c.bench_function("occupancy_histogram_tf0_128x128", |b| {
+        b.iter(|| black_box(occupancy_histogram(black_box(&dims), ArrayShape::square(128))))
+    });
+}
+
+fn bench_stall_model(c: &mut Criterion) {
+    c.bench_function("stall_model_10k_folds", |b| {
+        b.iter(|| {
+            let mut m = StallModel::new(64.0);
+            for i in 0..10_000u64 {
+                m.fold(100, 3200 + (i % 7) * 100, 800);
+            }
+            black_box(m.finish())
+        })
+    });
+}
+
+fn bench_advisor(c: &mut Criterion) {
+    let workloads: Vec<MappedDims> = networks::language_models()
+        .iter()
+        .map(|l| l.shape().project(Dataflow::OutputStationary))
+        .collect();
+    let model = AnalyticalModel;
+    let mut group = c.benchmark_group("advisor");
+    group.sample_size(20);
+    group.bench_function("recommend_10_workloads_2^16", |b| {
+        b.iter(|| black_box(recommend(&workloads, 1 << 16, 8, Some(1024.0), &model)))
+    });
+    group.bench_function("reconfig_gain_10_workloads_2^14", |b| {
+        b.iter(|| black_box(reconfiguration_gain(&workloads, 1 << 14, 8, &model)))
+    });
+    group.finish();
+}
+
+fn bench_reuse_profile(c: &mut Criterion) {
+    // A looping demand stream with a 4k-element working set.
+    let demands: Vec<u64> = (0..50u64)
+        .flat_map(|round| (0..4096u64).map(move |a| a + (round % 3) * 64))
+        .collect();
+    let mut group = c.benchmark_group("reuse_profile");
+    group.sample_size(10);
+    group.bench_function("mattson_200k_accesses", |b| {
+        b.iter(|| black_box(ReuseProfile::from_demands(demands.iter().copied())))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_occupancy,
+    bench_stall_model,
+    bench_advisor,
+    bench_reuse_profile
+);
+criterion_main!(benches);

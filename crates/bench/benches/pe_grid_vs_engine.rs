@@ -1,0 +1,33 @@
+//! Golden model vs. vectorized engine: how much the closed-form trace
+//! engine buys over literal register-level simulation (it should be orders
+//! of magnitude, which is why the golden model is a test oracle and not the
+//! production path).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use scalesim_memory::{GemmAddressMap, RegionOffsets};
+use scalesim_systolic::pe_grid::{run, Matrix};
+use scalesim_systolic::{simulate, ArrayShape, Dataflow, NullSink};
+use scalesim_topology::GemmShape;
+
+fn bench_golden_vs_engine(c: &mut Criterion) {
+    let n = 24usize;
+    let shape = GemmShape::new(n as u64, n as u64, n as u64);
+    let dims = shape.project(Dataflow::OutputStationary);
+    let array = ArrayShape::square(8);
+    let a = Matrix::from_fn(n, n, |i, j| (i + j) as i64 % 9 - 4);
+    let b = Matrix::from_fn(n, n, |i, j| (3 * i + j) as i64 % 7 - 3);
+    let map = GemmAddressMap::from_shape(shape, RegionOffsets::default());
+
+    let mut group = c.benchmark_group("golden_vs_engine");
+    group.bench_function("pe_grid_golden", |bch| {
+        bch.iter(|| black_box(run(&a, &b, array, Dataflow::OutputStationary).cycles))
+    });
+    group.bench_function("trace_engine", |bch| {
+        bch.iter(|| black_box(simulate(&dims, array, &map, &mut NullSink).total_cycles))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_golden_vs_engine);
+criterion_main!(benches);

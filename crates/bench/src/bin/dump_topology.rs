@@ -1,0 +1,34 @@
+//! Utility: export a built-in network as a Table II topology CSV.
+//!
+//! Run: `cargo run --release -p scalesim-bench --bin dump_topology -- resnet50`
+
+use std::env;
+use std::process::ExitCode;
+
+use scalesim_topology::{networks, topology_to_csv};
+
+fn main() -> ExitCode {
+    let name = match env::args().nth(1) {
+        Some(n) => n,
+        None => {
+            eprintln!("usage: dump_topology <network>");
+            return ExitCode::FAILURE;
+        }
+    };
+    let topo = match name.as_str() {
+        "resnet50" => networks::resnet50(),
+        "resnet18" => networks::resnet18(),
+        "alexnet" => networks::alexnet(),
+        "googlenet" => networks::googlenet(),
+        "mobilenet_v1" => networks::mobilenet_v1(),
+        "vgg16" => networks::vgg16(),
+        "yolo_tiny" => networks::yolo_tiny(),
+        "language_models" => networks::language_models(),
+        other => {
+            eprintln!("unknown network `{other}`");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", topology_to_csv(&topo));
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,52 @@
+//! Ablation: the OS drain path (Section II-A's "separate data plane").
+//!
+//! The baseline OS dataflow drains outputs through the MAC links — the
+//! `2·S_R` term of Eq. 1. The paper mentions (and dismisses as costly) a
+//! separate output plane that would overlap drain with the next fold. This
+//! harness prices that choice: per-layer runtime under both drain
+//! implementations across array heights, and how much of Fig. 10's
+//! monolithic slowdown the drain term explains.
+//!
+//! Run: `cargo run --release -p scalesim-bench --bin ext_os_drain`
+
+use scalesim_analytical::{
+    drain_fraction, scaleup_with_drain, ArrayShape, Dataflow, OsDrain,
+};
+use scalesim_topology::networks;
+
+fn main() {
+    println!("# Ablation: OS drain through the array vs a separate output plane");
+    println!("layer,array,through_array_cycles,separate_plane_cycles,drain_fraction");
+    let resnet = networks::resnet50();
+    let mut layers = vec![
+        resnet.layer("CB2a_3").unwrap().clone(),
+        resnet.layer("Conv1").unwrap().clone(),
+    ];
+    layers.push(networks::language_model("TF0").unwrap());
+    layers.push(networks::language_model("GNMT0").unwrap());
+
+    for layer in &layers {
+        let dims = layer.shape().project(Dataflow::OutputStationary);
+        for array in [
+            ArrayShape::new(32, 32),
+            ArrayShape::new(128, 128),
+            ArrayShape::new(512, 32), // tall: drain-dominated
+            ArrayShape::new(32, 512), // wide: drain-light
+        ] {
+            let base = scaleup_with_drain(&dims, array, OsDrain::ThroughArray);
+            let fast = scaleup_with_drain(&dims, array, OsDrain::SeparatePlane);
+            println!(
+                "{},{},{},{},{:.4}",
+                layer.name(),
+                array,
+                base,
+                fast,
+                drain_fraction(&dims, array),
+            );
+        }
+    }
+    println!();
+    println!("# tall arrays spend the largest runtime share on drain — part of why");
+    println!("# Fig. 10's monolithic configurations lose, and what a separate output");
+    println!("# plane (at its wiring cost) would claw back.");
+}

@@ -1,0 +1,25 @@
+//! Table IV: the language-model GEMM workloads.
+//!
+//! Regenerates the paper's Table IV from the built-in workload suite,
+//! with the derived MAC counts appended for context.
+//!
+//! Run: `cargo run --release -p scalesim-bench --bin table4`
+
+use scalesim::Dataflow;
+use scalesim_topology::networks;
+
+fn main() {
+    println!("# Table IV: matrix dimensions of the language model workloads");
+    println!("name,S_R,T,S_C,macs");
+    for layer in &networks::language_models() {
+        let dims = layer.shape().project(Dataflow::OutputStationary);
+        println!(
+            "{},{},{},{},{}",
+            layer.name(),
+            dims.spatial_rows,
+            dims.temporal,
+            dims.spatial_cols,
+            layer.macs()
+        );
+    }
+}

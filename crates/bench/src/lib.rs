@@ -1,0 +1,12 @@
+//! Shared helpers for the benchmark and figure-harness binaries.
+//!
+//! The actual deliverables live in `src/bin/` (one binary per paper table /
+//! figure) and `benches/` (criterion performance benchmarks of the
+//! simulator itself); this library holds the small amount of code they
+//! share.
+
+pub mod harness;
+pub mod sweep;
+
+pub use harness::{mac_budgets, print_series, Series};
+pub use sweep::{partition_sweep, squareish, SweepPoint};

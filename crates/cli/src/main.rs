@@ -1,0 +1,312 @@
+//! `scale-sim` — the command-line front end, mirroring the original tool's
+//! interface (Fig. 2 of the paper): a hardware config file plus a topology
+//! CSV in, reports and optional cycle-accurate traces out.
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use scalesim::{parse_config, Dataflow, PartitionGrid, SimConfig, Simulator};
+use scalesim_topology::{networks, parse_topology_csv, Topology};
+
+const USAGE: &str = "\
+scale-sim — systolic-array DNN accelerator simulator (SCALE-Sim in Rust)
+
+USAGE:
+    scale-sim [OPTIONS]
+
+OPTIONS:
+    -c, --config <FILE>     hardware config file (Table I format); defaults
+                            to the paper's 32x32 OS / 512+512+256 KB setup
+    -t, --topology <FILE>   topology CSV (Table II format)
+    -n, --network <NAME>    built-in workload instead of --topology:
+                            resnet50 | alexnet | yolo_tiny | language_models
+    -g, --grid <PRxPC>      scale-out partition grid (e.g. 4x2); default 1x1
+    -d, --dataflow <DF>     override the dataflow: os | ws | is
+    -b, --bandwidth <B>     DRAM bandwidth in bytes/cycle; enables the
+                            finite-bandwidth stall model
+        --batch <N>         batch the workload N times (lowers convs to GEMM)
+    -o, --output <DIR>      write REPORT.csv (and traces) into DIR
+        --traces            also write per-layer SRAM and DRAM traces
+        --dump-config       print the effective config and exit
+    -h, --help              show this help
+";
+
+struct Args {
+    config: Option<PathBuf>,
+    topology: Option<PathBuf>,
+    network: Option<String>,
+    grid: PartitionGrid,
+    dataflow: Option<Dataflow>,
+    bandwidth: Option<f64>,
+    batch: Option<u64>,
+    output: Option<PathBuf>,
+    traces: bool,
+    dump_config: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        config: None,
+        topology: None,
+        network: None,
+        grid: PartitionGrid::monolithic(),
+        dataflow: None,
+        bandwidth: None,
+        batch: None,
+        output: None,
+        traces: false,
+        dump_config: false,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "-c" | "--config" => args.config = Some(PathBuf::from(value("--config")?)),
+            "-t" | "--topology" => args.topology = Some(PathBuf::from(value("--topology")?)),
+            "-n" | "--network" => args.network = Some(value("--network")?),
+            "-g" | "--grid" => {
+                let text = value("--grid")?;
+                let (pr, pc) = text
+                    .split_once('x')
+                    .ok_or_else(|| format!("--grid expects PRxPC, got `{text}`"))?;
+                let pr: u64 = pr.parse().map_err(|_| format!("bad grid rows `{pr}`"))?;
+                let pc: u64 = pc.parse().map_err(|_| format!("bad grid cols `{pc}`"))?;
+                if pr == 0 || pc == 0 {
+                    return Err("grid dimensions must be nonzero".into());
+                }
+                args.grid = PartitionGrid::new(pr, pc);
+            }
+            "-d" | "--dataflow" => {
+                let text = value("--dataflow")?;
+                args.dataflow = Some(
+                    text.parse()
+                        .map_err(|_| format!("dataflow must be os/ws/is, got `{text}`"))?,
+                );
+            }
+            "-b" | "--bandwidth" => {
+                let text = value("--bandwidth")?;
+                let bw: f64 = text
+                    .parse()
+                    .map_err(|_| format!("bad bandwidth `{text}`"))?;
+                if !(bw.is_finite() && bw > 0.0) {
+                    return Err("bandwidth must be positive".into());
+                }
+                args.bandwidth = Some(bw);
+            }
+            "--batch" => {
+                let text = value("--batch")?;
+                let n: u64 = text.parse().map_err(|_| format!("bad batch `{text}`"))?;
+                if n == 0 {
+                    return Err("batch must be nonzero".into());
+                }
+                args.batch = Some(n);
+            }
+            "-o" | "--output" => args.output = Some(PathBuf::from(value("--output")?)),
+            "--traces" => args.traces = true,
+            "--dump-config" => args.dump_config = true,
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn load_topology(args: &Args) -> Result<Topology, String> {
+    if let Some(path) = &args.topology {
+        let text = fs::read_to_string(path)
+            .map_err(|e| format!("cannot read topology {}: {e}", path.display()))?;
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("topology")
+            .to_owned();
+        return parse_topology_csv(&name, &text).map_err(|e| format!("topology parse error: {e}"));
+    }
+    match args.network.as_deref() {
+        Some("resnet50") => Ok(networks::resnet50()),
+        Some("resnet18") => Ok(networks::resnet18()),
+        Some("alexnet") => Ok(networks::alexnet()),
+        Some("googlenet") => Ok(networks::googlenet()),
+        Some("mobilenet" | "mobilenet_v1") => Ok(networks::mobilenet_v1()),
+        Some("vgg16") => Ok(networks::vgg16()),
+        Some("yolo_tiny") => Ok(networks::yolo_tiny()),
+        Some("language_models") => Ok(networks::language_models()),
+        Some(other) => Err(format!(
+            "unknown built-in network `{other}` (try resnet50, resnet18, alexnet, \
+             googlenet, mobilenet_v1, vgg16, yolo_tiny, language_models)"
+        )),
+        None => Err("no workload: pass --topology <file> or --network <name>".into()),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = env::args().skip(1).collect();
+    let args = parse_args(&argv)?;
+
+    let mut config: SimConfig = match &args.config {
+        Some(path) => {
+            let text = fs::read_to_string(path)
+                .map_err(|e| format!("cannot read config {}: {e}", path.display()))?;
+            parse_config(&text).map_err(|e| format!("config parse error: {e}"))?
+        }
+        None => SimConfig::default(),
+    };
+    if let Some(df) = args.dataflow {
+        config.dataflow = df;
+    }
+    if let Some(bw) = args.bandwidth {
+        config.dram_bandwidth = Some(bw);
+    }
+
+    if args.dump_config {
+        print!("{}", config.to_config_string());
+        return Ok(());
+    }
+
+    let mut topology = load_topology(&args)?;
+    if let Some(batch) = args.batch {
+        topology = networks::batched(&topology, batch);
+    }
+    let sim = Simulator::new(config).with_grid(args.grid);
+
+    eprintln!(
+        "running {} ({} layers) on {} grid of {} arrays, dataflow {}",
+        topology.name(),
+        topology.len(),
+        args.grid,
+        config.array,
+        config.dataflow,
+    );
+
+    if let Some(dir) = &args.output {
+        fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        if args.traces {
+            for layer in &topology {
+                let create = |suffix: &str| {
+                    fs::File::create(dir.join(format!("{}_{suffix}.csv", layer.name())))
+                        .map_err(|e| format!("cannot create trace file: {e}"))
+                };
+                sim.write_traces(layer, create("sram_read")?, create("sram_write")?)
+                    .map_err(|e| format!("trace write failed for {}: {e}", layer.name()))?;
+                sim.write_dram_traces(layer, create("dram_read")?, create("dram_write")?)
+                    .map_err(|e| format!("dram trace failed for {}: {e}", layer.name()))?;
+            }
+        }
+    }
+
+    let report = sim.run_topology(&topology);
+    println!("{report}");
+
+    if let Some(dir) = &args.output {
+        let path = dir.join("REPORT.csv");
+        fs::write(&path, report.to_csv())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) if msg.is_empty() => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_full_argument_set() {
+        let a = parse_args(&argv(&[
+            "--config", "x.cfg", "--topology", "t.csv", "--grid", "4x2", "--output", "out",
+            "--traces",
+        ]))
+        .unwrap();
+        assert_eq!(a.grid, PartitionGrid::new(4, 2));
+        assert!(a.traces);
+        assert_eq!(a.config.unwrap(), PathBuf::from("x.cfg"));
+    }
+
+    #[test]
+    fn parses_extended_flags() {
+        let a = parse_args(&argv(&[
+            "--dataflow", "ws", "--bandwidth", "32.5", "--batch", "8",
+        ]))
+        .unwrap();
+        assert_eq!(a.dataflow, Some(Dataflow::WeightStationary));
+        assert_eq!(a.bandwidth, Some(32.5));
+        assert_eq!(a.batch, Some(8));
+    }
+
+    #[test]
+    fn rejects_bad_extended_flags() {
+        assert!(parse_args(&argv(&["--dataflow", "rs"])).is_err());
+        assert!(parse_args(&argv(&["--bandwidth", "-3"])).is_err());
+        assert!(parse_args(&argv(&["--batch", "0"])).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_grid() {
+        assert!(parse_args(&argv(&["--grid", "4"])).is_err());
+        assert!(parse_args(&argv(&["--grid", "0x2"])).is_err());
+        assert!(parse_args(&argv(&["--grid", "axb"])).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_flag() {
+        assert!(parse_args(&argv(&["--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn help_is_signalled_with_empty_error() {
+        assert_eq!(parse_args(&argv(&["--help"])).err(), Some(String::new()));
+    }
+
+    #[test]
+    fn builtin_networks_resolve() {
+        for name in [
+            "resnet50",
+            "resnet18",
+            "alexnet",
+            "googlenet",
+            "mobilenet_v1",
+            "vgg16",
+            "yolo_tiny",
+            "language_models",
+        ] {
+            let mut a = parse_args(&[]).unwrap();
+            a.network = Some(name.into());
+            assert!(load_topology(&a).is_ok(), "{name} should load");
+        }
+        let mut a = parse_args(&[]).unwrap();
+        a.network = Some("vgg".into());
+        assert!(load_topology(&a).is_err());
+    }
+
+    #[test]
+    fn missing_workload_is_an_error() {
+        let a = parse_args(&[]).unwrap();
+        assert!(load_topology(&a).is_err());
+    }
+}

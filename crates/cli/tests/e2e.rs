@@ -1,0 +1,141 @@
+//! End-to-end tests of the `scale-sim` binary: real process, real files.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn scale_sim(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_scale-sim"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("scale-sim-e2e-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    let out = scale_sim(&["--help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("--topology"));
+}
+
+#[test]
+fn unknown_flag_fails_with_usage() {
+    let out = scale_sim(&["--bogus"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown argument"));
+}
+
+#[test]
+fn dump_config_round_trips_through_a_file() {
+    let dir = temp_dir("dumpcfg");
+    let out = scale_sim(&["--dump-config"]);
+    assert!(out.status.success());
+    let cfg_path = dir.join("dumped.cfg");
+    fs::write(&cfg_path, &out.stdout).unwrap();
+    // Feed the dump back in: identical dump out.
+    let again = scale_sim(&["--config", cfg_path.to_str().unwrap(), "--dump-config"]);
+    assert!(again.status.success());
+    assert_eq!(out.stdout, again.stdout);
+}
+
+#[test]
+fn builtin_network_run_reports_all_layers() {
+    let out = scale_sim(&["--network", "alexnet"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for layer in ["Conv1", "Conv5", "FC8"] {
+        assert!(text.contains(layer), "missing {layer} in report");
+    }
+    assert!(text.contains("total:"));
+}
+
+#[test]
+fn full_pipeline_writes_report_and_traces() {
+    let dir = temp_dir("full");
+    // A tiny custom topology keeps the trace files small.
+    let topo = dir.join("tiny.csv");
+    fs::write(&topo, "TinyConv,8,8,3,3,2,4,1\nTinyGemm,16,8,16\n").unwrap();
+    let out = scale_sim(&[
+        "--topology",
+        topo.to_str().unwrap(),
+        "--grid",
+        "2x2",
+        "--bandwidth",
+        "8",
+        "--output",
+        dir.to_str().unwrap(),
+        "--traces",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report = fs::read_to_string(dir.join("REPORT.csv")).unwrap();
+    assert_eq!(report.lines().count(), 3); // header + 2 layers
+    assert!(report.contains("TinyConv"));
+    // Stall column is populated because --bandwidth was set.
+    let last_col = report
+        .lines()
+        .nth(1)
+        .unwrap()
+        .rsplit(',')
+        .next()
+        .unwrap();
+    assert!(last_col.parse::<u64>().is_ok(), "stalled_cycles column");
+    for suffix in ["sram_read", "sram_write", "dram_read", "dram_write"] {
+        let path = dir.join(format!("TinyConv_{suffix}.csv"));
+        assert!(path.exists(), "missing {suffix} trace");
+        assert!(fs::metadata(&path).unwrap().len() > 0);
+    }
+}
+
+#[test]
+fn dataflow_override_changes_the_report() {
+    let run = |df: &str| {
+        let out = scale_sim(&["--network", "yolo_tiny", "--dataflow", df]);
+        assert!(out.status.success());
+        String::from_utf8(out.stdout).unwrap()
+    };
+    assert_ne!(run("os"), run("ws"));
+}
+
+#[test]
+fn batch_flag_multiplies_work() {
+    let extract_total = |text: &str| -> u64 {
+        // "total: <cycles> cycles, <macs> MACs, ..."
+        let line = text.lines().find(|l| l.contains("total:")).unwrap();
+        line.split(',')
+            .nth(1)
+            .unwrap()
+            .trim()
+            .split(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    let one = scale_sim(&["--network", "alexnet"]);
+    let four = scale_sim(&["--network", "alexnet", "--batch", "4"]);
+    let macs1 = extract_total(&String::from_utf8(one.stdout).unwrap());
+    let macs4 = extract_total(&String::from_utf8(four.stdout).unwrap());
+    assert_eq!(macs4, 4 * macs1);
+}
+
+#[test]
+fn missing_topology_file_is_a_clean_error() {
+    let out = scale_sim(&["--topology", "/nonexistent/net.csv"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("cannot read topology"));
+}

@@ -1,0 +1,106 @@
+//! Error types for the facade.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while parsing a SCALE-Sim configuration file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseConfigError {
+    /// A line was not `key = value` / `key : value`.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// A numeric parameter failed to parse.
+    InvalidNumber {
+        /// 1-based line number.
+        line: usize,
+        /// Parameter name.
+        key: String,
+        /// The rejected text.
+        text: String,
+    },
+    /// The `Dataflow` parameter was not `os`, `ws` or `is`.
+    InvalidDataflow {
+        /// 1-based line number.
+        line: usize,
+        /// The rejected text.
+        text: String,
+    },
+    /// An unrecognized parameter name.
+    UnknownKey {
+        /// 1-based line number.
+        line: usize,
+        /// The unknown parameter name.
+        key: String,
+    },
+    /// A parameter that must be nonzero was zero.
+    ZeroParameter {
+        /// Parameter name.
+        key: &'static str,
+    },
+}
+
+impl fmt::Display for ParseConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseConfigError::Malformed { line, text } => {
+                write!(f, "line {line}: expected `key = value`, got `{text}`")
+            }
+            ParseConfigError::InvalidNumber { line, key, text } => {
+                write!(f, "line {line}: parameter `{key}` is not a number: `{text}`")
+            }
+            ParseConfigError::InvalidDataflow { line, text } => {
+                write!(f, "line {line}: dataflow must be `os`, `ws` or `is`, got `{text}`")
+            }
+            ParseConfigError::UnknownKey { line, key } => {
+                write!(f, "line {line}: unknown parameter `{key}`")
+            }
+            ParseConfigError::ZeroParameter { key } => {
+                write!(f, "parameter `{key}` must be nonzero")
+            }
+        }
+    }
+}
+
+impl Error for ParseConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let variants: Vec<ParseConfigError> = vec![
+            ParseConfigError::Malformed {
+                line: 1,
+                text: "x".into(),
+            },
+            ParseConfigError::InvalidNumber {
+                line: 2,
+                key: "ArrayHeight".into(),
+                text: "abc".into(),
+            },
+            ParseConfigError::InvalidDataflow {
+                line: 3,
+                text: "rs".into(),
+            },
+            ParseConfigError::UnknownKey {
+                line: 4,
+                key: "Bogus".into(),
+            },
+            ParseConfigError::ZeroParameter { key: "ArrayWidth" },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ParseConfigError>();
+    }
+}

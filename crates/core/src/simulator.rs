@@ -1,0 +1,566 @@
+//! The simulator facade: one layer or a whole topology, monolithic or
+//! partitioned, cycle-accurate compute plus the DRAM interface model.
+
+use std::io::{self, Write};
+
+use scalesim_analytical::PartitionGrid;
+use scalesim_energy::EnergyModel;
+use scalesim_memory::{
+    AddressMap, ConvAddressMap, DramModel, DramSummary, DramTraceWriter, GemmAddressMap,
+    StallModel, StallSummary, SubGemmMap,
+};
+use scalesim_systolic::{
+    analyze, fold_demands, simulate, ComputeReport, CsvTraceSink, SramCounts,
+};
+use scalesim_topology::{GemmShape, Layer, Topology};
+
+use crate::config::SimConfig;
+use crate::report::{LayerReport, NetworkReport};
+
+/// The SCALE-Sim simulator: a hardware configuration bound to an optional
+/// partition grid and an energy model.
+///
+/// With the default 1×1 grid this is the classic monolithic tool; with a
+/// larger grid every layer's output space is tiled across `P_R × P_C`
+/// identical arrays that execute in parallel, with the SRAM budget divided
+/// evenly (Sections III-C / IV-A of the paper). Partitions are simulated
+/// concurrently on OS threads.
+///
+/// See the crate-level docs for examples.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: SimConfig,
+    grid: PartitionGrid,
+    energy_model: EnergyModel,
+    auto_dataflow: bool,
+}
+
+impl Simulator {
+    /// Creates a monolithic simulator for `config`.
+    pub fn new(config: SimConfig) -> Self {
+        Simulator {
+            config,
+            grid: PartitionGrid::monolithic(),
+            energy_model: EnergyModel::default(),
+            auto_dataflow: false,
+        }
+    }
+
+    /// Runs on a `P_R × P_C` partition grid instead of a single array.
+    pub fn with_grid(mut self, grid: PartitionGrid) -> Self {
+        self.grid = grid;
+        self
+    }
+
+    /// Overrides the energy constants.
+    pub fn with_energy_model(mut self, model: EnergyModel) -> Self {
+        self.energy_model = model;
+        self
+    }
+
+    /// Selects the fastest dataflow *per layer* (by the analytical model,
+    /// Sec. III-B) instead of the configured one. Models a mapper that is
+    /// free to re-map every layer — the configured dataflow becomes a
+    /// fallback label only.
+    pub fn with_auto_dataflow(mut self) -> Self {
+        self.auto_dataflow = true;
+        self
+    }
+
+    /// The hardware configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The partition grid.
+    pub fn grid(&self) -> PartitionGrid {
+        self.grid
+    }
+
+    /// Simulates one layer end to end: cycle-accurate compute schedule plus
+    /// the double-buffered DRAM interface model, per partition, aggregated.
+    pub fn run_layer(&self, layer: &Layer) -> LayerReport {
+        let shape = layer.shape();
+        let config = if self.auto_dataflow {
+            let best = scalesim_analytical::best_dataflow(
+                shape,
+                self.config.array,
+                &scalesim_analytical::AnalyticalModel,
+            );
+            SimConfig {
+                dataflow: best.dataflow,
+                ..self.config
+            }
+        } else {
+            self.config
+        };
+        let map = layer_map(layer, &config);
+        let tiles = partition_tiles(shape, self.grid);
+        let provisioned = self.grid.count();
+
+        // Each partition gets an even share of the interface bandwidth.
+        let per_partition_bw = config.dram_bandwidth.map(|bw| bw / provisioned as f64);
+        let results = run_partitions(&tiles, &*map, shape, &config, provisioned, per_partition_bw);
+
+        // Aggregate across partitions.
+        let mut per_partition_cycles = Vec::with_capacity(results.len());
+        let mut sram = SramCounts::default();
+        let mut dram = DramSummary::default();
+        let mut mapping_util_sum = 0.0;
+        let mut total_cycles = 0u64;
+        let mut worst_stall: Option<StallSummary> = None;
+        for (compute, part_dram, part_stall) in &results {
+            per_partition_cycles.push(compute.total_cycles);
+            total_cycles = total_cycles.max(compute.total_cycles);
+            sram.a_reads += compute.sram.a_reads;
+            sram.b_reads += compute.sram.b_reads;
+            sram.o_reads += compute.sram.o_reads;
+            sram.o_writes += compute.sram.o_writes;
+            mapping_util_sum += compute.mapping_utilization;
+            if dram.folds == 0 && dram.total_accesses() == 0 {
+                dram = part_dram.clone();
+            } else {
+                dram.merge_concurrent(part_dram);
+            }
+            if let Some(ps) = part_stall {
+                let slower = match &worst_stall {
+                    Some(ws) => ps.stalled_cycles > ws.stalled_cycles,
+                    None => true,
+                };
+                if slower {
+                    worst_stall = Some(*ps);
+                }
+            }
+        }
+        // Report the stall result at the layer level: the slowest
+        // partition gates the layer, and the configured (total) bandwidth
+        // is what the user asked about.
+        let stall = worst_stall.map(|ws| StallSummary {
+            bandwidth: config.dram_bandwidth.expect("stall implies bandwidth"),
+            compute_cycles: total_cycles,
+            stalled_cycles: ws.stalled_cycles.max(total_cycles),
+            stall_cycles: ws.stalled_cycles.max(total_cycles) - total_cycles,
+            bus_utilization: ws.bus_utilization,
+        });
+
+        let mac_ops = shape.macs();
+        // Idle accounting covers every provisioned PE for the whole layer
+        // runtime — including partitions that finished early or had no work.
+        let pe_cycles = provisioned * config.array.macs() * total_cycles;
+        let energy = self.energy_model.evaluate(
+            mac_ops,
+            pe_cycles,
+            sram.total(),
+            dram.total_accesses(),
+        );
+
+        LayerReport {
+            name: layer.name().to_owned(),
+            grid: self.grid,
+            array: config.array,
+            total_cycles,
+            active_partitions: results.len() as u64,
+            per_partition_cycles,
+            mac_ops,
+            sram,
+            dram,
+            mapping_utilization: if results.is_empty() {
+                0.0
+            } else {
+                mapping_util_sum / results.len() as f64
+            },
+            compute_utilization: mac_ops as f64 / pe_cycles as f64,
+            energy,
+            stall,
+        }
+    }
+
+    /// Simulates every layer of `topology` in order (SCALE-Sim serializes
+    /// layers — Section II-E).
+    pub fn run_topology(&self, topology: &Topology) -> NetworkReport {
+        let layers = topology.iter().map(|l| self.run_layer(l)).collect();
+        NetworkReport::new(topology.name(), layers)
+    }
+
+    /// Writes the cycle-accurate SRAM traces of `layer` in the original
+    /// tool's CSV format (`cycle, addr, …` rows): reads to `reads`, writes
+    /// to `writes`. Traces are generated for a single monolithic array (the
+    /// configured shape); the partition grid is ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error raised by the writers.
+    pub fn write_traces<W: Write>(
+        &self,
+        layer: &Layer,
+        reads: W,
+        writes: W,
+    ) -> io::Result<ComputeReport> {
+        let map = layer_map(layer, &self.config);
+        let dims = layer.shape().project(self.config.dataflow);
+        let mut sink = CsvTraceSink::new(reads, writes);
+        let report = simulate(&dims, self.config.array, &*map, &mut sink);
+        sink.finish()?;
+        Ok(report)
+    }
+
+    /// Writes the DRAM interface traces of `layer` (prefetch reads and
+    /// streamed writes, `cycle, addr, …` rows — the "DRAM R/W" output of
+    /// Fig. 2), for a single monolithic array.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error raised by the writers.
+    pub fn write_dram_traces<W: Write>(
+        &self,
+        layer: &Layer,
+        reads: W,
+        writes: W,
+    ) -> io::Result<DramSummary> {
+        let map = layer_map(layer, &self.config);
+        let dims = layer.shape().project(self.config.dataflow);
+        let mut dram = DramModel::new(
+            self.config.ifmap_buffer(1),
+            self.config.filter_buffer(1),
+            self.config.ofmap_buffer(1),
+        );
+        let mut tracer = DramTraceWriter::new(reads, writes);
+        for d in fold_demands(&dims, self.config.array, &*map) {
+            dram.fold_traced(d.fold.duration, d.a, d.b, d.o_spill, d.o_writes, &mut tracer)?;
+        }
+        tracer.finish()?;
+        Ok(dram.finish())
+    }
+}
+
+/// Builds the operand address map for a layer.
+fn layer_map(layer: &Layer, config: &SimConfig) -> Box<dyn AddressMap + Send + Sync> {
+    match layer {
+        Layer::Conv(conv) => Box::new(ConvAddressMap::new(conv, config.offsets)),
+        Layer::Gemm { shape, .. } => {
+            Box::new(GemmAddressMap::from_shape(*shape, config.offsets))
+        }
+    }
+}
+
+/// One partition's tile of the output space.
+#[derive(Debug, Clone, Copy)]
+struct Tile {
+    m_off: u64,
+    m_len: u64,
+    n_off: u64,
+    n_len: u64,
+}
+
+/// Tiles the `M × N` output space across the grid (Eq. 5 of the paper,
+/// applied in output coordinates so every partition computes complete
+/// outputs regardless of dataflow). Partitions whose ceiling share starts
+/// past the end of a dimension receive no work and are skipped.
+fn partition_tiles(shape: GemmShape, grid: PartitionGrid) -> Vec<Tile> {
+    let chunk_m = shape.m.div_ceil(grid.rows());
+    let chunk_n = shape.n.div_ceil(grid.cols());
+    let mut tiles = Vec::new();
+    for pi in 0..grid.rows() {
+        let m_off = pi * chunk_m;
+        if m_off >= shape.m {
+            break;
+        }
+        let m_len = chunk_m.min(shape.m - m_off);
+        for pj in 0..grid.cols() {
+            let n_off = pj * chunk_n;
+            if n_off >= shape.n {
+                break;
+            }
+            let n_len = chunk_n.min(shape.n - n_off);
+            tiles.push(Tile {
+                m_off,
+                m_len,
+                n_off,
+                n_len,
+            });
+        }
+    }
+    tiles
+}
+
+/// Simulates each tile (compute schedule + DRAM model), in parallel across
+/// OS threads when there are several.
+fn run_partitions(
+    tiles: &[Tile],
+    map: &(dyn AddressMap + Send + Sync),
+    shape: GemmShape,
+    config: &SimConfig,
+    provisioned: u64,
+    bandwidth_share: Option<f64>,
+) -> Vec<(ComputeReport, DramSummary, Option<StallSummary>)> {
+    let run_tile = |tile: &Tile| -> (ComputeReport, DramSummary, Option<StallSummary>) {
+        let sub_map = SubGemmMap::new(map, tile.m_off, tile.n_off);
+        let sub_shape = GemmShape::new(tile.m_len, shape.k, tile.n_len);
+        let dims = sub_shape.project(config.dataflow);
+        let compute = analyze(&dims, config.array);
+        let mut dram = DramModel::new(
+            config.ifmap_buffer(provisioned),
+            config.filter_buffer(provisioned),
+            config.ofmap_buffer(provisioned),
+        );
+        let mut stall = bandwidth_share.map(StallModel::new);
+        for demand in fold_demands(&dims, config.array, &sub_map) {
+            let traffic = dram.fold(
+                demand.fold.duration,
+                demand.a,
+                demand.b,
+                demand.o_spill,
+                demand.o_writes,
+            );
+            if let Some(stall) = stall.as_mut() {
+                stall.fold(traffic.duration, traffic.read_bytes, traffic.write_bytes);
+            }
+        }
+        (compute, dram.finish(), stall.map(StallModel::finish))
+    };
+
+    if tiles.len() <= 1 {
+        return tiles.iter().map(run_tile).collect();
+    }
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(tiles.len());
+    let chunk_size = tiles.len().div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = tiles
+            .chunks(chunk_size)
+            .map(|chunk| scope.spawn(move |_| chunk.iter().map(run_tile).collect::<Vec<_>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("partition worker panicked"))
+            .collect()
+    })
+    .expect("partition scope panicked")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalesim_systolic::ArrayShape;
+    use scalesim_topology::{networks, ConvLayer, Dataflow};
+
+    fn small_config() -> SimConfig {
+        SimConfig::builder()
+            .array(ArrayShape::square(16))
+            .sram_kb(64, 64, 32)
+            .build()
+    }
+
+    #[test]
+    fn monolithic_layer_report_is_consistent() {
+        let sim = Simulator::new(small_config());
+        let layer = Layer::gemm("g", 100, 40, 60);
+        let report = sim.run_layer(&layer);
+        assert_eq!(report.active_partitions, 1);
+        assert_eq!(report.mac_ops, 100 * 40 * 60);
+        assert_eq!(report.per_partition_cycles.len(), 1);
+        assert_eq!(report.per_partition_cycles[0], report.total_cycles);
+        assert!(report.dram.total_bytes() > 0);
+        assert!(report.energy.total() > 0.0);
+    }
+
+    #[test]
+    fn partitioned_run_is_faster_but_hungrier() {
+        // The central trade-off of the paper (Fig. 11): more partitions ->
+        // lower runtime, higher DRAM bandwidth requirement.
+        let layer = networks::language_model("TF1").unwrap();
+        let mono = Simulator::new(small_config()).run_layer(&layer);
+        let quad = Simulator::new(small_config())
+            .with_grid(PartitionGrid::new(2, 2))
+            .run_layer(&layer);
+        assert!(quad.total_cycles < mono.total_cycles);
+        assert!(quad.required_bandwidth() >= mono.required_bandwidth());
+        // Same useful work either way.
+        assert_eq!(quad.mac_ops, mono.mac_ops);
+    }
+
+    #[test]
+    fn partition_tiles_cover_output_exactly() {
+        let shape = GemmShape::new(10, 5, 7);
+        let tiles = partition_tiles(shape, PartitionGrid::new(3, 2));
+        let covered: u64 = tiles.iter().map(|t| t.m_len * t.n_len).sum();
+        assert_eq!(covered, 70);
+        // Ceil split of 10 over 3 = 4: partitions at m = 0, 4, 8.
+        assert_eq!(tiles.len(), 6);
+    }
+
+    #[test]
+    fn oversized_grid_drops_empty_partitions() {
+        let shape = GemmShape::new(2, 5, 1);
+        let tiles = partition_tiles(shape, PartitionGrid::new(8, 8));
+        assert_eq!(tiles.len(), 2);
+        let sim = Simulator::new(small_config()).with_grid(PartitionGrid::new(8, 8));
+        let report = sim.run_layer(&Layer::gemm("tiny", 2, 5, 1));
+        assert_eq!(report.active_partitions, 2);
+    }
+
+    #[test]
+    fn partitioned_macs_match_monolithic_for_conv() {
+        let conv = ConvLayer::new("c", 16, 16, 3, 3, 8, 16, 1).unwrap();
+        let layer: Layer = conv.into();
+        let mono = Simulator::new(small_config()).run_layer(&layer);
+        let split = Simulator::new(small_config())
+            .with_grid(PartitionGrid::new(2, 2))
+            .run_layer(&layer);
+        assert_eq!(mono.mac_ops, split.mac_ops);
+        // Losing spatial reuse costs extra DRAM reads, never fewer.
+        assert!(split.dram.reads_a + split.dram.reads_b >= mono.dram.reads_a + mono.dram.reads_b);
+    }
+
+    #[test]
+    fn run_topology_covers_all_layers_in_order() {
+        let sim = Simulator::new(small_config());
+        let net = networks::alexnet();
+        let report = sim.run_topology(&net);
+        assert_eq!(report.layers().len(), net.len());
+        for (lr, l) in report.layers().iter().zip(net.iter()) {
+            assert_eq!(lr.name, l.name());
+        }
+        assert_eq!(
+            report.total_cycles(),
+            report.layers().iter().map(|l| l.total_cycles).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn traces_round_trip_basic_shape() {
+        let sim = Simulator::new(small_config());
+        let layer = Layer::gemm("g", 8, 4, 8);
+        let mut reads = Vec::new();
+        let mut writes = Vec::new();
+        let report = sim.write_traces(&layer, &mut reads, &mut writes).unwrap();
+        let read_text = String::from_utf8(reads).unwrap();
+        let write_text = String::from_utf8(writes).unwrap();
+        assert!(!read_text.is_empty());
+        assert!(!write_text.is_empty());
+        // Every row is `cycle,addr[,addr...]`; the largest cycle stamp is
+        // within the reported horizon.
+        let max_cycle = write_text
+            .lines()
+            .map(|l| l.split(',').next().unwrap().parse::<u64>().unwrap())
+            .max()
+            .unwrap();
+        assert_eq!(max_cycle + 1, report.total_cycles);
+    }
+
+    #[test]
+    fn stall_model_engages_when_bandwidth_is_set() {
+        let layer = Layer::gemm("g", 200, 64, 200);
+        let free = Simulator::new(small_config()).run_layer(&layer);
+        assert!(free.stall.is_none());
+        assert_eq!(free.effective_cycles(), free.total_cycles);
+
+        // Starve the interface: far below the stall-free requirement.
+        let starved_cfg = SimConfig {
+            dram_bandwidth: Some(1.0),
+            ..small_config()
+        };
+        let starved = Simulator::new(starved_cfg).run_layer(&layer);
+        let stall = starved.stall.expect("stall analysis must run");
+        assert!(stall.stalled_cycles > starved.total_cycles);
+        assert!(stall.slowdown() > 1.0);
+        assert_eq!(starved.effective_cycles(), stall.stalled_cycles);
+
+        // Ample bandwidth: stalls vanish (cold start aside).
+        let ample_cfg = SimConfig {
+            dram_bandwidth: Some(1e9),
+            ..small_config()
+        };
+        let ample = Simulator::new(ample_cfg).run_layer(&layer);
+        assert!(ample.stall.unwrap().stalled_cycles <= starved.stall.unwrap().stalled_cycles);
+    }
+
+    #[test]
+    fn stall_slowdown_decreases_with_more_bandwidth() {
+        let layer = Layer::gemm("g", 300, 32, 300);
+        let slowdown = |bw: f64| {
+            let cfg = SimConfig {
+                dram_bandwidth: Some(bw),
+                ..small_config()
+            };
+            Simulator::new(cfg).run_layer(&layer).stall.unwrap().slowdown()
+        };
+        let s1 = slowdown(1.0);
+        let s8 = slowdown(8.0);
+        let s64 = slowdown(64.0);
+        assert!(s1 >= s8);
+        assert!(s8 >= s64);
+    }
+
+    #[test]
+    fn dram_trace_export_covers_all_misses() {
+        let sim = Simulator::new(small_config());
+        let layer = Layer::gemm("g", 32, 8, 32);
+        let mut reads = Vec::new();
+        let mut writes = Vec::new();
+        let summary = sim.write_dram_traces(&layer, &mut reads, &mut writes).unwrap();
+        let count_addrs = |buf: &[u8]| -> u64 {
+            String::from_utf8(buf.to_vec())
+                .unwrap()
+                .lines()
+                .map(|l| l.split(',').count() as u64 - 1)
+                .sum()
+        };
+        assert_eq!(count_addrs(&reads), summary.reads_a + summary.reads_b + summary.reads_o);
+        assert_eq!(count_addrs(&writes), summary.writes_o);
+    }
+
+    #[test]
+    fn auto_dataflow_never_loses_to_the_fixed_default() {
+        // Per-layer selection must match or beat the configured dataflow
+        // on every layer's runtime.
+        let net = networks::alexnet();
+        let fixed = Simulator::new(small_config());
+        let auto = Simulator::new(small_config()).with_auto_dataflow();
+        for layer in &net {
+            let f = fixed.run_layer(layer);
+            let a = auto.run_layer(layer);
+            assert!(
+                a.total_cycles <= f.total_cycles,
+                "{}: auto {} > fixed {}",
+                layer.name(),
+                a.total_cycles,
+                f.total_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn auto_dataflow_helps_fat_output_gemms() {
+        // GNMT3 (2048 x 32 x 4096) has a tiny contraction: OS pays a fold
+        // per output tile, while WS keeps the whole contraction resident.
+        // Auto selection must find that and win by a wide margin.
+        let layer = networks::language_model("GNMT3").unwrap();
+        let fixed = Simulator::new(small_config()).run_layer(&layer);
+        let auto = Simulator::new(small_config())
+            .with_auto_dataflow()
+            .run_layer(&layer);
+        assert!(
+            (auto.total_cycles as f64) < 0.7 * fixed.total_cycles as f64,
+            "auto {} vs fixed {}",
+            auto.total_cycles,
+            fixed.total_cycles
+        );
+    }
+
+    #[test]
+    fn dataflow_choice_changes_sram_profile() {
+        let layer = Layer::gemm("g", 256, 64, 128);
+        let os = Simulator::new(small_config()).run_layer(&layer);
+        let ws_cfg = SimConfig {
+            dataflow: Dataflow::WeightStationary,
+            ..small_config()
+        };
+        let ws = Simulator::new(ws_cfg).run_layer(&layer);
+        assert_ne!(os.sram, ws.sram);
+        assert_eq!(os.mac_ops, ws.mac_ops);
+    }
+}

@@ -1,0 +1,405 @@
+//! Operand address maps.
+//!
+//! The trace engines work in GEMM coordinates: operand *A* is the `M × K`
+//! matrix (the rearranged IFMAP for a convolution), operand *B* the `K × N`
+//! matrix (the unrolled filters), and *O* the `M × N` output. An
+//! [`AddressMap`] translates these coordinates into the flat element
+//! addresses that appear in the SRAM/DRAM traces (the simulator's address
+//! space is in *elements*; a word-size multiplier is applied at the DRAM
+//! reporting layer).
+//!
+//! Two concrete maps exist:
+//!
+//! * [`GemmAddressMap`] — row-major dense matrices; every `A` element has a
+//!   unique address (no reuse between rows).
+//! * [`ConvAddressMap`] — convolution addressing where adjacent convolution
+//!   windows *share* IFMAP addresses when the stride is smaller than the
+//!   filter (the reuse pattern Section II-A of the paper describes). This is
+//!   what makes the DRAM model see convolution reuse.
+
+use serde::{Deserialize, Serialize};
+
+use scalesim_topology::ConvLayer;
+
+/// Base offsets for the three operand regions, mirroring the
+/// `IfmapOffset` / `FilterOffset` / `OfmapOffset` parameters of Table I.
+///
+/// The defaults match the original tool's defaults: disjoint 16 M-element
+/// regions so traces from different operands never alias.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RegionOffsets {
+    /// Base address for IFMAP / operand-A elements.
+    pub ifmap: u64,
+    /// Base address for filter / operand-B elements.
+    pub filter: u64,
+    /// Base address for OFMAP / output elements.
+    pub ofmap: u64,
+}
+
+impl Default for RegionOffsets {
+    fn default() -> Self {
+        RegionOffsets {
+            ifmap: 0,
+            filter: 10_000_000,
+            ofmap: 20_000_000,
+        }
+    }
+}
+
+/// Translates GEMM coordinates into flat element addresses.
+///
+/// Implementations must be pure: the same coordinate always yields the same
+/// address, and distinct coordinates of `B` and `O` yield distinct addresses.
+/// `A` addresses *may* collide across coordinates — that is exactly how
+/// convolution window overlap (data reuse) is expressed.
+pub trait AddressMap {
+    /// Address of `A[m][k]` — the IFMAP element feeding row `m`'s `k`-th
+    /// partial product.
+    fn a(&self, m: u64, k: u64) -> u64;
+
+    /// Address of `B[k][n]` — element `k` of filter `n`.
+    fn b(&self, k: u64, n: u64) -> u64;
+
+    /// Address of `O[m][n]` — output pixel `m` of filter `n`.
+    fn o(&self, m: u64, n: u64) -> u64;
+
+    /// Number of *distinct* addresses behind operand A (total IFMAP
+    /// elements). Used for reuse accounting.
+    fn a_unique(&self) -> u64;
+
+    /// Number of distinct addresses behind operand B.
+    fn b_unique(&self) -> u64;
+
+    /// Number of distinct output addresses.
+    fn o_unique(&self) -> u64;
+}
+
+/// Row-major addressing for a dense GEMM (language-model layers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GemmAddressMap {
+    m: u64,
+    k: u64,
+    n: u64,
+    offsets: RegionOffsets,
+}
+
+impl GemmAddressMap {
+    /// Creates a map for an `m × k` by `k × n` product with the given region
+    /// offsets.
+    pub fn new(m: u64, k: u64, n: u64, offsets: RegionOffsets) -> Self {
+        GemmAddressMap { m, k, n, offsets }
+    }
+
+    /// Creates a map from a [`scalesim_topology::GemmShape`].
+    pub fn from_shape(shape: scalesim_topology::GemmShape, offsets: RegionOffsets) -> Self {
+        GemmAddressMap::new(shape.m, shape.k, shape.n, offsets)
+    }
+}
+
+impl AddressMap for GemmAddressMap {
+    fn a(&self, m: u64, k: u64) -> u64 {
+        debug_assert!(m < self.m && k < self.k);
+        self.offsets.ifmap + m * self.k + k
+    }
+
+    fn b(&self, k: u64, n: u64) -> u64 {
+        debug_assert!(k < self.k && n < self.n);
+        self.offsets.filter + k * self.n + n
+    }
+
+    fn o(&self, m: u64, n: u64) -> u64 {
+        debug_assert!(m < self.m && n < self.n);
+        self.offsets.ofmap + m * self.n + n
+    }
+
+    fn a_unique(&self) -> u64 {
+        self.m * self.k
+    }
+
+    fn b_unique(&self) -> u64 {
+        self.k * self.n
+    }
+
+    fn o_unique(&self) -> u64 {
+        self.m * self.n
+    }
+}
+
+/// Convolution addressing with overlapping-window IFMAP reuse.
+///
+/// IFMAP elements are stored channel-minor (`(h · W + w) · C + c`), filters
+/// filter-major, outputs pixel-major — matching the original tool's layouts.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ConvAddressMap {
+    ifmap_w: u64,
+    filter_w: u64,
+    channels: u64,
+    stride_h: u64,
+    stride_w: u64,
+    ofmap_w: u64,
+    window: u64,
+    num_filters: u64,
+    ifmap_elems: u64,
+    ofmap_pixels: u64,
+    offsets: RegionOffsets,
+}
+
+impl ConvAddressMap {
+    /// Creates a map for `layer` with the given region offsets.
+    pub fn new(layer: &ConvLayer, offsets: RegionOffsets) -> Self {
+        ConvAddressMap {
+            ifmap_w: layer.ifmap_w(),
+            filter_w: layer.filter_w(),
+            channels: layer.channels(),
+            stride_h: layer.stride_h(),
+            stride_w: layer.stride_w(),
+            ofmap_w: layer.ofmap_w(),
+            window: layer.window_size(),
+            num_filters: layer.num_filters(),
+            ifmap_elems: layer.ifmap_elems(),
+            ofmap_pixels: layer.ofmap_pixels(),
+            offsets,
+        }
+    }
+}
+
+impl AddressMap for ConvAddressMap {
+    fn a(&self, m: u64, k: u64) -> u64 {
+        // Output pixel m at (oh, ow); window element k at (kh, kw, c).
+        let oh = m / self.ofmap_w;
+        let ow = m % self.ofmap_w;
+        let row_elems = self.filter_w * self.channels;
+        let kh = k / row_elems;
+        let rem = k % row_elems;
+        let kw = rem / self.channels;
+        let c = rem % self.channels;
+        let ih = oh * self.stride_h + kh;
+        let iw = ow * self.stride_w + kw;
+        self.offsets.ifmap + (ih * self.ifmap_w + iw) * self.channels + c
+    }
+
+    fn b(&self, k: u64, n: u64) -> u64 {
+        debug_assert!(k < self.window && n < self.num_filters);
+        self.offsets.filter + n * self.window + k
+    }
+
+    fn o(&self, m: u64, n: u64) -> u64 {
+        debug_assert!(m < self.ofmap_pixels && n < self.num_filters);
+        self.offsets.ofmap + m * self.num_filters + n
+    }
+
+    fn a_unique(&self) -> u64 {
+        self.ifmap_elems
+    }
+
+    fn b_unique(&self) -> u64 {
+        self.window * self.num_filters
+    }
+
+    fn o_unique(&self) -> u64 {
+        self.ofmap_pixels * self.num_filters
+    }
+}
+
+/// A window into another map: shifts GEMM coordinates by an output-space
+/// offset `(m_off, n_off)`.
+///
+/// Scale-out partitions each own a tile of the output space but address the
+/// *same* underlying tensors; wrapping the layer's map in a `SubGemmMap`
+/// gives a partition its view without duplicating address logic. The
+/// contraction dimension is never partitioned (each partition computes
+/// complete outputs), so `k` passes through unchanged.
+///
+/// The `*_unique` methods report the underlying map's totals (an upper
+/// bound for the partition) — they describe the tensors, not the tile.
+#[derive(Debug, Clone, Copy)]
+pub struct SubGemmMap<'a, M: ?Sized> {
+    inner: &'a M,
+    m_off: u64,
+    n_off: u64,
+}
+
+impl<'a, M: AddressMap + ?Sized> SubGemmMap<'a, M> {
+    /// Wraps `inner`, offsetting output rows by `m_off` and output columns
+    /// by `n_off`.
+    pub fn new(inner: &'a M, m_off: u64, n_off: u64) -> Self {
+        SubGemmMap { inner, m_off, n_off }
+    }
+}
+
+impl<M: AddressMap + ?Sized> AddressMap for SubGemmMap<'_, M> {
+    fn a(&self, m: u64, k: u64) -> u64 {
+        self.inner.a(m + self.m_off, k)
+    }
+
+    fn b(&self, k: u64, n: u64) -> u64 {
+        self.inner.b(k, n + self.n_off)
+    }
+
+    fn o(&self, m: u64, n: u64) -> u64 {
+        self.inner.o(m + self.m_off, n + self.n_off)
+    }
+
+    fn a_unique(&self) -> u64 {
+        self.inner.a_unique()
+    }
+
+    fn b_unique(&self) -> u64 {
+        self.inner.b_unique()
+    }
+
+    fn o_unique(&self) -> u64 {
+        self.inner.o_unique()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalesim_topology::ConvLayer;
+    use std::collections::HashSet;
+
+    #[test]
+    fn sub_gemm_map_offsets_output_space() {
+        let base = GemmAddressMap::new(8, 4, 8, RegionOffsets::default());
+        let sub = SubGemmMap::new(&base, 4, 2);
+        assert_eq!(sub.a(0, 1), base.a(4, 1));
+        assert_eq!(sub.b(3, 0), base.b(3, 2));
+        assert_eq!(sub.o(1, 1), base.o(5, 3));
+        assert_eq!(sub.a_unique(), base.a_unique());
+    }
+
+    #[test]
+    fn adjacent_partitions_tile_the_output_disjointly() {
+        let base = GemmAddressMap::new(8, 4, 8, RegionOffsets::default());
+        let left = SubGemmMap::new(&base, 0, 0);
+        let right = SubGemmMap::new(&base, 0, 4);
+        let mut outputs = HashSet::new();
+        for m in 0..8 {
+            for n in 0..4 {
+                outputs.insert(left.o(m, n));
+                outputs.insert(right.o(m, n));
+            }
+        }
+        assert_eq!(outputs.len(), 64); // full output, no overlap
+    }
+
+    #[test]
+    fn gemm_addresses_are_dense_and_disjoint() {
+        let map = GemmAddressMap::new(3, 4, 5, RegionOffsets::default());
+        let mut a_addrs = HashSet::new();
+        for m in 0..3 {
+            for k in 0..4 {
+                a_addrs.insert(map.a(m, k));
+            }
+        }
+        assert_eq!(a_addrs.len() as u64, map.a_unique());
+
+        let mut b_addrs = HashSet::new();
+        for k in 0..4 {
+            for n in 0..5 {
+                b_addrs.insert(map.b(k, n));
+            }
+        }
+        assert_eq!(b_addrs.len() as u64, map.b_unique());
+        assert!(a_addrs.is_disjoint(&b_addrs));
+    }
+
+    fn conv_map(stride: u64) -> (ConvLayer, ConvAddressMap) {
+        let layer = ConvLayer::new("t", 8, 8, 3, 3, 2, 4, stride).unwrap();
+        let map = ConvAddressMap::new(&layer, RegionOffsets::default());
+        (layer, map)
+    }
+
+    #[test]
+    fn conv_window_overlap_reuses_addresses() {
+        let (layer, map) = conv_map(1);
+        // Enumerate every (output pixel, window element) IFMAP address.
+        let mut distinct = HashSet::new();
+        let mut touches = 0u64;
+        for m in 0..layer.ofmap_pixels() {
+            for k in 0..layer.window_size() {
+                distinct.insert(map.a(m, k));
+                touches += 1;
+            }
+        }
+        // Stride 1 with a 3x3 filter has heavy overlap: far fewer distinct
+        // addresses than coordinate touches, and every touched address is a
+        // real ifmap element.
+        assert!(distinct.len() as u64 <= layer.ifmap_elems());
+        assert!((distinct.len() as u64) < touches / 4);
+        assert!(distinct
+            .iter()
+            .all(|&addr| addr < layer.ifmap_elems()));
+    }
+
+    #[test]
+    fn conv_touches_every_interior_element_with_stride_one() {
+        let (layer, map) = conv_map(1);
+        let mut distinct = HashSet::new();
+        for m in 0..layer.ofmap_pixels() {
+            for k in 0..layer.window_size() {
+                distinct.insert(map.a(m, k));
+            }
+        }
+        // Stride-1 windows cover the full (padded) ifmap exactly.
+        assert_eq!(distinct.len() as u64, layer.ifmap_elems());
+    }
+
+    #[test]
+    fn conv_stride_two_skips_elements() {
+        let (layer, map) = conv_map(2);
+        let mut distinct = HashSet::new();
+        for m in 0..layer.ofmap_pixels() {
+            for k in 0..layer.window_size() {
+                distinct.insert(map.a(m, k));
+            }
+        }
+        // A 3x3 window at stride 2 still covers most but the geometry is
+        // checked: never more than the ifmap, and strictly fewer touches of
+        // border columns the stride skips.
+        assert!(distinct.len() as u64 <= layer.ifmap_elems());
+    }
+
+    #[test]
+    fn conv_filter_and_output_addresses_unique() {
+        let (layer, map) = conv_map(1);
+        let mut b = HashSet::new();
+        for k in 0..layer.window_size() {
+            for n in 0..layer.num_filters() {
+                b.insert(map.b(k, n));
+            }
+        }
+        assert_eq!(b.len() as u64, map.b_unique());
+        let mut o = HashSet::new();
+        for m in 0..layer.ofmap_pixels() {
+            for n in 0..layer.num_filters() {
+                o.insert(map.o(m, n));
+            }
+        }
+        assert_eq!(o.len() as u64, map.o_unique());
+    }
+
+    #[test]
+    fn regions_do_not_alias_with_default_offsets() {
+        let (layer, map) = conv_map(1);
+        let a_max = map.a(layer.ofmap_pixels() - 1, layer.window_size() - 1);
+        assert!(a_max < RegionOffsets::default().filter);
+        let b_min = map.b(0, 0);
+        let b_max = map.b(layer.window_size() - 1, layer.num_filters() - 1);
+        assert!(b_min >= RegionOffsets::default().filter);
+        assert!(b_max < RegionOffsets::default().ofmap);
+        assert!(map.o(0, 0) >= RegionOffsets::default().ofmap);
+    }
+
+    #[test]
+    fn fc_layer_degenerates_to_gemm_addressing() {
+        // An FC layer (1x1 ifmap == filter) has exactly one output pixel and
+        // its A row walks the channel dimension linearly.
+        let layer = ConvLayer::new("fc", 1, 1, 1, 1, 16, 8, 1).unwrap();
+        let map = ConvAddressMap::new(&layer, RegionOffsets::default());
+        for k in 0..16 {
+            assert_eq!(map.a(0, k), k);
+        }
+    }
+}

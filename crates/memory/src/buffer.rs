@@ -1,0 +1,257 @@
+//! Double-buffered SRAM working-set model.
+//!
+//! SCALE-Sim provisions a dedicated, double-buffered SRAM per operand
+//! (Section II-C, Fig. 2). At this model's granularity a buffer is a set of
+//! resident element addresses with FIFO replacement: demand that hits costs
+//! nothing at the interface, demand that misses must be prefetched from DRAM
+//! before the fold that uses it starts. FIFO (rather than LRU) matches the
+//! streaming prefetch behaviour of the original tool — data is loaded in
+//! use-order and the oldest loads are the first overwritten.
+
+use std::collections::VecDeque;
+
+use crate::fast_hash::AddrSet;
+
+/// Per-epoch classification of a demand stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochStats {
+    /// Demanded addresses already resident.
+    pub hits: u64,
+    /// Demanded addresses that had to be fetched.
+    pub misses: u64,
+    /// Addresses evicted to make room.
+    pub evictions: u64,
+}
+
+/// A double-buffered operand SRAM: a FIFO working set of element addresses.
+///
+/// ```
+/// use scalesim_memory::DoubleBuffer;
+///
+/// let mut buf = DoubleBuffer::new(2);
+/// let first = buf.epoch([1, 2].iter().copied());
+/// assert_eq!(first.misses, 2);
+/// let second = buf.epoch([2, 3].iter().copied()); // 2 hits, 3 misses, 1 evicted
+/// assert_eq!((second.hits, second.misses, second.evictions), (1, 1, 1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DoubleBuffer {
+    capacity: usize,
+    resident: AddrSet,
+    order: VecDeque<u64>,
+}
+
+impl DoubleBuffer {
+    /// Creates a buffer holding at most `capacity_elems` elements.
+    ///
+    /// A capacity of zero models "no buffer": every demand misses.
+    pub fn new(capacity_elems: usize) -> Self {
+        DoubleBuffer {
+            capacity: capacity_elems,
+            resident: AddrSet::default(),
+            order: VecDeque::new(),
+        }
+    }
+
+    /// An effectively infinite buffer (everything fetched exactly once).
+    pub fn unbounded() -> Self {
+        DoubleBuffer::new(usize::MAX)
+    }
+
+    /// The configured capacity in elements.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Elements currently resident.
+    pub fn resident_count(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Whether `addr` is currently resident.
+    pub fn contains(&self, addr: u64) -> bool {
+        self.resident.contains(&addr)
+    }
+
+    /// Runs one epoch (one fold's worth) of demand through the buffer.
+    ///
+    /// Demands should be the epoch's unique addresses in first-use order;
+    /// intra-epoch reuse is served by the SRAM itself and is not interface
+    /// traffic. Misses are inserted in demand order, evicting the oldest
+    /// resident addresses when the buffer is full (so an epoch whose working
+    /// set exceeds the capacity thrashes, as the real hardware would).
+    pub fn epoch(&mut self, demand: impl IntoIterator<Item = u64>) -> EpochStats {
+        self.run_epoch(demand, None)
+    }
+
+    /// Like [`DoubleBuffer::epoch`], but also returns the missed addresses
+    /// in fetch order — the input to DRAM trace reconstruction
+    /// ([`crate::DramTraceWriter`]).
+    pub fn epoch_with_misses(
+        &mut self,
+        demand: impl IntoIterator<Item = u64>,
+    ) -> (EpochStats, Vec<u64>) {
+        let mut misses = Vec::new();
+        let stats = self.run_epoch(demand, Some(&mut misses));
+        (stats, misses)
+    }
+
+    fn run_epoch(
+        &mut self,
+        demand: impl IntoIterator<Item = u64>,
+        mut misses: Option<&mut Vec<u64>>,
+    ) -> EpochStats {
+        let mut stats = EpochStats::default();
+        for addr in demand {
+            if self.resident.contains(&addr) {
+                stats.hits += 1;
+                continue;
+            }
+            stats.misses += 1;
+            if let Some(misses) = misses.as_deref_mut() {
+                misses.push(addr);
+            }
+            if self.capacity == 0 {
+                continue;
+            }
+            while self.resident.len() >= self.capacity {
+                if let Some(old) = self.order.pop_front() {
+                    self.resident.remove(&old);
+                    stats.evictions += 1;
+                } else {
+                    break;
+                }
+            }
+            self.resident.insert(addr);
+            self.order.push_back(addr);
+        }
+        stats
+    }
+
+    /// Installs `addr` into the working set *without* counting a miss —
+    /// models write-allocation (an output produced on-chip is resident
+    /// without ever being fetched). Evicts FIFO-oldest entries as needed;
+    /// returns the number of evictions.
+    pub fn install(&mut self, addr: u64) -> u64 {
+        if self.capacity == 0 || self.resident.contains(&addr) {
+            return 0;
+        }
+        let mut evictions = 0;
+        while self.resident.len() >= self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.resident.remove(&old);
+                evictions += 1;
+            } else {
+                break;
+            }
+        }
+        self.resident.insert(addr);
+        self.order.push_back(addr);
+        evictions
+    }
+
+    /// Drops all resident data (e.g. between layers).
+    pub fn clear(&mut self) {
+        self.resident.clear();
+        self.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_buffer_misses_everything_once() {
+        let mut buf = DoubleBuffer::new(100);
+        let stats = buf.epoch(0..10);
+        assert_eq!(stats.misses, 10);
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(buf.resident_count(), 10);
+    }
+
+    #[test]
+    fn warm_buffer_hits_repeats() {
+        let mut buf = DoubleBuffer::new(100);
+        buf.epoch(0..10);
+        let stats = buf.epoch(0..10);
+        assert_eq!(stats.hits, 10);
+        assert_eq!(stats.misses, 0);
+    }
+
+    #[test]
+    fn fifo_eviction_order() {
+        let mut buf = DoubleBuffer::new(3);
+        buf.epoch([1, 2, 3]);
+        let stats = buf.epoch([4]); // evicts 1
+        assert_eq!(stats.evictions, 1);
+        assert!(!buf.contains(1));
+        assert!(buf.contains(2));
+        assert!(buf.contains(4));
+    }
+
+    #[test]
+    fn zero_capacity_always_misses() {
+        let mut buf = DoubleBuffer::new(0);
+        assert_eq!(buf.epoch([1, 1, 1]).misses, 3);
+        assert_eq!(buf.resident_count(), 0);
+    }
+
+    #[test]
+    fn epoch_larger_than_capacity_thrashes() {
+        let mut buf = DoubleBuffer::new(4);
+        // 8 unique addresses through a 4-entry buffer: all miss.
+        let first = buf.epoch(0..8);
+        assert_eq!(first.misses, 8);
+        // Repeat: the first half was evicted, so it misses again.
+        let second = buf.epoch(0..8);
+        assert_eq!(second.misses, 8);
+    }
+
+    #[test]
+    fn intra_epoch_repeat_hits_after_insert() {
+        let mut buf = DoubleBuffer::new(10);
+        let stats = buf.epoch([5, 5, 6, 5]);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.hits, 2);
+    }
+
+    #[test]
+    fn clear_empties_the_working_set() {
+        let mut buf = DoubleBuffer::new(10);
+        buf.epoch(0..5);
+        buf.clear();
+        assert_eq!(buf.resident_count(), 0);
+        assert_eq!(buf.epoch(0..5).misses, 5);
+    }
+
+    #[test]
+    fn install_write_allocates_without_miss_accounting() {
+        let mut buf = DoubleBuffer::new(2);
+        assert_eq!(buf.install(1), 0);
+        assert_eq!(buf.install(2), 0);
+        assert_eq!(buf.install(3), 1); // evicts 1
+        assert!(buf.contains(3));
+        assert!(!buf.contains(1));
+        // Re-installing a resident address is a no-op.
+        assert_eq!(buf.install(3), 0);
+        // Installed data hits on demand.
+        assert_eq!(buf.epoch([2, 3]).hits, 2);
+    }
+
+    #[test]
+    fn install_into_zero_capacity_is_noop() {
+        let mut buf = DoubleBuffer::new(0);
+        assert_eq!(buf.install(7), 0);
+        assert!(!buf.contains(7));
+    }
+
+    #[test]
+    fn unbounded_never_evicts() {
+        let mut buf = DoubleBuffer::unbounded();
+        let stats = buf.epoch(0..10_000);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(buf.resident_count(), 10_000);
+    }
+}

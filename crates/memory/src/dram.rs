@@ -1,0 +1,433 @@
+//! DRAM interface model: prefetch traffic and stall-free bandwidth.
+//!
+//! SCALE-Sim derives DRAM behaviour from the SRAM traces (Section II-C): the
+//! demand of each fold is filtered through the double-buffered SRAMs, and
+//! whatever misses must be prefetched over the system interface *before the
+//! fold begins* — under double buffering, during the previous fold's compute
+//! window. The bandwidth that makes this possible with zero stalls is the
+//! paper's "DRAM bandwidth requirement" (Fig. 11).
+//!
+//! Outputs stream out as they are produced, so write bandwidth is accounted
+//! over each fold's own duration. Partial-sum spill (WS/IS folding along the
+//! contraction dimension) is filtered through the OFMAP buffer: if the
+//! working set of live partials fits, accumulation stays on-chip; misses
+//! become DRAM read-modify-write traffic.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bandwidth::BandwidthProfile;
+use crate::buffer::DoubleBuffer;
+
+/// Sizing of one operand SRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OperandBufferSpec {
+    /// Buffer size in bytes (e.g. `512 * 1024` for the paper's 512 KB).
+    pub size_bytes: u64,
+    /// Bytes per element word.
+    pub word_bytes: u64,
+}
+
+impl OperandBufferSpec {
+    /// Creates a spec from a size in kilobytes, the unit Table I uses.
+    pub fn from_kb(kb: u64, word_bytes: u64) -> Self {
+        OperandBufferSpec {
+            size_bytes: kb * 1024,
+            word_bytes: word_bytes.max(1),
+        }
+    }
+
+    /// How many elements the buffer holds.
+    pub fn capacity_elems(&self) -> usize {
+        (self.size_bytes / self.word_bytes) as usize
+    }
+}
+
+/// Per-fold interface traffic, returned by [`DramModel::fold`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FoldTraffic {
+    /// Compute duration of the fold in cycles.
+    pub duration: u64,
+    /// Operand-A (IFMAP) elements fetched from DRAM for this fold.
+    pub a_misses: u64,
+    /// Operand-B (filter) elements fetched from DRAM for this fold.
+    pub b_misses: u64,
+    /// Partial-sum elements that had to round-trip to DRAM.
+    pub o_spill_misses: u64,
+    /// Total bytes read from DRAM for this fold.
+    pub read_bytes: u64,
+    /// Total bytes written to DRAM during this fold.
+    pub write_bytes: u64,
+    /// Read bandwidth this fold requires for stall-free operation
+    /// (bytes/cycle over its prefetch window).
+    pub required_read_bw: f64,
+}
+
+/// Aggregated DRAM interface summary for one simulated layer.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DramSummary {
+    /// Total operand-A elements read from DRAM.
+    pub reads_a: u64,
+    /// Total operand-B elements read from DRAM.
+    pub reads_b: u64,
+    /// Partial-sum elements re-read from DRAM (spill).
+    pub reads_o: u64,
+    /// Output elements written to DRAM (every produced value streams out).
+    pub writes_o: u64,
+    /// Bytes per element used for traffic accounting.
+    pub word_bytes: u64,
+    /// Read-side bandwidth profile (per prefetch window).
+    pub read_bw: BandwidthProfile,
+    /// Write-side bandwidth profile (per fold).
+    pub write_bw: BandwidthProfile,
+    /// Number of folds processed.
+    pub folds: u64,
+}
+
+impl DramSummary {
+    /// Total DRAM read traffic in bytes.
+    pub fn read_bytes(&self) -> u64 {
+        (self.reads_a + self.reads_b + self.reads_o) * self.word_bytes
+    }
+
+    /// Total DRAM write traffic in bytes.
+    pub fn write_bytes(&self) -> u64 {
+        self.writes_o * self.word_bytes
+    }
+
+    /// Total DRAM traffic (reads + writes) in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.read_bytes() + self.write_bytes()
+    }
+
+    /// Total DRAM accesses in elements (for the energy model).
+    pub fn total_accesses(&self) -> u64 {
+        self.reads_a + self.reads_b + self.reads_o + self.writes_o
+    }
+
+    /// Combined stall-free bandwidth requirement in bytes/cycle
+    /// (peak read window plus peak write window).
+    pub fn required_bandwidth(&self) -> f64 {
+        self.read_bw.peak() + self.write_bw.peak()
+    }
+
+    /// Average interface bandwidth in bytes/cycle.
+    pub fn average_bandwidth(&self) -> f64 {
+        self.read_bw.average() + self.write_bw.average()
+    }
+
+    /// Merges the summary of a *concurrently executing* partition
+    /// (scale-out): traffic adds, bandwidth requirements add.
+    pub fn merge_concurrent(&mut self, other: &DramSummary) {
+        self.reads_a += other.reads_a;
+        self.reads_b += other.reads_b;
+        self.reads_o += other.reads_o;
+        self.writes_o += other.writes_o;
+        self.word_bytes = self.word_bytes.max(other.word_bytes);
+        self.read_bw.merge_concurrent(&other.read_bw);
+        self.write_bw.merge_concurrent(&other.write_bw);
+        self.folds = self.folds.max(other.folds);
+    }
+}
+
+/// The per-layer DRAM interface model.
+///
+/// Feed it each fold in execution order via [`DramModel::fold`], then call
+/// [`DramModel::finish`].
+///
+/// ```
+/// use scalesim_memory::{DramModel, OperandBufferSpec};
+///
+/// let spec = OperandBufferSpec::from_kb(1, 1); // 1 KB, 1-byte words
+/// let mut dram = DramModel::new(spec, spec, spec);
+/// // Fold 0: 100 cycles, touches A[0..100] and B[0..10], writes 5 outputs.
+/// dram.fold(100, (0..100).collect(), (1000..1010).collect(), vec![], (2000..2005).collect());
+/// let summary = dram.finish();
+/// assert_eq!(summary.reads_a, 100);
+/// assert_eq!(summary.writes_o, 5);
+/// ```
+#[derive(Debug)]
+pub struct DramModel {
+    a_buf: DoubleBuffer,
+    b_buf: DoubleBuffer,
+    o_buf: DoubleBuffer,
+    word_bytes: u64,
+    prev_duration: Option<u64>,
+    summary: DramSummary,
+}
+
+impl DramModel {
+    /// Creates a model with one buffer spec per operand. The word size of
+    /// the A-operand spec is used for traffic accounting (all three specs
+    /// should agree in practice).
+    pub fn new(a: OperandBufferSpec, b: OperandBufferSpec, o: OperandBufferSpec) -> Self {
+        DramModel {
+            a_buf: DoubleBuffer::new(a.capacity_elems()),
+            b_buf: DoubleBuffer::new(b.capacity_elems()),
+            o_buf: DoubleBuffer::new(o.capacity_elems()),
+            word_bytes: a.word_bytes,
+            prev_duration: None,
+            summary: DramSummary {
+                word_bytes: a.word_bytes,
+                ..DramSummary::default()
+            },
+        }
+    }
+
+    /// Processes one fold.
+    ///
+    /// * `duration` — the fold's compute cycles (Eq. 3 of the paper).
+    /// * `a_demand` / `b_demand` — the fold's unique operand addresses in
+    ///   first-use order.
+    /// * `o_spill` — partial-sum addresses this fold must *re-read* to
+    ///   accumulate into (empty for OS, and for the first contraction fold
+    ///   of WS/IS). A spill that still sits in the OFMAP buffer accumulates
+    ///   on-chip; a miss is a DRAM read-back.
+    /// * `o_writes` — output addresses produced by this fold (finals or
+    ///   partials). They stream to DRAM as produced — the original tool's
+    ///   behaviour — and are write-allocated into the OFMAP buffer so later
+    ///   spill reads can hit.
+    pub fn fold(
+        &mut self,
+        duration: u64,
+        a_demand: Vec<u64>,
+        b_demand: Vec<u64>,
+        o_spill: Vec<u64>,
+        o_writes: Vec<u64>,
+    ) -> FoldTraffic {
+        let a_stats = self.a_buf.epoch(a_demand);
+        let b_stats = self.b_buf.epoch(b_demand);
+        // Partial sums live in the OFMAP buffer; a spill address that is not
+        // resident must be fetched back from DRAM (it was written out
+        // earlier when produced).
+        let o_stats = self.o_buf.epoch(o_spill);
+        let o_write_count = o_writes.len() as u64;
+        for addr in o_writes {
+            self.o_buf.install(addr);
+        }
+        self.account(
+            duration,
+            a_stats.misses,
+            b_stats.misses,
+            o_stats.misses,
+            o_write_count,
+        )
+    }
+
+    /// Like [`DramModel::fold`], but also reconstructs the interface
+    /// schedule into `tracer` (the "DRAM R/W" trace of Fig. 2): the fold's
+    /// miss addresses in fetch order as the read trace, the produced
+    /// outputs as the write trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the trace writers.
+    pub fn fold_traced<W: std::io::Write>(
+        &mut self,
+        duration: u64,
+        a_demand: Vec<u64>,
+        b_demand: Vec<u64>,
+        o_spill: Vec<u64>,
+        o_writes: Vec<u64>,
+        tracer: &mut crate::dram_trace::DramTraceWriter<W>,
+    ) -> std::io::Result<FoldTraffic> {
+        let (a_stats, mut read_misses) = self.a_buf.epoch_with_misses(a_demand);
+        let (b_stats, b_misses) = self.b_buf.epoch_with_misses(b_demand);
+        let (o_stats, o_misses) = self.o_buf.epoch_with_misses(o_spill);
+        read_misses.extend(b_misses);
+        read_misses.extend(o_misses);
+        tracer.fold(duration, &read_misses, &o_writes)?;
+        let o_write_count = o_writes.len() as u64;
+        for addr in o_writes {
+            self.o_buf.install(addr);
+        }
+        Ok(self.account(
+            duration,
+            a_stats.misses,
+            b_stats.misses,
+            o_stats.misses,
+            o_write_count,
+        ))
+    }
+
+    fn account(
+        &mut self,
+        duration: u64,
+        a_misses: u64,
+        b_misses: u64,
+        o_spill_misses: u64,
+        o_write_count: u64,
+    ) -> FoldTraffic {
+        let read_elems = a_misses + b_misses + o_spill_misses;
+        let read_bytes = read_elems * self.word_bytes;
+        let write_bytes = o_write_count * self.word_bytes;
+
+        // Double buffering: fold f's misses arrive during fold f-1. The
+        // first fold's data loads during a cold-start window of its own
+        // length (the tool's prefetch lead-in).
+        let window = self.prev_duration.unwrap_or(duration);
+        self.summary.read_bw.record(window, read_bytes);
+        self.summary.write_bw.record(duration, write_bytes);
+
+        self.summary.reads_a += a_misses;
+        self.summary.reads_b += b_misses;
+        self.summary.reads_o += o_spill_misses;
+        self.summary.writes_o += o_write_count;
+        self.summary.folds += 1;
+        self.prev_duration = Some(duration);
+
+        FoldTraffic {
+            duration,
+            a_misses,
+            b_misses,
+            o_spill_misses,
+            read_bytes,
+            write_bytes,
+            required_read_bw: if window > 0 {
+                read_bytes as f64 / window as f64
+            } else {
+                read_bytes as f64
+            },
+        }
+    }
+
+    /// Finalizes and returns the layer summary.
+    pub fn finish(self) -> DramSummary {
+        self.summary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kb(kb: u64) -> OperandBufferSpec {
+        OperandBufferSpec::from_kb(kb, 1)
+    }
+
+    #[test]
+    fn capacity_from_kb_and_word_size() {
+        assert_eq!(OperandBufferSpec::from_kb(512, 1).capacity_elems(), 512 * 1024);
+        assert_eq!(OperandBufferSpec::from_kb(512, 4).capacity_elems(), 128 * 1024);
+        // Zero word size is clamped to 1.
+        assert_eq!(OperandBufferSpec::from_kb(1, 0).capacity_elems(), 1024);
+    }
+
+    #[test]
+    fn cold_start_fetches_everything_once() {
+        let mut dram = DramModel::new(kb(64), kb(64), kb(64));
+        let t = dram.fold(
+            10,
+            (0..50).collect(),
+            (100..120).collect(),
+            vec![],
+            (200..205).collect(),
+        );
+        assert_eq!(t.a_misses, 50);
+        assert_eq!(t.b_misses, 20);
+        assert_eq!(t.read_bytes, 70);
+        assert_eq!(t.write_bytes, 5);
+        let s = dram.finish();
+        assert_eq!(s.reads_a, 50);
+        assert_eq!(s.writes_o, 5);
+        assert_eq!(s.total_bytes(), 75);
+    }
+
+    #[test]
+    fn warm_folds_reuse_resident_data() {
+        let mut dram = DramModel::new(kb(64), kb(64), kb(64));
+        dram.fold(10, (0..50).collect(), (100..120).collect(), vec![], vec![]);
+        let t = dram.fold(10, (0..50).collect(), (100..120).collect(), vec![], vec![]);
+        assert_eq!(t.a_misses + t.b_misses, 0);
+        assert_eq!(t.required_read_bw, 0.0);
+    }
+
+    #[test]
+    fn tiny_buffer_forces_refetch() {
+        // 32-element A buffer cannot hold the 50-element working set.
+        let tiny = OperandBufferSpec {
+            size_bytes: 32,
+            word_bytes: 1,
+        };
+        let mut dram = DramModel::new(tiny, kb(64), kb(64));
+        dram.fold(10, (0..50).collect(), vec![], vec![], vec![]);
+        let t = dram.fold(10, (0..50).collect(), vec![], vec![], vec![]);
+        assert_eq!(t.a_misses, 50, "thrash should refetch all of A");
+    }
+
+    #[test]
+    fn resident_partials_accumulate_on_chip() {
+        let mut dram = DramModel::new(kb(64), kb(64), kb(64));
+        // Fold 0 writes 10 partials; they are write-allocated.
+        dram.fold(10, vec![], vec![], vec![], (0..10).collect());
+        // Fold 1 re-reads them: all hit the OFMAP buffer.
+        let t = dram.fold(10, vec![], vec![], (0..10).collect(), (0..10).collect());
+        assert_eq!(t.o_spill_misses, 0);
+        let s = dram.finish();
+        assert_eq!(s.reads_o, 0);
+        assert_eq!(s.writes_o, 20); // every produced value streams out
+    }
+
+    #[test]
+    fn evicted_partials_round_trip_to_dram() {
+        // OFMAP buffer of 4 elements cannot hold 10 live partials.
+        let tiny = OperandBufferSpec {
+            size_bytes: 4,
+            word_bytes: 1,
+        };
+        let mut dram = DramModel::new(kb(64), kb(64), tiny);
+        dram.fold(10, vec![], vec![], vec![], (0..10).collect());
+        let t = dram.fold(10, vec![], vec![], (0..10).collect(), (0..10).collect());
+        assert!(t.o_spill_misses >= 6, "most partials were evicted");
+        let s = dram.finish();
+        assert!(s.reads_o >= 6);
+    }
+
+    #[test]
+    fn bandwidth_requirement_uses_previous_fold_window() {
+        let mut dram = DramModel::new(kb(64), kb(64), kb(64));
+        // Fold 0: 100 bytes over its own 100-cycle window -> 1 B/c.
+        let t0 = dram.fold(100, (0..100).collect(), vec![], vec![], vec![]);
+        assert_eq!(t0.required_read_bw, 1.0);
+        // Fold 1 needs 200 new bytes prefetched during fold 0's 100 cycles.
+        let t1 = dram.fold(50, (1000..1200).collect(), vec![], vec![], vec![]);
+        assert_eq!(t1.required_read_bw, 2.0);
+        let s = dram.finish();
+        assert_eq!(s.read_bw.peak(), 2.0);
+    }
+
+    #[test]
+    fn fold_traced_matches_untraced_accounting() {
+        use crate::dram_trace::DramTraceWriter;
+        let mut plain = DramModel::new(kb(1), kb(1), kb(1));
+        let mut traced = DramModel::new(kb(1), kb(1), kb(1));
+        let mut tracer = DramTraceWriter::new(Vec::new(), Vec::new());
+        for step in 0..4u64 {
+            let a: Vec<u64> = (step * 100..step * 100 + 40).collect();
+            let b: Vec<u64> = (5000..5020).collect();
+            let w: Vec<u64> = (9000 + step * 10..9000 + step * 10 + 10).collect();
+            let t1 = plain.fold(25, a.clone(), b.clone(), vec![], w.clone());
+            let t2 = traced
+                .fold_traced(25, a, b, vec![], w, &mut tracer)
+                .unwrap();
+            assert_eq!(t1, t2);
+        }
+        assert_eq!(plain.finish(), traced.finish());
+        let (reads, writes) = tracer.finish().unwrap();
+        assert!(!reads.is_empty());
+        assert!(!writes.is_empty());
+    }
+
+    #[test]
+    fn merge_concurrent_sums_partition_traffic() {
+        let mut a = DramModel::new(kb(64), kb(64), kb(64));
+        a.fold(10, (0..10).collect(), vec![], vec![], (30..32).collect());
+        let mut sa = a.finish();
+        let mut b = DramModel::new(kb(64), kb(64), kb(64));
+        b.fold(10, (0..10).collect(), vec![], vec![], (30..32).collect());
+        let sb = b.finish();
+        sa.merge_concurrent(&sb);
+        assert_eq!(sa.reads_a, 20);
+        assert_eq!(sa.writes_o, 4);
+        assert_eq!(sa.read_bw.peak(), 2.0);
+    }
+}

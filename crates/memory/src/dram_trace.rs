@@ -1,0 +1,180 @@
+//! DRAM trace export — the "DRAM R/W" CSV output of Fig. 2.
+//!
+//! The original tool emits, besides the SRAM traces, a prefetch trace for
+//! each operand: which addresses cross the interface and when. In the
+//! double-buffered model a fold's misses are prefetched during the previous
+//! fold's compute window, spread evenly across it; writes stream out during
+//! the fold itself. This module reconstructs those schedules from the same
+//! per-fold information [`crate::DramModel`] consumes, and writes them in
+//! the original `cycle, addr, addr, …` CSV format.
+
+use std::io::{self, Write};
+
+
+/// Records the interface schedule and writes DRAM trace CSVs.
+///
+/// Feed it the same folds (plus the miss addresses) the [`crate::DramModel`]
+/// sees; it spreads fold *f*'s prefetch across fold *f−1*'s window at a
+/// uniform rate and the writes across fold *f* itself.
+///
+/// ```
+/// use scalesim_memory::dram_trace::DramTraceWriter;
+///
+/// let mut reads = Vec::new();
+/// let mut writes = Vec::new();
+/// let mut tracer = DramTraceWriter::new(&mut reads, &mut writes);
+/// // Fold 0 lasts 4 cycles, misses addresses 10..14, writes 20..22.
+/// tracer.fold(4, &[10, 11, 12, 13], &[20, 21]).unwrap();
+/// tracer.finish().unwrap();
+/// assert!(!reads.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct DramTraceWriter<W: Write> {
+    reads: W,
+    writes: W,
+    /// Start cycle of the current fold.
+    fold_start: u64,
+    /// Duration of the previous fold (the prefetch window).
+    prev_duration: Option<u64>,
+    folds: u64,
+}
+
+impl<W: Write> DramTraceWriter<W> {
+    /// Creates a writer emitting read traffic to `reads` and write traffic
+    /// to `writes`.
+    pub fn new(reads: W, writes: W) -> Self {
+        DramTraceWriter {
+            reads,
+            writes,
+            fold_start: 0,
+            prev_duration: None,
+            folds: 0,
+        }
+    }
+
+    /// Records one fold: its compute `duration`, the addresses it must
+    /// fetch (`read_misses`, in fetch order) and the addresses it streams
+    /// out (`write_addrs`).
+    ///
+    /// Fold 0's prefetch is scheduled in a lead-in window *before* cycle 0
+    /// (negative time in the original tool; clamped to start at the fold's
+    /// own length before its start here, i.e. cycle 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer I/O errors.
+    pub fn fold(&mut self, duration: u64, read_misses: &[u64], write_addrs: &[u64]) -> io::Result<()> {
+        // Prefetch window: the previous fold's span (or a cold-start window
+        // of this fold's own length, clamped at cycle 0).
+        let window = self.prev_duration.unwrap_or(duration).max(1);
+        let window_start = self.fold_start.saturating_sub(window);
+        emit_spread(&mut self.reads, read_misses, window_start, window)?;
+        emit_spread(&mut self.writes, write_addrs, self.fold_start, duration.max(1))?;
+        self.fold_start += duration;
+        self.prev_duration = Some(duration);
+        self.folds += 1;
+        Ok(())
+    }
+
+    /// Flushes and returns the writers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer I/O errors.
+    pub fn finish(mut self) -> io::Result<(W, W)> {
+        self.reads.flush()?;
+        self.writes.flush()?;
+        Ok((self.reads, self.writes))
+    }
+}
+
+/// Spreads `addrs` uniformly over `[start, start + window)`, one CSV row
+/// per cycle that moves data: `cycle, addr, addr, …`.
+fn emit_spread<W: Write>(out: &mut W, addrs: &[u64], start: u64, window: u64) -> io::Result<()> {
+    if addrs.is_empty() {
+        return Ok(());
+    }
+    let per_cycle = (addrs.len() as u64).div_ceil(window) as usize;
+    for (i, chunk) in addrs.chunks(per_cycle).enumerate() {
+        let mut row = format!("{}", start + i as u64);
+        for addr in chunk {
+            row.push_str(&format!(",{addr}"));
+        }
+        row.push('\n');
+        out.write_all(row.as_bytes())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(buf: &[u8]) -> Vec<(u64, Vec<u64>)> {
+        String::from_utf8(buf.to_vec())
+            .unwrap()
+            .lines()
+            .map(|l| {
+                let mut parts = l.split(',');
+                let cycle = parts.next().unwrap().parse().unwrap();
+                (cycle, parts.map(|a| a.parse().unwrap()).collect())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cold_start_prefetch_begins_at_zero() {
+        let mut tracer = DramTraceWriter::new(Vec::new(), Vec::new());
+        tracer.fold(4, &[1, 2, 3, 4], &[]).unwrap();
+        let (reads, _) = tracer.finish().unwrap();
+        let rows = rows(&reads);
+        assert_eq!(rows[0].0, 0);
+        assert_eq!(rows.len(), 4); // one address per cycle over a 4-cycle window
+    }
+
+    #[test]
+    fn second_fold_prefetches_during_first() {
+        let mut tracer = DramTraceWriter::new(Vec::new(), Vec::new());
+        tracer.fold(10, &[], &[]).unwrap();
+        tracer.fold(5, &[100, 101], &[]).unwrap();
+        let (reads, _) = tracer.finish().unwrap();
+        let rows = rows(&reads);
+        // Two addresses spread over fold 0's window [0, 10).
+        assert!(rows.iter().all(|(c, _)| *c < 10));
+        let total: usize = rows.iter().map(|(_, a)| a.len()).sum();
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn writes_stream_during_their_own_fold() {
+        let mut tracer = DramTraceWriter::new(Vec::new(), Vec::new());
+        tracer.fold(3, &[], &[7, 8, 9]).unwrap();
+        tracer.fold(3, &[], &[10]).unwrap();
+        let (_, writes) = tracer.finish().unwrap();
+        let rows = rows(&writes);
+        // Fold 0 writes land in [0, 3); fold 1's single write at cycle 3.
+        assert!(rows.iter().take(3).all(|(c, _)| *c < 3));
+        assert_eq!(rows.last().unwrap().0, 3);
+    }
+
+    #[test]
+    fn more_addresses_than_cycles_batches_per_row() {
+        let mut tracer = DramTraceWriter::new(Vec::new(), Vec::new());
+        let addrs: Vec<u64> = (0..10).collect();
+        tracer.fold(3, &addrs, &[]).unwrap();
+        let (reads, _) = tracer.finish().unwrap();
+        let rows = rows(&reads);
+        assert!(rows.len() <= 3);
+        let total: usize = rows.iter().map(|(_, a)| a.len()).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn empty_folds_emit_nothing() {
+        let mut tracer = DramTraceWriter::new(Vec::new(), Vec::new());
+        tracer.fold(5, &[], &[]).unwrap();
+        let (reads, writes) = tracer.finish().unwrap();
+        assert!(reads.is_empty());
+        assert!(writes.is_empty());
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! Memory-system models for `scale-sim-rs`.
+//!
+//! SCALE-Sim's memory side (Section II-C of the paper) has three pieces,
+//! all implemented here:
+//!
+//! 1. **Address maps** ([`address`]) — translate the GEMM coordinates the
+//!    trace engines work in (`A[m][k]`, `B[k][n]`, `O[m][n]`) into the flat
+//!    SRAM addresses the traces record. Convolutions get overlapping-window
+//!    IFMAP addressing so spatial reuse is visible in the address stream.
+//! 2. **Double-buffered SRAM** ([`buffer`]) — a working-set model with FIFO
+//!    replacement that classifies each fold's demand into hits and misses.
+//! 3. **DRAM interface** ([`dram`]) — converts per-fold miss sets into
+//!    prefetch traffic and the *stall-free bandwidth requirement*: misses of
+//!    fold *f* must arrive while fold *f−1* computes (double buffering).
+//!
+//! The [`bandwidth`] module provides the windowed bytes-per-cycle profiler
+//! both SRAM and DRAM reporting share.
+
+pub mod address;
+pub mod bandwidth;
+pub mod buffer;
+pub mod dram;
+pub mod dram_trace;
+pub mod fast_hash;
+pub mod reuse;
+pub mod stall;
+
+pub use address::{AddressMap, ConvAddressMap, GemmAddressMap, RegionOffsets, SubGemmMap};
+pub use bandwidth::BandwidthProfile;
+pub use buffer::{DoubleBuffer, EpochStats};
+pub use dram::{DramModel, DramSummary, FoldTraffic, OperandBufferSpec};
+pub use dram_trace::DramTraceWriter;
+pub use fast_hash::{AddrBuildHasher, AddrMap, AddrSet};
+pub use reuse::ReuseProfile;
+pub use stall::{StallModel, StallSummary};

@@ -1,0 +1,263 @@
+//! Reuse-distance analysis: miss counts for *every* buffer capacity in one
+//! pass.
+//!
+//! The double-buffer model answers "how many misses at capacity C?" for one
+//! C per simulation. SRAM sizing studies (our `ext_sram_sweep` ablation,
+//! or any "how much SRAM does this layer want?" question) need the whole
+//! curve. The classic Mattson stack algorithm computes it in a single pass
+//! over the demand stream for any stack algorithm; this implementation
+//! profiles LRU stack distances, which upper-bounds the FIFO buffer's hit
+//! rate and pinpoints the working-set knees exactly.
+
+use crate::fast_hash::AddrMap;
+
+/// Histogram of LRU stack distances for a demand stream.
+///
+/// `distance d` means: the address was last touched with `d` distinct
+/// addresses touched in between, so any LRU buffer of capacity `> d` hits.
+/// Cold (first-touch) accesses are counted separately — no capacity avoids
+/// them.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReuseProfile {
+    /// `histogram[d]` = number of accesses with stack distance exactly `d`.
+    histogram: Vec<u64>,
+    /// First-touch accesses (compulsory misses at any capacity).
+    cold: u64,
+    total: u64,
+}
+
+impl ReuseProfile {
+    /// Builds the profile of `demands` (processed in order).
+    ///
+    /// Runs in O(N log N) using an order-statistics walk over a Fenwick
+    /// tree of "most-recent-touch" flags.
+    pub fn from_demands(demands: impl IntoIterator<Item = u64>) -> Self {
+        let demands: Vec<u64> = demands.into_iter().collect();
+        let mut last_position: AddrMap<usize> = AddrMap::default();
+        // Fenwick trees cannot be grown by zero-extension (new nodes would
+        // miss counts already recorded below them), so size it up front.
+        let mut fenwick = Fenwick::with_len(demands.len());
+        let mut histogram: Vec<u64> = Vec::new();
+        let mut cold = 0u64;
+        let mut total = 0u64;
+        for (pos, &addr) in demands.iter().enumerate() {
+            total += 1;
+            match last_position.insert(addr, pos) {
+                None => cold += 1,
+                Some(prev) => {
+                    // Distinct addresses touched strictly between prev and
+                    // pos = live flags in (prev, pos).
+                    let distance = fenwick.range_count(prev + 1, pos);
+                    if histogram.len() <= distance {
+                        histogram.resize(distance + 1, 0);
+                    }
+                    histogram[distance] += 1;
+                    // The previous touch position is no longer the last one.
+                    fenwick.clear(prev);
+                }
+            }
+            fenwick.set(pos);
+        }
+        ReuseProfile {
+            histogram,
+            cold,
+            total,
+        }
+    }
+
+    /// Total accesses profiled.
+    pub fn total_accesses(&self) -> u64 {
+        self.total
+    }
+
+    /// First-touch (compulsory) accesses.
+    pub fn cold_accesses(&self) -> u64 {
+        self.cold
+    }
+
+    /// Misses an LRU buffer of `capacity` elements would take on this
+    /// stream: cold misses plus every access with stack distance
+    /// ≥ capacity.
+    pub fn misses_at(&self, capacity: usize) -> u64 {
+        let reuse_misses: u64 = self
+            .histogram
+            .iter()
+            .skip(capacity)
+            .sum();
+        self.cold + reuse_misses
+    }
+
+    /// Hit rate at `capacity` (0.0 for an empty stream).
+    pub fn hit_rate_at(&self, capacity: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            1.0 - self.misses_at(capacity) as f64 / self.total as f64
+        }
+    }
+
+    /// The miss curve sampled at the given capacities — the input for an
+    /// SRAM sizing plot.
+    pub fn miss_curve(&self, capacities: &[usize]) -> Vec<(usize, u64)> {
+        capacities.iter().map(|&c| (c, self.misses_at(c))).collect()
+    }
+
+    /// The smallest capacity achieving at least `target` hit rate, if any
+    /// capacity does (cold misses bound the maximum achievable rate).
+    pub fn capacity_for_hit_rate(&self, target: f64) -> Option<usize> {
+        let max_needed = self.histogram.len();
+        (0..=max_needed).find(|&c| self.hit_rate_at(c) >= target)
+    }
+}
+
+/// A fixed-size Fenwick (binary indexed) tree over access positions.
+#[derive(Debug)]
+struct Fenwick {
+    tree: Vec<i64>,
+}
+
+impl Fenwick {
+    fn with_len(len: usize) -> Self {
+        Fenwick {
+            tree: vec![0; len],
+        }
+    }
+
+    fn add(&mut self, mut index: usize, delta: i64) {
+        let n = self.tree.len();
+        while index < n {
+            self.tree[index] += delta;
+            index |= index + 1;
+        }
+    }
+
+    fn set(&mut self, index: usize) {
+        self.add(index, 1);
+    }
+
+    fn clear(&mut self, index: usize) {
+        self.add(index, -1);
+    }
+
+    /// Sum of flags in `[0, end)`.
+    fn prefix(&self, end: usize) -> i64 {
+        let mut sum = 0;
+        let mut i = end;
+        while i > 0 {
+            sum += self.tree[i - 1];
+            i &= i - 1;
+        }
+        sum
+    }
+
+    /// Count of set flags with positions in `[lo, hi)`.
+    fn range_count(&self, lo: usize, hi: usize) -> usize {
+        if lo >= hi {
+            return 0;
+        }
+        (self.prefix(hi) - self.prefix(lo)) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cyclic_stream_has_uniform_distance() {
+        // a b c a b c a b c: after the cold pass, every access has stack
+        // distance 2 (two distinct addresses in between).
+        let profile = ReuseProfile::from_demands([1, 2, 3, 1, 2, 3, 1, 2, 3]);
+        assert_eq!(profile.cold_accesses(), 3);
+        assert_eq!(profile.total_accesses(), 9);
+        assert_eq!(profile.misses_at(2), 3 + 6); // capacity 2 < distance+1
+        assert_eq!(profile.misses_at(3), 3); // fits: only cold misses
+        assert!((profile.hit_rate_at(3) - 6.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn immediate_reuse_has_distance_zero() {
+        let profile = ReuseProfile::from_demands([7, 7, 7, 7]);
+        assert_eq!(profile.cold_accesses(), 1);
+        assert_eq!(profile.misses_at(1), 1);
+        assert_eq!(profile.misses_at(0), 4);
+    }
+
+    #[test]
+    fn streaming_stream_never_hits() {
+        let profile = ReuseProfile::from_demands(0..100u64);
+        assert_eq!(profile.cold_accesses(), 100);
+        assert_eq!(profile.misses_at(1_000_000), 100);
+        assert_eq!(profile.hit_rate_at(1_000_000), 0.0);
+    }
+
+    #[test]
+    fn miss_curve_is_monotone_nonincreasing() {
+        // A mixed stream with several working-set sizes.
+        let mut demands = Vec::new();
+        for round in 0..10u64 {
+            for a in 0..(4 + round % 3) {
+                demands.push(a);
+            }
+        }
+        let profile = ReuseProfile::from_demands(demands);
+        let caps: Vec<usize> = (0..10).collect();
+        let curve = profile.miss_curve(&caps);
+        assert!(curve.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn matches_brute_force_lru() {
+        // Reference LRU simulation vs the stack-distance prediction.
+        fn lru_misses(demands: &[u64], capacity: usize) -> u64 {
+            let mut stack: Vec<u64> = Vec::new();
+            let mut misses = 0;
+            for &a in demands {
+                if let Some(idx) = stack.iter().position(|&x| x == a) {
+                    stack.remove(idx);
+                } else {
+                    misses += 1;
+                    if capacity == 0 {
+                        continue;
+                    }
+                    if stack.len() >= capacity {
+                        stack.pop();
+                    }
+                }
+                if capacity > 0 {
+                    stack.insert(0, a);
+                }
+            }
+            misses
+        }
+        let demands: Vec<u64> = [
+            1, 2, 3, 1, 4, 2, 5, 1, 2, 3, 4, 5, 1, 1, 2, 6, 7, 3, 2, 1, 8, 2, 3,
+        ]
+        .to_vec();
+        let profile = ReuseProfile::from_demands(demands.iter().copied());
+        for capacity in 0..10 {
+            assert_eq!(
+                profile.misses_at(capacity),
+                lru_misses(&demands, capacity),
+                "capacity {capacity}"
+            );
+        }
+    }
+
+    #[test]
+    fn capacity_for_hit_rate_finds_the_knee() {
+        let profile = ReuseProfile::from_demands([1, 2, 3, 1, 2, 3, 1, 2, 3, 1, 2, 3]);
+        // 9 of 12 accesses can hit with capacity 3.
+        assert_eq!(profile.capacity_for_hit_rate(0.7), Some(3));
+        // Cold misses cap the hit rate at 75%.
+        assert_eq!(profile.capacity_for_hit_rate(0.9), None);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let profile = ReuseProfile::from_demands(std::iter::empty());
+        assert_eq!(profile.total_accesses(), 0);
+        assert_eq!(profile.misses_at(10), 0);
+        assert_eq!(profile.hit_rate_at(10), 0.0);
+    }
+}

@@ -1,0 +1,286 @@
+//! Fold-granular demand streams for the DRAM model.
+//!
+//! The double-buffered DRAM model (in `scalesim-memory`) only needs to know,
+//! per fold: how long the fold computes and which *unique* addresses it
+//! touches, in first-use order. Enumerating that directly is orders of
+//! magnitude cheaper than generating the full per-cycle trace, and the test
+//! suite proves the two views consistent (every address a fold demands here
+//! appears in its trace window, and vice versa).
+
+use scalesim_memory::{AddressMap, AddrSet};
+use scalesim_topology::{Dataflow, MappedDims};
+
+use crate::fold::{Fold, FoldPlan};
+use crate::ArrayShape;
+
+/// One fold's memory demand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FoldDemand {
+    /// The fold this demand belongs to.
+    pub fold: Fold,
+    /// Unique operand-A (IFMAP) addresses, first-use order.
+    pub a: Vec<u64>,
+    /// Unique operand-B (filter) addresses, first-use order.
+    pub b: Vec<u64>,
+    /// Partial-sum addresses re-read for accumulation (WS/IS row folds
+    /// beyond the first; empty otherwise).
+    pub o_spill: Vec<u64>,
+    /// Output addresses written by this fold.
+    pub o_writes: Vec<u64>,
+}
+
+/// Iterator over the per-fold demands of a workload. Created by
+/// [`fold_demands`].
+#[derive(Debug)]
+pub struct FoldDemands<'a, M: ?Sized> {
+    dims: MappedDims,
+    map: &'a M,
+    plan: FoldPlan,
+}
+
+/// Enumerates each fold's unique address demand for `dims` on `array`.
+///
+/// ```
+/// use scalesim_systolic::{fold_demands, ArrayShape};
+/// use scalesim_memory::{GemmAddressMap, RegionOffsets};
+/// use scalesim_topology::{Dataflow, GemmShape};
+///
+/// let shape = GemmShape::new(8, 4, 8);
+/// let dims = shape.project(Dataflow::OutputStationary);
+/// let map = GemmAddressMap::from_shape(shape, RegionOffsets::default());
+/// let folds: Vec<_> = fold_demands(&dims, ArrayShape::square(4), &map).collect();
+/// assert_eq!(folds.len(), 4);
+/// assert_eq!(folds[0].a.len(), 4 * 4); // 4 rows x T=4 unique elements
+/// ```
+pub fn fold_demands<'a, M: AddressMap + ?Sized>(
+    dims: &MappedDims,
+    array: ArrayShape,
+    map: &'a M,
+) -> FoldDemands<'a, M> {
+    FoldDemands {
+        dims: *dims,
+        map,
+        plan: FoldPlan::new(dims, array),
+    }
+}
+
+impl<'a, M: AddressMap + ?Sized> Iterator for FoldDemands<'a, M> {
+    type Item = FoldDemand;
+
+    fn next(&mut self) -> Option<FoldDemand> {
+        let fold = self.plan.next()?;
+        Some(demand_for_fold(&self.dims, &fold, self.map))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.plan.size_hint()
+    }
+}
+
+impl<'a, M: AddressMap + ?Sized> ExactSizeIterator for FoldDemands<'a, M> {}
+
+/// Pushes `addr` if it has not been seen yet (first-use-order dedup).
+fn push_unique(seen: &mut AddrSet, out: &mut Vec<u64>, addr: u64) {
+    if seen.insert(addr) {
+        out.push(addr);
+    }
+}
+
+fn demand_for_fold<M: AddressMap + ?Sized>(
+    dims: &MappedDims,
+    fold: &Fold,
+    map: &M,
+) -> FoldDemand {
+    let t = dims.temporal;
+    let ru = fold.rows_used;
+    let cu = fold.cols_used;
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    let mut o_spill = Vec::new();
+    let mut o_writes = Vec::new();
+    // Only IFMAP-side (operand A) addresses can repeat within a fold
+    // (convolution window overlap); B and O coordinates are distinct by
+    // construction, so they skip the dedup set.
+    let mut a_seen = AddrSet::default();
+
+    match dims.dataflow {
+        Dataflow::OutputStationary => {
+            for i in 0..ru {
+                let m = fold.row_base + i;
+                for k in 0..t {
+                    push_unique(&mut a_seen, &mut a, map.a(m, k));
+                }
+            }
+            for j in 0..cu {
+                let n = fold.col_base + j;
+                for k in 0..t {
+                    b.push(map.b(k, n));
+                }
+            }
+            for i in 0..ru {
+                let m = fold.row_base + i;
+                for j in 0..cu {
+                    o_writes.push(map.o(m, fold.col_base + j));
+                }
+            }
+        }
+        Dataflow::WeightStationary => {
+            let k_base = fold.row_base;
+            let n_base = fold.col_base;
+            for i in 0..ru {
+                for j in 0..cu {
+                    b.push(map.b(k_base + i, n_base + j));
+                }
+            }
+            for mt in 0..t {
+                for i in 0..ru {
+                    push_unique(&mut a_seen, &mut a, map.a(mt, k_base + i));
+                }
+            }
+            let spill = fold.fr > 0;
+            for mt in 0..t {
+                for j in 0..cu {
+                    let addr = map.o(mt, n_base + j);
+                    if spill {
+                        o_spill.push(addr);
+                    }
+                    o_writes.push(addr);
+                }
+            }
+        }
+        Dataflow::InputStationary => {
+            let k_base = fold.row_base;
+            let m_base = fold.col_base;
+            for j in 0..cu {
+                for i in 0..ru {
+                    push_unique(&mut a_seen, &mut a, map.a(m_base + j, k_base + i));
+                }
+            }
+            for nt in 0..t {
+                for i in 0..ru {
+                    b.push(map.b(k_base + i, nt));
+                }
+            }
+            let spill = fold.fr > 0;
+            for nt in 0..t {
+                for j in 0..cu {
+                    let addr = map.o(m_base + j, nt);
+                    if spill {
+                        o_spill.push(addr);
+                    }
+                    o_writes.push(addr);
+                }
+            }
+        }
+    }
+
+    FoldDemand {
+        fold: *fold,
+        a,
+        b,
+        o_spill,
+        o_writes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate;
+    use std::collections::HashSet;
+    use crate::trace::TraceSink;
+    use scalesim_memory::{ConvAddressMap, GemmAddressMap, RegionOffsets};
+    use scalesim_topology::{ConvLayer, GemmShape};
+
+    /// A sink that collects the unique addresses per fold, for comparing
+    /// against the demand iterator.
+    #[derive(Default)]
+    struct DemandCollector {
+        current: Option<(HashSet<u64>, HashSet<u64>, HashSet<u64>, HashSet<u64>)>,
+        folds: Vec<(HashSet<u64>, HashSet<u64>, HashSet<u64>, HashSet<u64>)>,
+    }
+
+    impl TraceSink for DemandCollector {
+        fn fold_begin(&mut self, _fold: &Fold) {
+            self.current = Some(Default::default());
+        }
+        fn read_a(&mut self, _cycle: u64, addr: u64) {
+            self.current.as_mut().unwrap().0.insert(addr);
+        }
+        fn read_b(&mut self, _cycle: u64, addr: u64) {
+            self.current.as_mut().unwrap().1.insert(addr);
+        }
+        fn read_o(&mut self, _cycle: u64, addr: u64) {
+            self.current.as_mut().unwrap().2.insert(addr);
+        }
+        fn write_o(&mut self, _cycle: u64, addr: u64) {
+            self.current.as_mut().unwrap().3.insert(addr);
+        }
+        fn fold_end(&mut self, _fold: &Fold) {
+            self.folds.push(self.current.take().unwrap());
+        }
+    }
+
+    fn check_demands_match_trace<M: AddressMap>(dims: &MappedDims, array: ArrayShape, map: &M) {
+        let mut collector = DemandCollector::default();
+        simulate(dims, array, map, &mut collector);
+        let demands: Vec<FoldDemand> = fold_demands(dims, array, map).collect();
+        assert_eq!(demands.len(), collector.folds.len());
+        for (d, (ta, tb, tor, tow)) in demands.iter().zip(&collector.folds) {
+            let da: HashSet<u64> = d.a.iter().copied().collect();
+            let db: HashSet<u64> = d.b.iter().copied().collect();
+            let dor: HashSet<u64> = d.o_spill.iter().copied().collect();
+            let dow: HashSet<u64> = d.o_writes.iter().copied().collect();
+            assert_eq!(&da, ta, "A demand mismatch in fold {:?}", d.fold);
+            assert_eq!(&db, tb, "B demand mismatch in fold {:?}", d.fold);
+            assert_eq!(&dor, tor, "spill mismatch in fold {:?}", d.fold);
+            assert_eq!(&dow, tow, "write mismatch in fold {:?}", d.fold);
+        }
+    }
+
+    #[test]
+    fn demands_match_traces_for_gemm_all_dataflows() {
+        let shape = GemmShape::new(10, 7, 9);
+        for df in Dataflow::ALL {
+            let dims = shape.project(df);
+            let map = GemmAddressMap::from_shape(shape, RegionOffsets::default());
+            check_demands_match_trace(&dims, ArrayShape::new(4, 4), &map);
+        }
+    }
+
+    #[test]
+    fn demands_match_traces_for_conv_all_dataflows() {
+        let layer = ConvLayer::new("t", 8, 8, 3, 3, 2, 5, 1).unwrap();
+        let map = ConvAddressMap::new(&layer, RegionOffsets::default());
+        for df in Dataflow::ALL {
+            let dims = layer.shape().project(df);
+            check_demands_match_trace(&dims, ArrayShape::new(8, 4), &map);
+        }
+    }
+
+    #[test]
+    fn conv_overlap_dedups_ifmap_demand() {
+        // Stride-1 3x3 conv: adjacent output pixels share 2/3 of their
+        // window, so a fold's unique A demand is far below rows x T.
+        let layer = ConvLayer::new("t", 10, 10, 3, 3, 1, 4, 1).unwrap();
+        let map = ConvAddressMap::new(&layer, RegionOffsets::default());
+        let dims = layer.shape().project(Dataflow::OutputStationary);
+        let first = fold_demands(&dims, ArrayShape::new(16, 4), &map)
+            .next()
+            .unwrap();
+        assert!(first.a.len() < (16 * dims.temporal) as usize / 2);
+    }
+
+    #[test]
+    fn gemm_demand_sizes_are_exact() {
+        let shape = GemmShape::new(8, 4, 8);
+        let dims = shape.project(Dataflow::OutputStationary);
+        let map = GemmAddressMap::from_shape(shape, RegionOffsets::default());
+        for d in fold_demands(&dims, ArrayShape::square(4), &map) {
+            assert_eq!(d.a.len() as u64, d.fold.rows_used * dims.temporal);
+            assert_eq!(d.b.len() as u64, d.fold.cols_used * dims.temporal);
+            assert_eq!(d.o_writes.len() as u64, d.fold.rows_used * d.fold.cols_used);
+            assert!(d.o_spill.is_empty());
+        }
+    }
+}

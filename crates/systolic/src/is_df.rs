@@ -1,0 +1,125 @@
+//! Input-Stationary trace generation (Fig. 3c / Fig. 5c of the paper).
+//!
+//! The mirror image of weight-stationary: IFMAP elements are pre-filled
+//! into the array (column `j` holds the convolution window of OFMAP pixel
+//! `j`; rows carry window elements), then *filter* elements stream from the
+//! left edge, one filter per time step. Partial sums reduce down each
+//! column, producing one OFMAP pixel value per column per cycle.
+//!
+//! Per Table III: rows ↔ `W_conv`, columns ↔ `N_ofmap`, time ↔ `N_filter`.
+//! Folding along rows splits the contraction, requiring partial-sum
+//! accumulation exactly as in WS.
+
+use scalesim_memory::AddressMap;
+use scalesim_topology::MappedDims;
+
+use crate::fold::FoldPlan;
+use crate::trace::TraceSink;
+use crate::ArrayShape;
+
+/// Emits the full IS access trace for `dims` on `array`.
+pub(crate) fn trace<M: AddressMap + ?Sized, S: TraceSink + ?Sized>(
+    dims: &MappedDims,
+    array: ArrayShape,
+    map: &M,
+    sink: &mut S,
+) {
+    let t = dims.temporal; // filters (GEMM n) unroll in time.
+    for fold in FoldPlan::new(dims, array) {
+        sink.fold_begin(&fold);
+        let b = fold.base_cycle;
+        let ru = fold.rows_used;
+        let cu = fold.cols_used;
+        let k_base = fold.row_base; // contraction (window) offset
+        let m_base = fold.col_base; // OFMAP pixel offset
+
+        // IFMAP fill: column j is loaded with the window of pixel
+        // (m_base + j), one window row per cycle, shifting down.
+        for p in 0..ru {
+            let k = k_base + (ru - 1 - p);
+            for j in 0..cu {
+                sink.read_a(b + p, map.a(m_base + j, k));
+            }
+        }
+
+        // Filter stream: row i receives element (k_base + i) of filter nt
+        // at cycle b + r' + nt + i.
+        for nt in 0..t {
+            for i in 0..ru {
+                sink.read_b(b + ru + nt + i, map.b(k_base + i, nt));
+            }
+        }
+
+        // Outputs: (pixel m_base + j, filter nt) exits the bottom of column
+        // j at cycle b + 2r' + nt + j - 1, accumulating across row folds.
+        let spill = fold.fr > 0;
+        for nt in 0..t {
+            for j in 0..cu {
+                let cycle = b + 2 * ru + nt + j - 1;
+                let addr = map.o(m_base + j, nt);
+                if spill {
+                    sink.read_o(cycle, addr);
+                }
+                sink.write_o(cycle, addr);
+            }
+        }
+
+        sink.fold_end(&fold);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fold::fold_duration;
+    use crate::trace::CountingSink;
+    use scalesim_memory::{GemmAddressMap, RegionOffsets};
+    use scalesim_topology::{Dataflow, GemmShape};
+
+    fn run(m: u64, k: u64, n: u64, rows: u64, cols: u64) -> CountingSink {
+        let shape = GemmShape::new(m, k, n);
+        let dims = shape.project(Dataflow::InputStationary);
+        let map = GemmAddressMap::from_shape(shape, RegionOffsets::default());
+        let mut sink = CountingSink::new();
+        trace(&dims, ArrayShape::new(rows, cols), &map, &mut sink);
+        sink
+    }
+
+    #[test]
+    fn single_fold_counts_and_horizon() {
+        // m=4 pixels, k=4 window, n=5 filters on 4x4: S_R=4, S_C=4, T=5.
+        let sink = run(4, 4, 5, 4, 4);
+        let c = sink.counts();
+        assert_eq!(c.a_reads, 4 * 4); // ifmap tile filled once
+        assert_eq!(c.b_reads, 4 * 5); // each filter streamed through rows
+        assert_eq!(c.o_writes, 5 * 4);
+        assert_eq!(c.o_reads, 0);
+        assert_eq!(sink.last_cycle(), fold_duration(4, 4, 5) - 1);
+    }
+
+    #[test]
+    fn contraction_folds_emit_partial_sum_reads() {
+        let sink = run(4, 8, 5, 4, 4);
+        let c = sink.counts();
+        assert_eq!(c.o_reads, 5 * 4);
+        assert_eq!(c.o_writes, 2 * 5 * 4);
+    }
+
+    #[test]
+    fn pixel_folds_restream_filters() {
+        // m=8 pixels on 4 columns -> two column folds; filters stream twice.
+        let sink = run(8, 4, 5, 4, 4);
+        let c = sink.counts();
+        assert_eq!(c.b_reads, 2 * 4 * 5);
+        assert_eq!(c.a_reads, 8 * 4);
+    }
+
+    #[test]
+    fn trace_horizon_equals_fold_plan_total() {
+        let shape = GemmShape::new(7, 9, 6);
+        let dims = shape.project(Dataflow::InputStationary);
+        let plan_total = FoldPlan::new(&dims, ArrayShape::new(4, 4)).total_cycles();
+        let sink = run(7, 9, 6, 4, 4);
+        assert_eq!(sink.last_cycle() + 1, plan_total);
+    }
+}

@@ -1,0 +1,378 @@
+//! Trace events and sinks.
+//!
+//! The trace engines report every SRAM access they generate — cycle plus
+//! element address — through a [`TraceSink`]. This is the streaming
+//! equivalent of the CSV traces the original tool writes: instead of
+//! materializing hundreds of megabytes of trace text, consumers aggregate on
+//! the fly. A [`CsvTraceSink`] is provided for compatibility with the
+//! original output format (and for debugging small runs).
+//!
+//! ## Event ordering contract
+//!
+//! Events are grouped by fold: every event of fold *f* is emitted between
+//! `fold_begin(f)` and `fold_end(f)`, and folds arrive in execution order.
+//! *Within* a fold, events are emitted stream-major (per operand row /
+//! column), **not** sorted by cycle. Sinks that need cycle order (like the
+//! CSV writer) buffer one fold and sort; counting sinks do not care.
+
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+
+use serde::{Deserialize, Serialize};
+
+use crate::fold::Fold;
+
+/// Receives the cycle-accurate SRAM access stream from a trace engine.
+///
+/// All methods have no-op defaults except the four access callbacks, so
+/// purpose-built sinks implement only what they consume. `read_a` carries
+/// IFMAP-operand reads, `read_b` filter-operand reads, `read_o` partial-sum
+/// re-reads (WS/IS contraction folding) and `write_o` output writes.
+pub trait TraceSink {
+    /// A new fold begins.
+    fn fold_begin(&mut self, fold: &Fold) {
+        let _ = fold;
+    }
+
+    /// Operand-A (IFMAP) SRAM read at `cycle`.
+    fn read_a(&mut self, cycle: u64, addr: u64);
+
+    /// Operand-B (filter) SRAM read at `cycle`.
+    fn read_b(&mut self, cycle: u64, addr: u64);
+
+    /// Partial-sum SRAM read at `cycle` (accumulation across folds).
+    fn read_o(&mut self, cycle: u64, addr: u64) {
+        let _ = (cycle, addr);
+    }
+
+    /// Output SRAM write at `cycle`.
+    fn write_o(&mut self, cycle: u64, addr: u64);
+
+    /// The current fold is complete.
+    fn fold_end(&mut self, fold: &Fold) {
+        let _ = fold;
+    }
+}
+
+/// A sink that discards every event — for pure timing runs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn read_a(&mut self, _cycle: u64, _addr: u64) {}
+    fn read_b(&mut self, _cycle: u64, _addr: u64) {}
+    fn write_o(&mut self, _cycle: u64, _addr: u64) {}
+}
+
+/// Counts of SRAM accesses by stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SramCounts {
+    /// Operand-A (IFMAP) reads.
+    pub a_reads: u64,
+    /// Operand-B (filter) reads.
+    pub b_reads: u64,
+    /// Partial-sum re-reads.
+    pub o_reads: u64,
+    /// Output writes.
+    pub o_writes: u64,
+}
+
+impl SramCounts {
+    /// Total SRAM accesses (reads + writes) — the energy model's input.
+    pub fn total(&self) -> u64 {
+        self.a_reads + self.b_reads + self.o_reads + self.o_writes
+    }
+}
+
+/// A sink that accumulates access counts and the trace horizon.
+#[derive(Debug, Clone, Default)]
+pub struct CountingSink {
+    counts: SramCounts,
+    last_cycle: u64,
+    folds_seen: u64,
+}
+
+impl CountingSink {
+    /// Creates a fresh counting sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The accumulated access counts.
+    pub fn counts(&self) -> SramCounts {
+        self.counts
+    }
+
+    /// The largest cycle stamp observed.
+    pub fn last_cycle(&self) -> u64 {
+        self.last_cycle
+    }
+
+    /// Number of folds observed.
+    pub fn folds_seen(&self) -> u64 {
+        self.folds_seen
+    }
+
+    fn stamp(&mut self, cycle: u64) {
+        if cycle > self.last_cycle {
+            self.last_cycle = cycle;
+        }
+    }
+}
+
+impl TraceSink for CountingSink {
+    fn read_a(&mut self, cycle: u64, _addr: u64) {
+        self.counts.a_reads += 1;
+        self.stamp(cycle);
+    }
+
+    fn read_b(&mut self, cycle: u64, _addr: u64) {
+        self.counts.b_reads += 1;
+        self.stamp(cycle);
+    }
+
+    fn read_o(&mut self, cycle: u64, _addr: u64) {
+        self.counts.o_reads += 1;
+        self.stamp(cycle);
+    }
+
+    fn write_o(&mut self, cycle: u64, _addr: u64) {
+        self.counts.o_writes += 1;
+        self.stamp(cycle);
+    }
+
+    fn fold_end(&mut self, _fold: &Fold) {
+        self.folds_seen += 1;
+    }
+}
+
+/// Fans events out to two sinks.
+#[derive(Debug, Default)]
+pub struct TeeSink<A, B> {
+    /// First receiver.
+    pub first: A,
+    /// Second receiver.
+    pub second: B,
+}
+
+impl<A, B> TeeSink<A, B> {
+    /// Combines two sinks.
+    pub fn new(first: A, second: B) -> Self {
+        TeeSink { first, second }
+    }
+}
+
+impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<A, B> {
+    fn fold_begin(&mut self, fold: &Fold) {
+        self.first.fold_begin(fold);
+        self.second.fold_begin(fold);
+    }
+
+    fn read_a(&mut self, cycle: u64, addr: u64) {
+        self.first.read_a(cycle, addr);
+        self.second.read_a(cycle, addr);
+    }
+
+    fn read_b(&mut self, cycle: u64, addr: u64) {
+        self.first.read_b(cycle, addr);
+        self.second.read_b(cycle, addr);
+    }
+
+    fn read_o(&mut self, cycle: u64, addr: u64) {
+        self.first.read_o(cycle, addr);
+        self.second.read_o(cycle, addr);
+    }
+
+    fn write_o(&mut self, cycle: u64, addr: u64) {
+        self.first.write_o(cycle, addr);
+        self.second.write_o(cycle, addr);
+    }
+
+    fn fold_end(&mut self, fold: &Fold) {
+        self.first.fold_end(fold);
+        self.second.fold_end(fold);
+    }
+}
+
+/// Writes SCALE-Sim-style CSV traces: one row per cycle,
+/// `cycle, addr, addr, …`, in three streams (SRAM reads for IFMAP and
+/// filter, SRAM writes for OFMAP; partial-sum re-reads go to the read
+/// stream of the OFMAP file prefixed by a `r` marker column).
+///
+/// Events are buffered per fold and flushed sorted by cycle on `fold_end`,
+/// restoring the cycle order the original tool's files have.
+#[derive(Debug)]
+pub struct CsvTraceSink<W: Write> {
+    reads: W,
+    writes: W,
+    read_rows: BTreeMap<u64, (Vec<u64>, Vec<u64>)>,
+    write_rows: BTreeMap<u64, Vec<u64>>,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> CsvTraceSink<W> {
+    /// Creates a CSV sink writing read traffic to `reads` and write traffic
+    /// to `writes`. Pass `&mut f` for file writers (generic `W: Write` is
+    /// implemented for `&mut W`).
+    pub fn new(reads: W, writes: W) -> Self {
+        CsvTraceSink {
+            reads,
+            writes,
+            read_rows: BTreeMap::new(),
+            write_rows: BTreeMap::new(),
+            error: None,
+        }
+    }
+
+    /// Finishes the trace, returning the first I/O error encountered (the
+    /// sink callbacks themselves are infallible by design — C-DTOR-FAIL).
+    pub fn finish(mut self) -> io::Result<(W, W)> {
+        self.flush_rows();
+        match self.error.take() {
+            Some(e) => Err(e),
+            None => Ok((self.reads, self.writes)),
+        }
+    }
+
+    fn flush_rows(&mut self) {
+        if self.error.is_some() {
+            return;
+        }
+        for (cycle, (a, b)) in std::mem::take(&mut self.read_rows) {
+            let mut row = format!("{cycle}");
+            for addr in a.iter().chain(b.iter()) {
+                row.push_str(&format!(",{addr}"));
+            }
+            row.push('\n');
+            if let Err(e) = self.reads.write_all(row.as_bytes()) {
+                self.error = Some(e);
+                return;
+            }
+        }
+        for (cycle, addrs) in std::mem::take(&mut self.write_rows) {
+            let mut row = format!("{cycle}");
+            for addr in addrs {
+                row.push_str(&format!(",{addr}"));
+            }
+            row.push('\n');
+            if let Err(e) = self.writes.write_all(row.as_bytes()) {
+                self.error = Some(e);
+                return;
+            }
+        }
+    }
+}
+
+impl<W: Write> TraceSink for CsvTraceSink<W> {
+    fn read_a(&mut self, cycle: u64, addr: u64) {
+        self.read_rows.entry(cycle).or_default().0.push(addr);
+    }
+
+    fn read_b(&mut self, cycle: u64, addr: u64) {
+        self.read_rows.entry(cycle).or_default().1.push(addr);
+    }
+
+    fn read_o(&mut self, cycle: u64, addr: u64) {
+        // Partial-sum re-reads appear in the read trace alongside operands.
+        self.read_rows.entry(cycle).or_default().1.push(addr);
+    }
+
+    fn write_o(&mut self, cycle: u64, addr: u64) {
+        self.write_rows.entry(cycle).or_default().push(addr);
+    }
+
+    fn fold_end(&mut self, _fold: &Fold) {
+        self.flush_rows();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fold() -> Fold {
+        Fold {
+            fr: 0,
+            fc: 0,
+            row_base: 0,
+            col_base: 0,
+            rows_used: 1,
+            cols_used: 1,
+            base_cycle: 0,
+            duration: 1,
+        }
+    }
+
+    #[test]
+    fn counting_sink_tracks_counts_and_horizon() {
+        let mut sink = CountingSink::new();
+        sink.fold_begin(&fold());
+        sink.read_a(5, 1);
+        sink.read_b(3, 2);
+        sink.read_o(7, 3);
+        sink.write_o(9, 4);
+        sink.fold_end(&fold());
+        assert_eq!(
+            sink.counts(),
+            SramCounts {
+                a_reads: 1,
+                b_reads: 1,
+                o_reads: 1,
+                o_writes: 1
+            }
+        );
+        assert_eq!(sink.counts().total(), 4);
+        assert_eq!(sink.last_cycle(), 9);
+        assert_eq!(sink.folds_seen(), 1);
+    }
+
+    #[test]
+    fn tee_feeds_both_sinks() {
+        let mut tee = TeeSink::new(CountingSink::new(), CountingSink::new());
+        tee.read_a(0, 0);
+        tee.write_o(1, 1);
+        assert_eq!(tee.first.counts().total(), 2);
+        assert_eq!(tee.second.counts().total(), 2);
+    }
+
+    #[test]
+    fn csv_sink_sorts_within_fold_and_formats_rows() {
+        let mut sink = CsvTraceSink::new(Vec::new(), Vec::new());
+        sink.fold_begin(&fold());
+        // Emitted out of cycle order on purpose.
+        sink.read_a(2, 20);
+        sink.read_a(1, 10);
+        sink.read_b(1, 11);
+        sink.write_o(3, 30);
+        sink.fold_end(&fold());
+        let (reads, writes) = sink.finish().unwrap();
+        assert_eq!(String::from_utf8(reads).unwrap(), "1,10,11\n2,20\n");
+        assert_eq!(String::from_utf8(writes).unwrap(), "3,30\n");
+    }
+
+    #[test]
+    fn csv_sink_reports_io_errors_on_finish() {
+        struct Failing;
+        impl Write for Failing {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::Other, "nope"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = CsvTraceSink::new(Failing, Failing);
+        sink.read_a(0, 0);
+        sink.fold_end(&fold());
+        assert!(sink.finish().is_err());
+    }
+
+    #[test]
+    fn null_sink_is_a_no_op() {
+        let mut sink = NullSink;
+        sink.read_a(0, 0);
+        sink.read_b(0, 0);
+        sink.read_o(0, 0);
+        sink.write_o(0, 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Weight-Stationary trace generation (Fig. 3b / Fig. 6b of the paper).
+//!
+//! Filter weights are pre-filled into the array (one weight row per cycle,
+//! shifting down — `r'` cycles, no skew). IFMAP elements then stream from
+//! the left edge, skewed one cycle per row; each PE multiplies the passing
+//! IFMAP value with its resident weight and forwards the partial sum down
+//! its column, so one OFMAP value exits the bottom of each column per cycle
+//! once the pipeline is full.
+//!
+//! Array rows carry the contraction (`W_conv`) dimension, columns carry
+//! filters, and time carries OFMAP pixels (Table III). Folding along the
+//! row dimension splits the contraction, so every fold beyond the first
+//! accumulates into partial sums: the engine emits a partial-sum *read* for
+//! each output it writes in those folds.
+
+use scalesim_memory::AddressMap;
+use scalesim_topology::MappedDims;
+
+use crate::fold::FoldPlan;
+use crate::trace::TraceSink;
+use crate::ArrayShape;
+
+/// Emits the full WS access trace for `dims` on `array`.
+pub(crate) fn trace<M: AddressMap + ?Sized, S: TraceSink + ?Sized>(
+    dims: &MappedDims,
+    array: ArrayShape,
+    map: &M,
+    sink: &mut S,
+) {
+    let t = dims.temporal; // OFMAP pixels (GEMM m) unroll in time.
+    for fold in FoldPlan::new(dims, array) {
+        sink.fold_begin(&fold);
+        let b = fold.base_cycle;
+        let ru = fold.rows_used;
+        let cu = fold.cols_used;
+        let k_base = fold.row_base; // contraction (window) offset
+        let n_base = fold.col_base; // filter offset
+
+        // Weight fill: at cycle b+p the row of weights that must settle
+        // deepest (row index r'-1-p after shifting) is read, one element per
+        // column.
+        for p in 0..ru {
+            let k = k_base + (ru - 1 - p);
+            for j in 0..cu {
+                sink.read_b(b + p, map.b(k, n_base + j));
+            }
+        }
+
+        // IFMAP stream: row i receives window element (k_base + i) of OFMAP
+        // pixel mt at cycle b + r' + mt + i (skewed by row).
+        for mt in 0..t {
+            for i in 0..ru {
+                sink.read_a(b + ru + mt + i, map.a(mt, k_base + i));
+            }
+        }
+
+        // Outputs: the partial sum for (pixel mt, filter j) leaves the
+        // bottom of column j at cycle b + 2r' + mt + j - 1. Row folds beyond
+        // the first must first read the previous partial to accumulate.
+        let spill = fold.fr > 0;
+        for mt in 0..t {
+            for j in 0..cu {
+                let cycle = b + 2 * ru + mt + j - 1;
+                let addr = map.o(mt, n_base + j);
+                if spill {
+                    sink.read_o(cycle, addr);
+                }
+                sink.write_o(cycle, addr);
+            }
+        }
+
+        sink.fold_end(&fold);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fold::fold_duration;
+    use crate::trace::CountingSink;
+    use scalesim_memory::{GemmAddressMap, RegionOffsets};
+    use scalesim_topology::{Dataflow, GemmShape};
+
+    fn run(m: u64, k: u64, n: u64, rows: u64, cols: u64) -> CountingSink {
+        let shape = GemmShape::new(m, k, n);
+        let dims = shape.project(Dataflow::WeightStationary);
+        let map = GemmAddressMap::from_shape(shape, RegionOffsets::default());
+        let mut sink = CountingSink::new();
+        trace(&dims, ArrayShape::new(rows, cols), &map, &mut sink);
+        sink
+    }
+
+    #[test]
+    fn single_fold_counts_and_horizon() {
+        // m=5 pixels, k=4 window, n=4 filters on a 4x4 array: one fold,
+        // S_R = k = 4, S_C = n = 4, T = m = 5.
+        let sink = run(5, 4, 4, 4, 4);
+        let c = sink.counts();
+        assert_eq!(c.b_reads, 4 * 4); // whole weight tile once
+        assert_eq!(c.a_reads, 4 * 5); // each pixel's window column
+        assert_eq!(c.o_writes, 5 * 4);
+        assert_eq!(c.o_reads, 0);
+        assert_eq!(sink.last_cycle(), fold_duration(4, 4, 5) - 1);
+    }
+
+    #[test]
+    fn contraction_folds_emit_partial_sum_reads() {
+        // k=8 on 4 rows -> two row folds; second fold re-reads outputs.
+        let sink = run(5, 8, 4, 4, 4);
+        let c = sink.counts();
+        assert_eq!(c.o_writes, 2 * 5 * 4);
+        assert_eq!(c.o_reads, 5 * 4);
+    }
+
+    #[test]
+    fn column_folds_restream_ifmap() {
+        // n=8 on 4 columns -> two column folds, IFMAP streamed twice.
+        let sink = run(5, 4, 8, 4, 4);
+        let c = sink.counts();
+        assert_eq!(c.a_reads, 2 * 4 * 5);
+        assert_eq!(c.b_reads, 4 * 8);
+        assert_eq!(c.o_reads, 0);
+    }
+
+    #[test]
+    fn trace_horizon_equals_fold_plan_total() {
+        let shape = GemmShape::new(6, 9, 7);
+        let dims = shape.project(Dataflow::WeightStationary);
+        let plan_total = FoldPlan::new(&dims, ArrayShape::new(4, 4)).total_cycles();
+        let sink = run(6, 9, 7, 4, 4);
+        assert_eq!(sink.last_cycle() + 1, plan_total);
+    }
+
+    #[test]
+    fn single_row_array_degenerate_case() {
+        let sink = run(3, 1, 2, 1, 4);
+        // r'=1: fill takes 1 cycle, first output at cycle 2*1+0+0-1 = 1.
+        assert_eq!(sink.counts().b_reads, 2);
+        assert_eq!(sink.last_cycle(), fold_duration(1, 2, 3) - 1);
+    }
+}

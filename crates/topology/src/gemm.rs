@@ -1,0 +1,151 @@
+//! GEMM shapes and the spatio-temporal projection of Table III.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Dataflow;
+
+/// The dense matrix-multiplication underlying a DNN layer.
+///
+/// Every dense layer the paper considers generalizes to multiplying an
+/// `M × K` operand by a `K × N` operand (Section III-A). For a convolution:
+/// `M` is the number of OFMAP pixels per filter, `K` the convolution window
+/// size (`filter_h · filter_w · channels`) and `N` the number of filters. For
+/// fully-connected / language-model layers the matrices are used directly
+/// (Table IV lists them already projected for the OS dataflow, i.e. as
+/// `(S_R, T, S_C) = (M, K, N)`).
+///
+/// ```
+/// use scalesim_topology::{Dataflow, GemmShape};
+///
+/// let tf0 = GemmShape::new(31999, 84, 1024); // Transformer layer TF0
+/// assert_eq!(tf0.macs(), 31999 * 84 * 1024);
+/// let os = tf0.project(Dataflow::OutputStationary);
+/// assert_eq!((os.spatial_rows, os.temporal, os.spatial_cols), (31999, 84, 1024));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GemmShape {
+    /// Rows of the first operand (OFMAP pixels per filter for a conv).
+    pub m: u64,
+    /// Contraction dimension (convolution window size for a conv).
+    pub k: u64,
+    /// Columns of the second operand (number of filters for a conv).
+    pub n: u64,
+}
+
+impl GemmShape {
+    /// Creates a GEMM shape for an `m × k` by `k × n` product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero — a degenerate matrix product has no
+    /// meaningful mapping onto a systolic array.
+    pub fn new(m: u64, k: u64, n: u64) -> Self {
+        assert!(m > 0 && k > 0 && n > 0, "GEMM dimensions must be nonzero");
+        GemmShape { m, k, n }
+    }
+
+    /// Total multiply-accumulate operations in this product.
+    pub fn macs(&self) -> u64 {
+        self.m * self.k * self.n
+    }
+
+    /// Elements in the first (`m × k`) operand.
+    pub fn operand_a_elems(&self) -> u64 {
+        self.m * self.k
+    }
+
+    /// Elements in the second (`k × n`) operand.
+    pub fn operand_b_elems(&self) -> u64 {
+        self.k * self.n
+    }
+
+    /// Elements in the `m × n` result.
+    pub fn output_elems(&self) -> u64 {
+        self.m * self.n
+    }
+
+    /// Projects the GEMM onto array rows / columns / time for `dataflow`.
+    ///
+    /// This is Table III of the paper:
+    ///
+    /// | Dataflow | `S_R` | `S_C` | `T` |
+    /// |---|---|---|---|
+    /// | OS | `N_ofmap` (= m) | `N_filter` (= n) | `W_conv` (= k) |
+    /// | WS | `W_conv` (= k)  | `N_filter` (= n) | `N_ofmap` (= m) |
+    /// | IS | `W_conv` (= k)  | `N_ofmap` (= m)  | `N_filter` (= n) |
+    pub fn project(&self, dataflow: Dataflow) -> MappedDims {
+        let (sr, sc, t) = match dataflow {
+            Dataflow::OutputStationary => (self.m, self.n, self.k),
+            Dataflow::WeightStationary => (self.k, self.n, self.m),
+            Dataflow::InputStationary => (self.k, self.m, self.n),
+        };
+        MappedDims {
+            spatial_rows: sr,
+            spatial_cols: sc,
+            temporal: t,
+            dataflow,
+        }
+    }
+}
+
+/// A GEMM projected onto the systolic array's spatio-temporal dimensions.
+///
+/// Produced by [`GemmShape::project`]; consumed by the trace engines and the
+/// analytical runtime model. `spatial_rows` elements want to map along array
+/// rows, `spatial_cols` along columns, and `temporal` unrolls over cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MappedDims {
+    /// `S_R`: extent mapped across array rows.
+    pub spatial_rows: u64,
+    /// `S_C`: extent mapped across array columns.
+    pub spatial_cols: u64,
+    /// `T`: extent unrolled in time.
+    pub temporal: u64,
+    /// The dataflow this projection was made for.
+    pub dataflow: Dataflow,
+}
+
+impl MappedDims {
+    /// Total MAC operations — invariant under the choice of dataflow.
+    pub fn macs(&self) -> u64 {
+        self.spatial_rows * self.spatial_cols * self.temporal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_matches_table_iii() {
+        let g = GemmShape::new(10, 20, 30);
+        let os = g.project(Dataflow::OutputStationary);
+        assert_eq!((os.spatial_rows, os.spatial_cols, os.temporal), (10, 30, 20));
+        let ws = g.project(Dataflow::WeightStationary);
+        assert_eq!((ws.spatial_rows, ws.spatial_cols, ws.temporal), (20, 30, 10));
+        let is = g.project(Dataflow::InputStationary);
+        assert_eq!((is.spatial_rows, is.spatial_cols, is.temporal), (20, 10, 30));
+    }
+
+    #[test]
+    fn macs_invariant_across_dataflows() {
+        let g = GemmShape::new(7, 11, 13);
+        for df in Dataflow::ALL {
+            assert_eq!(g.project(df).macs(), g.macs());
+        }
+    }
+
+    #[test]
+    fn operand_and_output_counts() {
+        let g = GemmShape::new(4, 5, 6);
+        assert_eq!(g.operand_a_elems(), 20);
+        assert_eq!(g.operand_b_elems(), 30);
+        assert_eq!(g.output_elems(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_dimension_panics() {
+        let _ = GemmShape::new(0, 1, 1);
+    }
+}

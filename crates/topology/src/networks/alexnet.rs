@@ -1,0 +1,55 @@
+//! AlexNet (Krizhevsky et al.) — shipped with the original SCALE-Sim
+//! release; used here for small, fast examples and tests.
+
+use crate::{ConvLayer, Layer, Topology};
+
+/// Builds the 8-layer AlexNet topology (5 convolutions, 3 FC layers).
+///
+/// IFMAP extents include padding, following the SCALE-Sim topology file.
+pub fn alexnet() -> Topology {
+    let rows: [(&str, u64, u64, u64, u64, u64, u64, u64); 8] = [
+        ("Conv1", 227, 227, 11, 11, 3, 96, 4),
+        ("Conv2", 31, 31, 5, 5, 96, 256, 1),
+        ("Conv3", 15, 15, 3, 3, 256, 384, 1),
+        ("Conv4", 15, 15, 3, 3, 384, 384, 1),
+        ("Conv5", 15, 15, 3, 3, 384, 256, 1),
+        ("FC6", 1, 1, 1, 1, 9216, 4096, 1),
+        ("FC7", 1, 1, 1, 1, 4096, 4096, 1),
+        ("FC8", 1, 1, 1, 1, 4096, 1000, 1),
+    ];
+    let layers = rows
+        .into_iter()
+        .map(|(name, ih, iw, fh, fw, c, nf, s)| {
+            Layer::Conv(
+                ConvLayer::new(name, ih, iw, fh, fw, c, nf, s)
+                    .expect("built-in AlexNet layer is valid"),
+            )
+        })
+        .collect();
+    Topology::from_layers("alexnet", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_eight_layers() {
+        assert_eq!(alexnet().len(), 8);
+    }
+
+    #[test]
+    fn conv1_ofmap_is_55() {
+        let net = alexnet();
+        let c1 = net.layer("Conv1").unwrap().as_conv().unwrap();
+        assert_eq!(c1.ofmap_h(), 55);
+    }
+
+    #[test]
+    fn fc_layers_are_fully_connected() {
+        let net = alexnet();
+        for name in ["FC6", "FC7", "FC8"] {
+            assert!(net.layer(name).unwrap().as_conv().unwrap().is_fully_connected());
+        }
+    }
+}

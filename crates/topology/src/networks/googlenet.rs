@@ -1,0 +1,137 @@
+//! GoogLeNet / Inception-v1 (Szegedy et al.) — shipped with the original
+//! SCALE-Sim release. Its inception modules are exactly the "cells composed
+//! of multiple convolution layers in parallel" that Section II-E of the
+//! paper describes; SCALE-Sim serializes the branches in file order, and so
+//! does this listing.
+
+use crate::{ConvLayer, Layer, Topology};
+
+/// Dimensions of one inception module's six convolutions.
+struct Inception {
+    tag: &'static str,
+    /// Spatial extent of the (unpadded) feature map.
+    fmap: u64,
+    /// Input channels.
+    c_in: u64,
+    /// 1x1 branch filters.
+    p1: u64,
+    /// 3x3 branch: reduction filters, then 3x3 filters.
+    p3_red: u64,
+    p3: u64,
+    /// 5x5 branch: reduction filters, then 5x5 filters.
+    p5_red: u64,
+    p5: u64,
+    /// Pool-projection 1x1 filters.
+    pool_proj: u64,
+}
+
+impl Inception {
+    fn layers(&self, out: &mut Vec<Layer>) {
+        let mut add = |suffix: &str, ifmap: u64, f: u64, c: u64, nf: u64| {
+            let layer = ConvLayer::new(
+                format!("{}_{suffix}", self.tag),
+                ifmap,
+                ifmap,
+                f,
+                f,
+                c,
+                nf,
+                1,
+            )
+            .expect("built-in GoogLeNet layer is valid");
+            out.push(Layer::Conv(layer));
+        };
+        add("1x1", self.fmap, 1, self.c_in, self.p1);
+        add("3x3red", self.fmap, 1, self.c_in, self.p3_red);
+        add("3x3", self.fmap + 2, 3, self.p3_red, self.p3);
+        add("5x5red", self.fmap, 1, self.c_in, self.p5_red);
+        add("5x5", self.fmap + 4, 5, self.p5_red, self.p5);
+        add("pool_proj", self.fmap, 1, self.c_in, self.pool_proj);
+    }
+
+    fn c_out(&self) -> u64 {
+        self.p1 + self.p3 + self.p5 + self.pool_proj
+    }
+}
+
+/// Builds the 58-layer GoogLeNet topology (stem, 9 inception modules,
+/// classifier; pooling elided as usual).
+pub fn googlenet() -> Topology {
+    fn add(layers: &mut Vec<Layer>, name: &str, ih: u64, fh: u64, c: u64, nf: u64, s: u64) {
+        layers.push(Layer::Conv(
+            ConvLayer::new(name, ih, ih, fh, fh, c, nf, s)
+                .expect("built-in GoogLeNet layer is valid"),
+        ));
+    }
+    let mut layers: Vec<Layer> = Vec::with_capacity(58);
+    add(&mut layers, "Conv1", 230, 7, 3, 64, 2); // -> 112, pool -> 56
+    add(&mut layers, "Conv2_red", 56, 1, 64, 64, 1);
+    add(&mut layers, "Conv2", 58, 3, 64, 192, 1); // pool -> 28
+
+    let modules = [
+        Inception { tag: "3a", fmap: 28, c_in: 192, p1: 64, p3_red: 96, p3: 128, p5_red: 16, p5: 32, pool_proj: 32 },
+        Inception { tag: "3b", fmap: 28, c_in: 256, p1: 128, p3_red: 128, p3: 192, p5_red: 32, p5: 96, pool_proj: 64 },
+        Inception { tag: "4a", fmap: 14, c_in: 480, p1: 192, p3_red: 96, p3: 208, p5_red: 16, p5: 48, pool_proj: 64 },
+        Inception { tag: "4b", fmap: 14, c_in: 512, p1: 160, p3_red: 112, p3: 224, p5_red: 24, p5: 64, pool_proj: 64 },
+        Inception { tag: "4c", fmap: 14, c_in: 512, p1: 128, p3_red: 128, p3: 256, p5_red: 24, p5: 64, pool_proj: 64 },
+        Inception { tag: "4d", fmap: 14, c_in: 512, p1: 112, p3_red: 144, p3: 288, p5_red: 32, p5: 64, pool_proj: 64 },
+        Inception { tag: "4e", fmap: 14, c_in: 528, p1: 256, p3_red: 160, p3: 320, p5_red: 32, p5: 128, pool_proj: 128 },
+        Inception { tag: "5a", fmap: 7, c_in: 832, p1: 256, p3_red: 160, p3: 320, p5_red: 32, p5: 128, pool_proj: 128 },
+        Inception { tag: "5b", fmap: 7, c_in: 832, p1: 384, p3_red: 192, p3: 384, p5_red: 48, p5: 128, pool_proj: 128 },
+    ];
+    // Channel bookkeeping: each module's input must match the previous
+    // module's concatenated output (checked in tests).
+    for m in &modules {
+        m.layers(&mut layers);
+    }
+    let last_out = modules.last().unwrap().c_out();
+    add(&mut layers, "FC1000", 1, 1, last_out, 1000, 1);
+
+    Topology::from_layers("googlenet", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_count() {
+        assert_eq!(googlenet().len(), 3 + 9 * 6 + 1);
+    }
+
+    #[test]
+    fn inception_channel_chaining_is_consistent() {
+        // 3a out 256 feeds 3b; 3b out 480 feeds 4a; 4d out 528 feeds 4e;
+        // 4e out 832 feeds 5a and 5b's input.
+        let net = googlenet();
+        let cin = |name: &str| net.layer(name).unwrap().as_conv().unwrap().channels();
+        assert_eq!(cin("3b_1x1"), 256);
+        assert_eq!(cin("4a_1x1"), 480);
+        assert_eq!(cin("4e_1x1"), 528);
+        assert_eq!(cin("5a_1x1"), 832);
+        assert_eq!(cin("FC1000"), 1024);
+    }
+
+    #[test]
+    fn total_macs_in_googlenet_ballpark() {
+        // GoogLeNet is ~1.5 GMACs at 224x224 (convs only, padded stem).
+        let macs = googlenet().total_macs();
+        assert!((1_200_000_000..2_200_000_000).contains(&macs), "got {macs}");
+    }
+
+    #[test]
+    fn branch_ofmaps_agree_within_a_module() {
+        let net = googlenet();
+        for tag in ["3a", "4c", "5b"] {
+            let px = |suffix: &str| {
+                net.layer(&format!("{tag}_{suffix}"))
+                    .unwrap()
+                    .as_conv()
+                    .unwrap()
+                    .ofmap_pixels()
+            };
+            assert_eq!(px("1x1"), px("3x3"), "{tag}");
+            assert_eq!(px("1x1"), px("5x5"), "{tag}");
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! The language-model GEMM layers of Table IV.
+//!
+//! The paper characterizes contemporary NLP models by representative matrix
+//! multiplications: GNMT (neural machine translation), DeepSpeech2 (speech
+//! recognition), Transformer, and Neural Collaborative Filtering. Table IV
+//! lists them as `(S_R, T, S_C)` triples, i.e. already projected for the OS
+//! dataflow, which equals the raw `(M, K, N)` GEMM dimensions.
+
+use crate::{Layer, Topology};
+
+/// `(name, S_R, T, S_C)` rows of Table IV, in paper order.
+const TABLE_IV: [(&str, u64, u64, u64); 10] = [
+    ("GNMT0", 128, 4096, 2048),
+    ("GNMT1", 320, 4096, 3072),
+    ("GNMT2", 1632, 1024, 36548),
+    ("GNMT3", 2048, 32, 4096),
+    ("DB0", 1024, 50000, 16),
+    ("DB1", 35, 2560, 4096),
+    ("TF0", 31999, 84, 1024),
+    ("TF1", 84, 4096, 1024),
+    ("NCF0", 2048, 128, 1),
+    ("NCF1", 256, 2048, 256),
+];
+
+/// The layer tags of Table IV, in paper order.
+pub const LANGUAGE_MODEL_NAMES: [&str; 10] = [
+    "GNMT0", "GNMT1", "GNMT2", "GNMT3", "DB0", "DB1", "TF0", "TF1", "NCF0", "NCF1",
+];
+
+/// Builds the full Table IV workload suite as one topology.
+pub fn language_models() -> Topology {
+    let layers = TABLE_IV
+        .into_iter()
+        .map(|(name, sr, t, sc)| Layer::gemm(name, sr, t, sc))
+        .collect();
+    Topology::from_layers("language_models", layers)
+}
+
+/// Looks up a single Table IV layer by tag (e.g. `"TF0"`).
+pub fn language_model(name: &str) -> Option<Layer> {
+    TABLE_IV
+        .into_iter()
+        .find(|(tag, ..)| *tag == name)
+        .map(|(tag, sr, t, sc)| Layer::gemm(tag, sr, t, sc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Dataflow;
+
+    #[test]
+    fn table_iv_has_ten_rows() {
+        assert_eq!(language_models().len(), 10);
+        assert_eq!(LANGUAGE_MODEL_NAMES.len(), 10);
+    }
+
+    #[test]
+    fn tf0_matches_paper() {
+        let tf0 = language_model("TF0").unwrap();
+        let dims = tf0.shape().project(Dataflow::OutputStationary);
+        assert_eq!(dims.spatial_rows, 31999);
+        assert_eq!(dims.temporal, 84);
+        assert_eq!(dims.spatial_cols, 1024);
+    }
+
+    #[test]
+    fn ncf0_is_a_matrix_vector_product() {
+        // NCF0 has S_C = 1: the degenerate matrix-vector case the paper's
+        // footnote 1 calls out.
+        let ncf0 = language_model("NCF0").unwrap();
+        assert_eq!(ncf0.shape().n, 1);
+    }
+
+    #[test]
+    fn lookup_misses_return_none() {
+        assert!(language_model("GPT3").is_none());
+    }
+
+    #[test]
+    fn names_constant_matches_topology_order() {
+        let topo = language_models();
+        for (layer, name) in topo.iter().zip(LANGUAGE_MODEL_NAMES) {
+            assert_eq!(layer.name(), name);
+        }
+    }
+}

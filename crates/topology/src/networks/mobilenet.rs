@@ -1,0 +1,106 @@
+//! MobileNet-v1 (Howard et al.) — depthwise-separable convolutions.
+//!
+//! Depthwise layers follow the original SCALE-Sim topology convention:
+//! a depthwise 3×3 over `C` channels is listed with `Channels = 1` and
+//! `Num Filter = C` (each filter sees one input channel), which makes the
+//! MAC count come out right (`ofmap_px · 9 · C`). The per-channel
+//! independence gives these layers a tiny contraction dimension — a useful
+//! stress case for dataflow and scaling studies.
+
+use crate::{ConvLayer, Layer, Topology};
+
+/// Builds the 28-layer MobileNet-v1 topology (stem, 13 depthwise-separable
+/// blocks, classifier).
+pub fn mobilenet_v1() -> Topology {
+    let mut layers: Vec<Layer> = Vec::with_capacity(28);
+    let mut add = |name: String, ih: u64, fh: u64, c: u64, nf: u64, s: u64| {
+        layers.push(Layer::Conv(
+            ConvLayer::new(name, ih, ih, fh, fh, c, nf, s)
+                .expect("built-in MobileNet layer is valid"),
+        ));
+    };
+
+    add("Conv1".into(), 226, 3, 3, 32, 2); // 224 + pad -> 112
+
+    // (block, feature-map extent, input channels, output channels, stride
+    // of the depthwise conv)
+    let blocks: [(u64, u64, u64, u64); 13] = [
+        (112, 32, 64, 1),
+        (112, 64, 128, 2),
+        (56, 128, 128, 1),
+        (56, 128, 256, 2),
+        (28, 256, 256, 1),
+        (28, 256, 512, 2),
+        (14, 512, 512, 1),
+        (14, 512, 512, 1),
+        (14, 512, 512, 1),
+        (14, 512, 512, 1),
+        (14, 512, 512, 1),
+        (14, 512, 1024, 2),
+        (7, 1024, 1024, 1),
+    ];
+    for (i, (fmap, c_in, c_out, stride)) in blocks.into_iter().enumerate() {
+        let n = i + 1;
+        // Depthwise 3x3: pad 1 each side.
+        add(format!("DW{n}"), fmap + 2, 3, 1, c_in, stride);
+        let out_fmap = if stride == 2 { fmap / 2 } else { fmap };
+        // Pointwise 1x1.
+        add(format!("PW{n}"), out_fmap, 1, c_in, c_out, 1);
+    }
+
+    add("FC1000".into(), 1, 1, 1024, 1000, 1);
+    Topology::from_layers("mobilenet_v1", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_count() {
+        assert_eq!(mobilenet_v1().len(), 1 + 13 * 2 + 1);
+    }
+
+    #[test]
+    fn depthwise_layers_have_single_channel_windows() {
+        let net = mobilenet_v1();
+        let dw = net.layer("DW7").unwrap().as_conv().unwrap();
+        assert_eq!(dw.channels(), 1);
+        assert_eq!(dw.num_filters(), 512);
+        assert_eq!(dw.window_size(), 9);
+    }
+
+    #[test]
+    fn strided_blocks_halve_the_map() {
+        let net = mobilenet_v1();
+        let dw2 = net.layer("DW2").unwrap().as_conv().unwrap();
+        assert_eq!(dw2.ofmap_h(), 56);
+        let pw2 = net.layer("PW2").unwrap().as_conv().unwrap();
+        assert_eq!(pw2.ifmap_h(), 56);
+    }
+
+    #[test]
+    fn pointwise_dominates_compute() {
+        // The whole point of depthwise separability: ~95% of MACs live in
+        // the 1x1 convolutions.
+        let net = mobilenet_v1();
+        let dw: u64 = net
+            .iter()
+            .filter(|l| l.name().starts_with("DW"))
+            .map(|l| l.macs())
+            .sum();
+        let pw: u64 = net
+            .iter()
+            .filter(|l| l.name().starts_with("PW"))
+            .map(|l| l.macs())
+            .sum();
+        assert!(pw > 10 * dw);
+    }
+
+    #[test]
+    fn total_macs_in_mobilenet_ballpark() {
+        // MobileNet-v1 is ~0.57 GMACs at 224x224.
+        let macs = mobilenet_v1().total_macs();
+        assert!((450_000_000..750_000_000).contains(&macs), "got {macs}");
+    }
+}

@@ -1,0 +1,76 @@
+//! Built-in workloads used by the paper's evaluation (Section IV).
+//!
+//! * [`resnet50`] — the convolution + FC layers of ResNet-50 (He et al.),
+//!   the CNN workload of Figs. 10–14.
+//! * [`language_models`] — the ten language-model GEMMs of Table IV
+//!   (GNMT, DeepSpeech2, Transformer, NCF).
+//! * [`alexnet`], [`yolo_tiny`] — additional classic CNN topologies shipped
+//!   with the original SCALE-Sim release, useful for examples and tests.
+//!
+//! All topologies encode padding into the IFMAP extents, matching the
+//! original tool's topology files.
+
+mod alexnet;
+mod generators;
+mod googlenet;
+mod language;
+mod mobilenet;
+mod resnet18;
+mod resnet50;
+mod vgg16;
+mod yolo_tiny;
+
+pub use alexnet::alexnet;
+pub use generators::{batched, mlp, transformer_encoder};
+pub use googlenet::googlenet;
+pub use language::{language_model, language_models, LANGUAGE_MODEL_NAMES};
+pub use mobilenet::mobilenet_v1;
+pub use resnet18::resnet18;
+pub use resnet50::{resnet50, resnet50_edges};
+pub use vgg16::vgg16;
+pub use yolo_tiny::yolo_tiny;
+
+use crate::Topology;
+
+/// Every built-in topology, for sweep-style tests and examples.
+pub fn all() -> Vec<Topology> {
+    vec![
+        resnet50(),
+        resnet18(),
+        alexnet(),
+        googlenet(),
+        mobilenet_v1(),
+        vgg16(),
+        yolo_tiny(),
+        language_models(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_networks_are_nonempty_and_valid() {
+        for topo in all() {
+            assert!(!topo.is_empty(), "{} has no layers", topo.name());
+            for layer in &topo {
+                if let Some(conv) = layer.as_conv() {
+                    conv.validate().expect("built-in layer validates");
+                }
+                assert!(layer.macs() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn layer_names_are_unique_within_each_network() {
+        for topo in all() {
+            let mut names: Vec<&str> = topo.iter().map(|l| l.name()).collect();
+            names.sort_unstable();
+            let before = names.len();
+            names.dedup();
+            assert_eq!(before, names.len(), "duplicate layer names in {}", topo.name());
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! ResNet-18 (He et al.) — the basic-block sibling of ResNet-50, useful
+//! when a CNN workload is wanted at a fraction of the simulation cost.
+
+use crate::{ConvLayer, Layer, Topology};
+
+/// Builds the 21-layer ResNet-18 topology (stem, four 2-block stages of
+/// 3×3 basic blocks with projection shortcuts, classifier).
+pub fn resnet18() -> Topology {
+    let mut layers: Vec<Layer> = Vec::with_capacity(21);
+    let mut add = |name: String, ih: u64, fh: u64, c: u64, nf: u64, s: u64| {
+        layers.push(Layer::Conv(
+            ConvLayer::new(name, ih, ih, fh, fh, c, nf, s)
+                .expect("built-in ResNet-18 layer is valid"),
+        ));
+    };
+
+    add("Conv1".into(), 230, 7, 3, 64, 2); // -> 112, pool -> 56
+
+    // Stage 1: 56x56, 64 channels, no downsampling.
+    for block in 1..=2 {
+        for conv in 1..=2 {
+            add(format!("S1B{block}_{conv}"), 58, 3, 64, 64, 1);
+        }
+    }
+    // Stages 2-4: first block downsamples (stride-2 3x3 + 1x1 projection).
+    let stages: [(u64, u64, u64, &str); 3] = [
+        (58, 64, 128, "S2"),
+        (30, 128, 256, "S3"),
+        (16, 256, 512, "S4"),
+    ];
+    for (ifmap_in, c_in, c_out, tag) in stages {
+        let fmap_out = (ifmap_in - 2) / 2; // post-stride extent
+        add(format!("{tag}B1_proj"), ifmap_in - 2, 1, c_in, c_out, 2);
+        add(format!("{tag}B1_1"), ifmap_in, 3, c_in, c_out, 2);
+        add(format!("{tag}B1_2"), fmap_out + 2, 3, c_out, c_out, 1);
+        add(format!("{tag}B2_1"), fmap_out + 2, 3, c_out, c_out, 1);
+        add(format!("{tag}B2_2"), fmap_out + 2, 3, c_out, c_out, 1);
+    }
+
+    add("FC1000".into(), 1, 1, 512, 1000, 1);
+    Topology::from_layers("resnet18", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_count() {
+        assert_eq!(resnet18().len(), 1 + 4 + 3 * 5 + 1);
+    }
+
+    #[test]
+    fn stage_extents_follow_the_halving_schedule() {
+        let net = resnet18();
+        let px = |name: &str| net.layer(name).unwrap().as_conv().unwrap().ofmap_h();
+        assert_eq!(px("S1B1_1"), 56);
+        assert_eq!(px("S2B1_1"), 28);
+        assert_eq!(px("S3B1_1"), 14);
+        assert_eq!(px("S4B2_2"), 7);
+    }
+
+    #[test]
+    fn projection_matches_main_path_output() {
+        let net = resnet18();
+        for tag in ["S2", "S3", "S4"] {
+            let proj = net.layer(&format!("{tag}B1_proj")).unwrap().as_conv().unwrap();
+            let main = net.layer(&format!("{tag}B1_2")).unwrap().as_conv().unwrap();
+            assert_eq!(proj.num_filters(), main.num_filters(), "{tag}");
+            assert_eq!(proj.ofmap_pixels(), main.ofmap_pixels(), "{tag}");
+        }
+    }
+
+    #[test]
+    fn total_macs_in_resnet18_ballpark() {
+        // ResNet-18 is ~1.8 GMACs at 224x224.
+        let macs = resnet18().total_macs();
+        assert!((1_500_000_000..2_400_000_000).contains(&macs), "got {macs}");
+    }
+}

@@ -1,0 +1,137 @@
+//! ResNet-50 (He et al., CVPR 2016) — the paper's CNN workload.
+//!
+//! Layer names follow the convention of the original SCALE-Sim topology
+//! files, which the paper references in Figs. 10–11: `CB<stage><block>_<n>`
+//! for the convolution-block (projection) residual blocks and
+//! `ID<stage><block>_<n>` for identity blocks. Projection shortcuts are the
+//! `_proj` layers. IFMAP extents include padding (e.g. the 3×3 layers list a
+//! 58×58 input for a 56×56 feature map).
+
+use crate::{ConvLayer, Layer, Topology};
+
+/// Builds the full ResNet-50 topology: Conv1, 52 block convolutions +
+/// 4 projection shortcuts, and the final 1000-way FC layer (54 layers total
+/// in the main path representation used by SCALE-Sim).
+pub fn resnet50() -> Topology {
+    let mut layers: Vec<Layer> = Vec::with_capacity(54);
+    let mut add = |name: &str, ih: u64, iw: u64, fh: u64, fw: u64, c: u64, nf: u64, s: u64| {
+        let layer = ConvLayer::new(name, ih, iw, fh, fw, c, nf, s)
+            .expect("built-in ResNet-50 layer is valid");
+        layers.push(Layer::Conv(layer));
+    };
+
+    // Stem: 7x7/2 on the padded 230x230 RGB input -> 112x112x64.
+    add("Conv1", 230, 230, 7, 7, 3, 64, 2);
+
+    // Stage 2: three bottleneck blocks on the 56x56 map (64 -> 256).
+    add("CB2a_proj", 56, 56, 1, 1, 64, 256, 1);
+    add("CB2a_1", 56, 56, 1, 1, 64, 64, 1);
+    add("CB2a_2", 58, 58, 3, 3, 64, 64, 1);
+    add("CB2a_3", 56, 56, 1, 1, 64, 256, 1);
+    for block in ["2b", "2c"] {
+        add(&format!("ID{block}_1"), 56, 56, 1, 1, 256, 64, 1);
+        add(&format!("ID{block}_2"), 58, 58, 3, 3, 64, 64, 1);
+        add(&format!("ID{block}_3"), 56, 56, 1, 1, 64, 256, 1);
+    }
+
+    // Stage 3: four blocks on the 28x28 map (128 -> 512), stride-2 entry.
+    add("CB3a_proj", 56, 56, 1, 1, 256, 512, 2);
+    add("CB3a_1", 56, 56, 1, 1, 256, 128, 2);
+    add("CB3a_2", 30, 30, 3, 3, 128, 128, 1);
+    add("CB3a_3", 28, 28, 1, 1, 128, 512, 1);
+    for block in ["3b", "3c", "3d"] {
+        add(&format!("ID{block}_1"), 28, 28, 1, 1, 512, 128, 1);
+        add(&format!("ID{block}_2"), 30, 30, 3, 3, 128, 128, 1);
+        add(&format!("ID{block}_3"), 28, 28, 1, 1, 128, 512, 1);
+    }
+
+    // Stage 4: six blocks on the 14x14 map (256 -> 1024), stride-2 entry.
+    add("CB4a_proj", 28, 28, 1, 1, 512, 1024, 2);
+    add("CB4a_1", 28, 28, 1, 1, 512, 256, 2);
+    add("CB4a_2", 16, 16, 3, 3, 256, 256, 1);
+    add("CB4a_3", 14, 14, 1, 1, 256, 1024, 1);
+    for block in ["4b", "4c", "4d", "4e", "4f"] {
+        add(&format!("ID{block}_1"), 14, 14, 1, 1, 1024, 256, 1);
+        add(&format!("ID{block}_2"), 16, 16, 3, 3, 256, 256, 1);
+        add(&format!("ID{block}_3"), 14, 14, 1, 1, 256, 1024, 1);
+    }
+
+    // Stage 5: three blocks on the 7x7 map (512 -> 2048), stride-2 entry.
+    add("CB5a_proj", 14, 14, 1, 1, 1024, 2048, 2);
+    add("CB5a_1", 14, 14, 1, 1, 1024, 512, 2);
+    add("CB5a_2", 9, 9, 3, 3, 512, 512, 1);
+    add("CB5a_3", 7, 7, 1, 1, 512, 2048, 1);
+    for block in ["5b", "5c"] {
+        add(&format!("ID{block}_1"), 7, 7, 1, 1, 2048, 512, 1);
+        add(&format!("ID{block}_2"), 9, 9, 3, 3, 512, 512, 1);
+        add(&format!("ID{block}_3"), 7, 7, 1, 1, 512, 2048, 1);
+    }
+
+    // Classifier: FC expressed as a whole-IFMAP convolution (paper Sec. II-E).
+    add("FC1000", 1, 1, 1, 1, 2048, 1000, 1);
+
+    Topology::from_layers("resnet50", layers)
+}
+
+/// The "first and last five convolution and fully connected layers" subset
+/// used by Fig. 10(a) of the paper.
+pub fn resnet50_edges() -> Topology {
+    let full = resnet50();
+    let n = full.len();
+    let layers: Vec<Layer> = full
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i < 5 || *i >= n - 5)
+        .map(|(_, l)| l.clone())
+        .collect();
+    Topology::from_layers("resnet50_edges", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_count_matches_bottleneck_structure() {
+        // 1 stem + (3+4+6+3) blocks * 3 convs + 4 projections + 1 FC = 54.
+        assert_eq!(resnet50().len(), 54);
+    }
+
+    #[test]
+    fn stage_transitions_have_expected_ofmaps() {
+        let net = resnet50();
+        let conv1 = net.layer("Conv1").unwrap().as_conv().unwrap();
+        assert_eq!((conv1.ofmap_h(), conv1.ofmap_w()), (112, 112));
+        let cb3 = net.layer("CB3a_2").unwrap().as_conv().unwrap();
+        assert_eq!((cb3.ofmap_h(), cb3.ofmap_w()), (28, 28));
+        let cb5 = net.layer("ID5c_2").unwrap().as_conv().unwrap();
+        assert_eq!((cb5.ofmap_h(), cb5.ofmap_w()), (7, 7));
+    }
+
+    #[test]
+    fn total_macs_in_resnet50_ballpark() {
+        // ResNet-50 is ~3.8-4.1 GMACs at 224x224 (this listing excludes
+        // pooling and counts the padded stem).
+        let macs = resnet50().total_macs();
+        assert!(
+            (3_500_000_000..5_000_000_000).contains(&macs),
+            "got {macs}"
+        );
+    }
+
+    #[test]
+    fn edges_subset_has_ten_layers_from_both_ends() {
+        let edges = resnet50_edges();
+        assert_eq!(edges.len(), 10);
+        assert_eq!(edges.layers()[0].name(), "Conv1");
+        assert_eq!(edges.layers()[9].name(), "FC1000");
+    }
+
+    #[test]
+    fn fc_layer_is_fully_connected() {
+        let net = resnet50();
+        let fc = net.layer("FC1000").unwrap().as_conv().unwrap();
+        assert!(fc.is_fully_connected());
+        assert_eq!(fc.shape().n, 1000);
+    }
+}

@@ -1,0 +1,72 @@
+//! VGG-16 (Simonyan & Zisserman) — the uniform all-3×3 workhorse; its
+//! huge FC6 layer (25088 → 4096) is a classic bandwidth stress test.
+
+use crate::{ConvLayer, Layer, Topology};
+
+/// Builds the 16-layer VGG-16 topology (13 convolutions, 3 FC layers;
+/// pooling elided, padding baked into IFMAP extents).
+pub fn vgg16() -> Topology {
+    let mut layers: Vec<Layer> = Vec::with_capacity(16);
+    let mut add = |name: String, ih: u64, fh: u64, c: u64, nf: u64| {
+        layers.push(Layer::Conv(
+            ConvLayer::new(name, ih, ih, fh, fh, c, nf, 1)
+                .expect("built-in VGG-16 layer is valid"),
+        ));
+    };
+
+    // (stage feature-map extent, input channels, output channels, convs)
+    let stages: [(u64, u64, u64, u64); 5] = [
+        (224, 3, 64, 2),
+        (112, 64, 128, 2),
+        (56, 128, 256, 3),
+        (28, 256, 512, 3),
+        (14, 512, 512, 3),
+    ];
+    for (si, (fmap, c_in, c_out, convs)) in stages.into_iter().enumerate() {
+        for ci in 0..convs {
+            let c = if ci == 0 { c_in } else { c_out };
+            add(format!("Conv{}_{}", si + 1, ci + 1), fmap + 2, 3, c, c_out);
+        }
+    }
+    add("FC6".into(), 1, 1, 512 * 7 * 7, 4096);
+    add("FC7".into(), 1, 1, 4096, 4096);
+    add("FC8".into(), 1, 1, 4096, 1000);
+
+    Topology::from_layers("vgg16", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_layers() {
+        assert_eq!(vgg16().len(), 16);
+    }
+
+    #[test]
+    fn channel_chaining() {
+        let net = vgg16();
+        let c = |name: &str| net.layer(name).unwrap().as_conv().unwrap().channels();
+        assert_eq!(c("Conv1_2"), 64);
+        assert_eq!(c("Conv3_1"), 128);
+        assert_eq!(c("Conv5_3"), 512);
+        assert_eq!(c("FC6"), 25088);
+    }
+
+    #[test]
+    fn total_macs_in_vgg16_ballpark() {
+        // VGG-16 is ~15.5 GMACs at 224x224.
+        let macs = vgg16().total_macs();
+        assert!((14_000_000_000..18_000_000_000).contains(&macs), "got {macs}");
+    }
+
+    #[test]
+    fn conv_extents_match_stage_plan() {
+        let net = vgg16();
+        let px = |name: &str| net.layer(name).unwrap().as_conv().unwrap().ofmap_h();
+        assert_eq!(px("Conv1_1"), 224);
+        assert_eq!(px("Conv4_2"), 28);
+        assert_eq!(px("Conv5_3"), 14);
+    }
+}

@@ -1,0 +1,49 @@
+//! YOLO-tiny — a compact detection backbone shipped with the original
+//! SCALE-Sim release; all-3×3 convolutions with steadily growing channel
+//! counts, a usefully different shape profile from ResNet bottlenecks.
+
+use crate::{ConvLayer, Layer, Topology};
+
+/// Builds the 9-convolution YOLO-tiny topology (padding baked into IFMAPs,
+/// pooling layers elided — SCALE-Sim simulates only the convolutions).
+pub fn yolo_tiny() -> Topology {
+    let rows: [(&str, u64, u64, u64, u64, u64, u64, u64); 9] = [
+        ("Conv1", 418, 418, 3, 3, 3, 16, 1),
+        ("Conv2", 210, 210, 3, 3, 16, 32, 1),
+        ("Conv3", 106, 106, 3, 3, 32, 64, 1),
+        ("Conv4", 54, 54, 3, 3, 64, 128, 1),
+        ("Conv5", 28, 28, 3, 3, 128, 256, 1),
+        ("Conv6", 15, 15, 3, 3, 256, 512, 1),
+        ("Conv7", 15, 15, 3, 3, 512, 1024, 1),
+        ("Conv8", 15, 15, 3, 3, 1024, 1024, 1),
+        ("Conv9", 13, 13, 1, 1, 1024, 125, 1),
+    ];
+    let layers = rows
+        .into_iter()
+        .map(|(name, ih, iw, fh, fw, c, nf, s)| {
+            Layer::Conv(
+                ConvLayer::new(name, ih, iw, fh, fw, c, nf, s)
+                    .expect("built-in YOLO-tiny layer is valid"),
+            )
+        })
+        .collect();
+    Topology::from_layers("yolo_tiny", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_nine_layers() {
+        assert_eq!(yolo_tiny().len(), 9);
+    }
+
+    #[test]
+    fn first_layer_dominates_ofmap_pixels() {
+        let net = yolo_tiny();
+        let first = net.layers()[0].shape().m;
+        let last = net.layers()[8].shape().m;
+        assert!(first > last * 100);
+    }
+}

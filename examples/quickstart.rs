@@ -1,0 +1,33 @@
+//! Quickstart: simulate a CNN on a TPU-like accelerator in ten lines.
+//!
+//! Builds a 32×32 output-stationary systolic array with the paper's SRAM
+//! sizing, runs AlexNet through it layer by layer, and prints the
+//! per-layer report (cycles, utilization, SRAM/DRAM traffic, stall-free
+//! bandwidth requirement, energy).
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use scalesim::{SimConfig, Simulator};
+use scalesim_topology::networks;
+
+fn main() {
+    let config = SimConfig::default();
+    let sim = Simulator::new(config);
+
+    let network = networks::alexnet();
+    let report = sim.run_topology(&network);
+
+    println!("{report}");
+    println!();
+    println!(
+        "peak stall-free DRAM bandwidth requirement: {:.2} bytes/cycle",
+        report.peak_required_bandwidth()
+    );
+    println!(
+        "energy breakdown: mac {:.2e}, idle {:.2e}, sram {:.2e}, dram {:.2e}",
+        report.total_energy().mac,
+        report.total_energy().idle,
+        report.total_energy().sram,
+        report.total_energy().dram,
+    );
+}

@@ -1,0 +1,50 @@
+//! The scale-up vs. scale-out trade-off, on one Transformer layer.
+//!
+//! Takes the TF0 layer (Table IV of the paper), fixes a 2^14-MAC budget,
+//! and sweeps the partition count from a single monolithic 128×128 array
+//! down to 256 little 8×8 arrays — reporting the runtime, the stall-free
+//! DRAM bandwidth each configuration demands, and its energy. This is the
+//! experiment behind Figs. 11–12 of the paper in miniature: partitioning
+//! buys runtime and pays for it in bandwidth.
+//!
+//! Run: `cargo run --release --example scaling_tradeoff`
+
+use scalesim::{ArrayShape, PartitionGrid, SimConfig, Simulator};
+use scalesim_topology::networks;
+
+fn main() {
+    let layer = networks::language_model("TF0").expect("TF0 is built in");
+    let budget: u64 = 1 << 14;
+
+    println!("TF0 (31999 x 84 x 1024) on {budget} MACs, OS dataflow");
+    println!(
+        "{:>10} {:>12} {:>12} {:>14} {:>14}",
+        "partitions", "array", "cycles", "BW (B/cycle)", "energy"
+    );
+
+    let mut p = 1u64;
+    while budget / p >= 64 {
+        // Square-ish grid of square-ish arrays.
+        let grid_rows = 1u64 << (p.trailing_zeros().div_ceil(2));
+        let grid = PartitionGrid::new(grid_rows, p / grid_rows);
+        let per = budget / p;
+        let rows = 1u64 << (per.trailing_zeros().div_ceil(2));
+        let array = ArrayShape::new(rows, per / rows);
+
+        let sim = Simulator::new(SimConfig::builder().array(array).build()).with_grid(grid);
+        let report = sim.run_layer(&layer);
+        println!(
+            "{:>10} {:>12} {:>12} {:>14.2} {:>14.3e}",
+            p,
+            array.to_string(),
+            report.total_cycles,
+            report.required_bandwidth(),
+            report.energy.total(),
+        );
+        p *= 2;
+    }
+
+    println!();
+    println!("runtime falls as partitions grow; the bandwidth bill rises —");
+    println!("the sweet spot is wherever your DRAM budget crosses the curve.");
+}

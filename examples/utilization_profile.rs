@@ -1,0 +1,75 @@
+//! Cycle-level array occupancy, rendered as a terminal histogram.
+//!
+//! Shows why two configurations with the same *average* utilization can
+//! behave very differently: a convolution keeps the wavefront full for most
+//! of its runtime, while a skinny FC layer on the same array never fills
+//! more than one row. This is the data behind the utilization trends of
+//! Fig. 9(b-c).
+//!
+//! Run: `cargo run --release --example utilization_profile`
+
+use scalesim::{ArrayShape, Dataflow};
+use scalesim_systolic::occupancy_histogram;
+use scalesim_topology::networks;
+
+fn render(name: &str, dims: &scalesim_topology::MappedDims, array: ArrayShape) {
+    let hist = occupancy_histogram(dims, array);
+    println!(
+        "{name} on {array}: {} cycles, mean occupancy {:.1} PEs ({:.1}% of array), peak {}",
+        hist.total_cycles(),
+        hist.mean(),
+        100.0 * hist.mean() / array.macs() as f64,
+        hist.peak(),
+    );
+    // Bucket occupancies into tenths of the array for a compact profile.
+    let buckets = 10usize;
+    let mut cycles_per_bucket = vec![0u64; buckets + 1];
+    for (occ, cycles) in hist.iter() {
+        let idx = ((occ * buckets as u64) / array.macs()) as usize;
+        cycles_per_bucket[idx.min(buckets)] += cycles;
+    }
+    let max = cycles_per_bucket.iter().copied().max().unwrap_or(1).max(1);
+    for (i, &cycles) in cycles_per_bucket.iter().enumerate() {
+        if cycles == 0 {
+            continue;
+        }
+        let bar = "#".repeat((cycles * 40 / max).max(1) as usize);
+        println!(
+            "  {:>3}-{:>3}% busy | {:<40} {:>10} cycles",
+            i * 10,
+            ((i + 1) * 10).min(100),
+            bar,
+            cycles
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let array = ArrayShape::square(32);
+    let resnet = networks::resnet50();
+
+    // A mid-network convolution: deep temporal dimension, full steady state.
+    let conv = resnet.layer("CB2a_2").unwrap();
+    render(
+        "CB2a_2 (3x3 conv, OS)",
+        &conv.shape().project(Dataflow::OutputStationary),
+        array,
+    );
+
+    // The FC layer under OS: one output pixel -> a single active row.
+    let fc = resnet.layer("FC1000").unwrap();
+    render(
+        "FC1000 (OS)",
+        &fc.shape().project(Dataflow::OutputStationary),
+        array,
+    );
+
+    // The same FC under WS: the array fills because the contraction
+    // dimension maps onto rows instead.
+    render(
+        "FC1000 (WS)",
+        &fc.shape().project(Dataflow::WeightStationary),
+        array,
+    );
+}

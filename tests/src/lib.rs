@@ -1,0 +1,1 @@
+//! Integration tests for scale-sim-rs live in `tests/tests/`.

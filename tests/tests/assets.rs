@@ -1,0 +1,36 @@
+//! The shipped asset files (`assets/`) must stay loadable and faithful to
+//! the built-in workloads they were exported from.
+
+use scalesim::{parse_config, SimConfig};
+use scalesim_topology::{networks, parse_topology_csv};
+
+#[test]
+fn shipped_config_matches_the_paper_defaults() {
+    let text = include_str!("../../assets/scale.cfg");
+    let config = parse_config(text).unwrap();
+    assert_eq!(config, SimConfig::default());
+}
+
+#[test]
+fn shipped_topologies_parse_back_to_the_builtins() {
+    let cases = [
+        (include_str!("../../assets/alexnet.csv"), networks::alexnet()),
+        (include_str!("../../assets/resnet18.csv"), networks::resnet18()),
+        (include_str!("../../assets/resnet50.csv"), networks::resnet50()),
+        (include_str!("../../assets/googlenet.csv"), networks::googlenet()),
+        (
+            include_str!("../../assets/mobilenet_v1.csv"),
+            networks::mobilenet_v1(),
+        ),
+        (include_str!("../../assets/vgg16.csv"), networks::vgg16()),
+        (include_str!("../../assets/yolo_tiny.csv"), networks::yolo_tiny()),
+        (
+            include_str!("../../assets/language_models.csv"),
+            networks::language_models(),
+        ),
+    ];
+    for (text, builtin) in cases {
+        let parsed = parse_topology_csv(builtin.name(), text).unwrap();
+        assert_eq!(parsed, builtin, "asset diverged for {}", builtin.name());
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests on the file formats: any valid workload or configuration
+//! must survive serialize → parse unchanged (the tool's files are its API).
+
+use proptest::prelude::*;
+
+use scalesim::{parse_config, ArrayShape, Dataflow, RegionOffsets, SimConfig};
+use scalesim_topology::{
+    parse_topology_csv, topology_to_csv, ConvLayerBuilder, Layer, Topology,
+};
+
+fn arb_conv_layer() -> impl Strategy<Value = Layer> {
+    (
+        1u64..64,  // ifmap_h
+        1u64..64,  // ifmap_w
+        1u64..8,   // filter (clamped below)
+        1u64..8,
+        1u64..32,  // channels
+        1u64..64,  // num_filters
+        1u64..4,   // stride
+        "[A-Za-z][A-Za-z0-9_]{0,12}",
+    )
+        .prop_map(|(ih, iw, fh, fw, c, nf, s, name)| {
+            let layer = ConvLayerBuilder::new(name)
+                .ifmap(ih.max(fh), iw.max(fw))
+                .filter(fh, fw)
+                .channels(c)
+                .num_filters(nf)
+                .stride(s)
+                .build()
+                .expect("constrained dims are valid");
+            Layer::Conv(layer)
+        })
+}
+
+fn arb_gemm_layer() -> impl Strategy<Value = Layer> {
+    (1u64..10_000, 1u64..10_000, 1u64..10_000, "[A-Za-z][A-Za-z0-9_]{0,12}")
+        .prop_map(|(m, k, n, name)| Layer::gemm(name, m, k, n))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Topology CSV round trip for arbitrary mixed conv/GEMM workloads.
+    #[test]
+    fn topology_csv_round_trips(
+        layers in prop::collection::vec(
+            prop_oneof![arb_conv_layer(), arb_gemm_layer()],
+            1..12,
+        )
+    ) {
+        let topo = Topology::from_layers("arbitrary", layers);
+        let text = topology_to_csv(&topo);
+        let parsed = parse_topology_csv("arbitrary", &text).expect("own output parses");
+        prop_assert_eq!(parsed, topo);
+    }
+
+    /// Config file round trip for arbitrary valid configurations.
+    #[test]
+    fn config_file_round_trips(
+        rows in 1u64..1024,
+        cols in 1u64..1024,
+        ifmap_kb in 1u64..4096,
+        filter_kb in 1u64..4096,
+        ofmap_kb in 1u64..4096,
+        word in 1u64..8,
+        df_idx in 0usize..3,
+        bw in prop::option::of(1u32..100_000),
+    ) {
+        let mut config = SimConfig::builder()
+            .array(ArrayShape::new(rows, cols))
+            .dataflow(Dataflow::ALL[df_idx])
+            .sram_kb(ifmap_kb, filter_kb, ofmap_kb)
+            .offsets(RegionOffsets::default())
+            .word_bytes(word)
+            .build();
+        // Integral bandwidths only: the file format prints shortest-f64,
+        // which round-trips exactly for integers.
+        config.dram_bandwidth = bw.map(f64::from);
+        let parsed = parse_config(&config.to_config_string()).expect("own output parses");
+        prop_assert_eq!(parsed, config);
+    }
+
+    /// The CSV writer and parser agree on FC-as-conv encoding (Sec. II-E).
+    #[test]
+    fn fc_layers_round_trip(inputs in 1u64..10_000, outputs in 1u64..10_000) {
+        let fc = ConvLayerBuilder::new("fc")
+            .ifmap(1, 1)
+            .filter(1, 1)
+            .channels(inputs)
+            .num_filters(outputs)
+            .build()
+            .unwrap();
+        prop_assert!(fc.is_fully_connected());
+        let topo = Topology::from_layers("fc_net", vec![Layer::Conv(fc)]);
+        let parsed = parse_topology_csv("fc_net", &topology_to_csv(&topo)).unwrap();
+        prop_assert_eq!(parsed, topo);
+    }
+}
+
+/// The original tool's example config text (Table I keys, INI sections)
+/// parses into the expected configuration.
+#[test]
+fn original_style_config_parses() {
+    let text = "\
+[general]
+run_name = scale_example_run
+
+[architecture_presets]
+ArrayHeight:    32
+ArrayWidth:     32
+IfmapSramSz:    512
+FilterSramSz:   512
+OfmapSramSz:    256
+IfmapOffset:    0
+FilterOffset:   10000000
+OfmapOffset:    20000000
+Dataflow:       os
+";
+    let config = parse_config(text).unwrap();
+    assert_eq!(config, SimConfig::default());
+}

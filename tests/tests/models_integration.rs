@@ -1,0 +1,126 @@
+//! Cross-checks among the auxiliary models: occupancy timelines vs the
+//! simulator, the sweep API vs raw runs, the pipeline vs serial execution,
+//! roofline vs the stall model.
+
+use scalesim::{
+    run_partition_sweep, sweet_spot, ArrayShape, Dataflow, PartitionGrid, SimConfig, Simulator,
+};
+use scalesim_analytical::{achieved_intensity, compulsory_intensity, Roofline};
+use scalesim_systolic::occupancy_histogram;
+use scalesim_topology::{networks, Layer};
+
+fn config() -> SimConfig {
+    SimConfig::builder()
+        .array(ArrayShape::square(16))
+        .sram_kb(64, 64, 32)
+        .build()
+}
+
+#[test]
+fn occupancy_mean_equals_simulator_utilization() {
+    let sim = Simulator::new(config());
+    for layer in &networks::yolo_tiny() {
+        let report = sim.run_layer(layer);
+        let dims = layer.shape().project(Dataflow::OutputStationary);
+        let hist = occupancy_histogram(&dims, config().array);
+        assert_eq!(hist.total_cycles(), report.total_cycles, "{}", layer.name());
+        assert_eq!(hist.total_activity(), report.mac_ops, "{}", layer.name());
+        let util_from_hist = hist.mean() / config().array.macs() as f64;
+        assert!(
+            (util_from_hist - report.compute_utilization).abs() < 1e-9,
+            "{}",
+            layer.name()
+        );
+    }
+}
+
+#[test]
+fn sweep_points_match_individual_runs() {
+    let layer = networks::language_model("NCF1").unwrap();
+    let base = config();
+    let points = run_partition_sweep(&layer, &base, 1 << 10, 8);
+    for p in &points {
+        let manual = Simulator::new(SimConfig {
+            array: p.array,
+            ..base
+        })
+        .with_grid(p.grid)
+        .run_layer(&layer);
+        assert_eq!(&manual, &p.report);
+    }
+    // The sweet spot is a real point of the sweep.
+    let spot = sweet_spot(&points).unwrap();
+    assert!(points.iter().any(|p| p == spot));
+}
+
+#[test]
+fn pipeline_stage_latencies_match_layer_reports() {
+    let net = networks::alexnet();
+    let base = config();
+    let pipe = scalesim::run_pipeline(&net, &base, PartitionGrid::monolithic(), 3);
+    let sim = Simulator::new(base);
+    for stage in &pipe.stages {
+        let expected: u64 = stage
+            .layers
+            .iter()
+            .map(|name| sim.run_layer(net.layer(name).unwrap()).total_cycles)
+            .sum();
+        assert_eq!(stage.cycles, expected);
+    }
+    assert_eq!(
+        pipe.fill_cycles,
+        pipe.stages.iter().map(|s| s.cycles).sum::<u64>()
+    );
+}
+
+#[test]
+fn roofline_bound_is_respected_by_the_stall_model() {
+    // The roofline is a lower bound on runtime; the fold-granular stall
+    // model must never beat it by more than fill/drain slack.
+    let layer = Layer::gemm("g", 256, 64, 256);
+    let bandwidth = 4.0;
+    let cfg = SimConfig {
+        dram_bandwidth: Some(bandwidth),
+        ..config()
+    };
+    let report = Simulator::new(cfg).run_layer(&layer);
+    let stall = report.stall.unwrap();
+
+    // Roofline with the *measured* intensity (MACs per byte the DRAM model
+    // actually moved) lower-bounds the stalled runtime: the run can be no
+    // faster than its compute ceiling or its own traffic over the bus.
+    let roof = Roofline::new(config().array.macs() as f64, bandwidth);
+    let measured_intensity = report.mac_ops as f64 / report.dram.total_bytes() as f64;
+    let bound = roof.runtime_bound(report.mac_ops, measured_intensity);
+    assert!(
+        stall.stalled_cycles as f64 >= 0.95 * bound,
+        "stalled {} vs roofline bound {bound}",
+        stall.stalled_cycles
+    );
+
+    // The first-order analytical intensity is deliberately conservative
+    // (it charges every fold's tiles as fresh): it must not exceed the
+    // measured one, and both sit below the compulsory ceiling.
+    let dims = layer.shape().project(Dataflow::OutputStationary);
+    let analytical = achieved_intensity(&dims, config().array);
+    assert!(analytical <= measured_intensity * 1.05);
+    assert!(analytical <= compulsory_intensity(layer.shape()) * 1.05);
+    assert!(measured_intensity <= compulsory_intensity(layer.shape()) * 1.05);
+}
+
+#[test]
+fn transformer_generator_runs_end_to_end() {
+    let net = networks::transformer_encoder("tiny_tf", 64, 128, 256, 2);
+    let report = Simulator::new(config()).run_topology(&net);
+    assert_eq!(report.layers().len(), 12);
+    assert_eq!(report.total_macs(), net.total_macs());
+}
+
+#[test]
+fn mlp_generator_with_batch_runs_end_to_end() {
+    let net = networks::mlp("m", 16, &[256, 512, 128, 10]);
+    let auto = Simulator::new(config()).with_auto_dataflow();
+    let report = auto.run_topology(&net);
+    assert_eq!(report.layers().len(), 3);
+    assert!(report.total_cycles() > 0);
+}

@@ -1,0 +1,96 @@
+//! Partitioned execution against the golden model: tile a GEMM's output
+//! space the way the scale-out simulator does, run each tile through the
+//! register-level PE grid with real values, stitch the results, and check
+//! both the numerics (the stitched product equals the reference matmul)
+//! and the timing (the slowest tile's golden cycles equal the simulator's
+//! scale-out runtime).
+
+use proptest::prelude::*;
+
+use scalesim::{ArrayShape, Dataflow, PartitionGrid, SimConfig, Simulator};
+use scalesim_systolic::pe_grid::{run as golden_run, Matrix};
+use scalesim_topology::Layer;
+
+fn submatrix(src: &Matrix, row0: usize, rows: usize, col0: usize, cols: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |i, j| src[(row0 + i, col0 + j)])
+}
+
+fn check(m: usize, k: usize, n: usize, pr: u64, pc: u64, array: ArrayShape, df: Dataflow) {
+    let a = Matrix::from_fn(m, k, |i, j| ((3 * i + 5 * j) % 11) as i64 - 5);
+    let b = Matrix::from_fn(k, n, |i, j| ((7 * i + 2 * j) % 9) as i64 - 4);
+    let reference = a.matmul(&b);
+
+    // Tile exactly like Simulator::partition_tiles: ceiling shares.
+    let chunk_m = (m as u64).div_ceil(pr) as usize;
+    let chunk_n = (n as u64).div_ceil(pc) as usize;
+    let mut stitched = Matrix::zeros(m, n);
+    let mut slowest = 0u64;
+    let mut m0 = 0usize;
+    while m0 < m {
+        let mm = chunk_m.min(m - m0);
+        let mut n0 = 0usize;
+        while n0 < n {
+            let nn = chunk_n.min(n - n0);
+            let tile_a = submatrix(&a, m0, mm, 0, k);
+            let tile_b = submatrix(&b, 0, k, n0, nn);
+            let golden = golden_run(&tile_a, &tile_b, array, df);
+            for i in 0..mm {
+                for j in 0..nn {
+                    stitched[(m0 + i, n0 + j)] = golden.output[(i, j)];
+                }
+            }
+            slowest = slowest.max(golden.cycles);
+            n0 += chunk_n;
+        }
+        m0 += chunk_m;
+    }
+    assert_eq!(stitched, reference, "stitched partitioned product diverges");
+
+    let config = SimConfig::builder()
+        .array(array)
+        .dataflow(df)
+        .sram_kb(64, 64, 32)
+        .build();
+    let report = Simulator::new(config)
+        .with_grid(PartitionGrid::new(pr, pc))
+        .run_layer(&Layer::gemm("g", m as u64, k as u64, n as u64));
+    assert_eq!(
+        report.total_cycles, slowest,
+        "simulator scale-out runtime diverges from slowest golden tile"
+    );
+}
+
+#[test]
+fn partitioned_golden_fixed_cases() {
+    check(12, 5, 10, 2, 2, ArrayShape::new(4, 4), Dataflow::OutputStationary);
+    check(9, 4, 7, 3, 2, ArrayShape::new(2, 4), Dataflow::WeightStationary);
+    check(10, 6, 11, 2, 3, ArrayShape::new(4, 2), Dataflow::InputStationary);
+    // Grid larger than the workload: idle partitions drop out.
+    check(3, 3, 3, 4, 4, ArrayShape::new(4, 4), Dataflow::OutputStationary);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn partitioned_golden_random(
+        m in 1usize..16,
+        k in 1usize..10,
+        n in 1usize..16,
+        pr in 1u64..4,
+        pc in 1u64..4,
+        rows_pow in 1u32..3,
+        cols_pow in 1u32..3,
+        df_idx in 0usize..3,
+    ) {
+        check(
+            m,
+            k,
+            n,
+            pr,
+            pc,
+            ArrayShape::new(1 << rows_pow, 1 << cols_pow),
+            Dataflow::ALL[df_idx],
+        );
+    }
+}
