@@ -178,8 +178,7 @@ mod tests {
         let model = AnalyticalModel;
         let rec = recommend(&ws, 1 << 14, 8, None, &model);
         assert!(rec.within_budget);
-        let (best_cfg, best_cycles) =
-            crate::partition::best_scaleout(&ws[0], 1 << 14, 8, &model);
+        let (best_cfg, best_cycles) = crate::partition::best_scaleout(&ws[0], 1 << 14, 8, &model);
         assert_eq!(rec.total_cycles, best_cycles);
         assert_eq!(rec.config, best_cfg);
         assert!(rec.is_scale_out(), "TF0 at 2^14 wants partitions");

@@ -23,9 +23,9 @@ pub mod advisor;
 pub mod dataflow_choice;
 pub mod os_drain;
 pub mod pareto;
+pub mod partition;
 pub mod reconfig;
 pub mod roofline;
-pub mod partition;
 pub mod runtime;
 pub mod search;
 
@@ -33,11 +33,11 @@ pub use advisor::{estimate_bandwidth, estimate_scaleout_bandwidth, recommend, Re
 pub use dataflow_choice::{best_dataflow, rank_dataflows, DataflowScore};
 pub use os_drain::{drain_fraction, fold_duration_with, scaleup_with_drain, OsDrain};
 pub use pareto::{pareto_optimal, CandidateScore, ParetoOutcome};
-pub use reconfig::{reconfiguration_gain, ReconfigGain};
-pub use roofline::{achieved_intensity, compulsory_intensity, Roofline};
 pub use partition::{
     best_scaleout, scaleout_configs, scaleout_runtime, split_dims, PartitionGrid, ScaleOutConfig,
 };
+pub use reconfig::{reconfiguration_gain, ReconfigGain};
+pub use roofline::{achieved_intensity, compulsory_intensity, Roofline};
 pub use runtime::{eq1_unlimited, eq4_scaleup, exact_scaleup, AnalyticalModel, RuntimeModel};
 pub use search::{aspect_ratio_shapes, best_scaleup, rank_scaleup, ScaleUpScore};
 

@@ -105,10 +105,14 @@ mod tests {
     use scalesim_topology::{Dataflow, GemmShape};
 
     fn workloads() -> Vec<MappedDims> {
-        [(31999u64, 84u64, 1024u64), (128, 4096, 2048), (84, 4096, 1024)]
-            .iter()
-            .map(|&(m, k, n)| GemmShape::new(m, k, n).project(Dataflow::OutputStationary))
-            .collect()
+        [
+            (31999u64, 84u64, 1024u64),
+            (128, 4096, 2048),
+            (84, 4096, 1024),
+        ]
+        .iter()
+        .map(|&(m, k, n)| GemmShape::new(m, k, n).project(Dataflow::OutputStationary))
+        .collect()
     }
 
     #[test]

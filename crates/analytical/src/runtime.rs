@@ -109,10 +109,7 @@ mod tests {
         let d = dims(5, 7, 6);
         // The array is larger than the workload: one partial fold whose
         // duration uses the *used* extents, i.e. Eq. 1.
-        assert_eq!(
-            exact_scaleup(&d, ArrayShape::square(64)),
-            eq1_unlimited(&d)
-        );
+        assert_eq!(exact_scaleup(&d, ArrayShape::square(64)), eq1_unlimited(&d));
     }
 
     #[test]

@@ -12,7 +12,12 @@ fn bench_occupancy(c: &mut Criterion) {
     let tf0 = networks::language_model("TF0").unwrap();
     let dims = tf0.shape().project(Dataflow::OutputStationary);
     c.bench_function("occupancy_histogram_tf0_128x128", |b| {
-        b.iter(|| black_box(occupancy_histogram(black_box(&dims), ArrayShape::square(128))))
+        b.iter(|| {
+            black_box(occupancy_histogram(
+                black_box(&dims),
+                ArrayShape::square(128),
+            ))
+        })
     });
 }
 

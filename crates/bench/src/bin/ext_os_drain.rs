@@ -9,9 +9,7 @@
 //!
 //! Run: `cargo run --release -p scalesim-bench --bin ext_os_drain`
 
-use scalesim_analytical::{
-    drain_fraction, scaleup_with_drain, ArrayShape, Dataflow, OsDrain,
-};
+use scalesim_analytical::{drain_fraction, scaleup_with_drain, ArrayShape, Dataflow, OsDrain};
 use scalesim_topology::networks;
 
 fn main() {

@@ -18,7 +18,10 @@ const INPUTS: u64 = 256;
 const TOTAL_MACS: u64 = 1 << 14;
 
 fn study(net: &Topology) {
-    println!("# Extension: pipelining {} over equal total hardware ({TOTAL_MACS} MACs, {INPUTS} inputs)", net.name());
+    println!(
+        "# Extension: pipelining {} over equal total hardware ({TOTAL_MACS} MACs, {INPUTS} inputs)",
+        net.name()
+    );
     println!("stages,per_stage_array,bottleneck_cycles,fill_cycles,total_cycles,speedup_vs_serial,imbalance");
 
     // Serial baseline: all MACs in one (partitioned) accelerator, inputs
@@ -32,7 +35,10 @@ fn study(net: &Topology) {
         .map(|l| l.total_cycles)
         .sum();
     let serial_total = serial_once * INPUTS;
-    println!("1,{}x{},{serial_once},{serial_once},{serial_total},1.000,1.00", ar, ac);
+    println!(
+        "1,{}x{},{serial_once},{serial_once},{serial_total},1.000,1.00",
+        ar, ac
+    );
 
     for stages in [2usize, 4, 8] {
         let per_stage = TOTAL_MACS / stages as u64;

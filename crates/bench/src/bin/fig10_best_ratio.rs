@@ -23,7 +23,10 @@ fn ratio_series(topology: &Topology, budgets: &[u64]) -> Vec<Series> {
             for &budget in budgets {
                 let up = best_scaleup(&dims, budget, 8, &model).cycles;
                 let (_, out) = best_scaleout(&dims, budget, 8, &model);
-                series.push(format!("2^{}", budget.trailing_zeros()), up as f64 / out as f64);
+                series.push(
+                    format!("2^{}", budget.trailing_zeros()),
+                    up as f64 / out as f64,
+                );
             }
             series
         })
@@ -31,7 +34,10 @@ fn ratio_series(topology: &Topology, budgets: &[u64]) -> Vec<Series> {
 }
 
 fn main() {
-    let budgets = mac_budgets(10, 16).into_iter().step_by(2).collect::<Vec<_>>();
+    let budgets = mac_budgets(10, 16)
+        .into_iter()
+        .step_by(2)
+        .collect::<Vec<_>>();
 
     let resnet = networks::resnet50_edges();
     print_series(

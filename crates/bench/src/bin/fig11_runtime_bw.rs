@@ -21,7 +21,9 @@ fn sweep_layer(layer: &Layer, budget_exp: u32) {
         "# Fig. 11: {} at 2^{budget_exp} MACs (OS dataflow, 512/512/256 KB SRAM)",
         layer.name()
     );
-    println!("partitions,grid,array,cycles,req_bw_bytes_per_cycle,avg_bw_bytes_per_cycle,dram_bytes");
+    println!(
+        "partitions,grid,array,cycles,req_bw_bytes_per_cycle,avg_bw_bytes_per_cycle,dram_bytes"
+    );
     for point in partition_sweep(1 << budget_exp, 8) {
         let config = SimConfig::builder().array(point.array).build();
         let sim = Simulator::new(config).with_grid(point.grid);

@@ -14,7 +14,10 @@ use scalesim_bench::partition_sweep;
 use scalesim_topology::{networks, Layer};
 
 fn sweep_layer(layer: &Layer, budget_exp: u32) {
-    println!("# Fig. 12: energy for {} at 2^{budget_exp} MACs", layer.name());
+    println!(
+        "# Fig. 12: energy for {} at 2^{budget_exp} MACs",
+        layer.name()
+    );
     println!("partitions,grid,array,cycles,e_total,e_mac,e_idle,e_sram,e_dram");
     let mut best: Option<(u64, f64)> = None;
     for point in partition_sweep(1 << budget_exp, 8) {

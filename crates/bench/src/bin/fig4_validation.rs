@@ -28,8 +28,12 @@ fn main() {
         let shape = GemmShape::new(n, n, n);
         let dims = shape.project(Dataflow::OutputStationary);
 
-        let a = Matrix::from_fn(n as usize, n as usize, |i, j| ((i * 7 + j * 3) % 17) as i64 - 8);
-        let b = Matrix::from_fn(n as usize, n as usize, |i, j| ((i * 5 + j * 11) % 13) as i64 - 6);
+        let a = Matrix::from_fn(n as usize, n as usize, |i, j| {
+            ((i * 7 + j * 3) % 17) as i64 - 8
+        });
+        let b = Matrix::from_fn(n as usize, n as usize, |i, j| {
+            ((i * 5 + j * 11) % 13) as i64 - 6
+        });
         let golden = run(&a, &b, array, Dataflow::OutputStationary);
         let values_ok = golden.output == a.matmul(&b);
 
@@ -50,7 +54,11 @@ fn main() {
     }
     println!(
         "# agreement: {}",
-        if all_match { "EXACT (all rows)" } else { "MISMATCH" }
+        if all_match {
+            "EXACT (all rows)"
+        } else {
+            "MISMATCH"
+        }
     );
     assert!(all_match, "validation failed");
 }

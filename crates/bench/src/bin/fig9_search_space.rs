@@ -47,8 +47,10 @@ fn main() {
     println!();
 
     for exp in [14u32, 16] {
-        println!("# Fig. 9({}): TF0 monolithic aspect-ratio sweep, 2^{exp} MACs",
-                 if exp == 14 { 'b' } else { 'c' });
+        println!(
+            "# Fig. 9({}): TF0 monolithic aspect-ratio sweep, 2^{exp} MACs",
+            if exp == 14 { 'b' } else { 'c' }
+        );
         println!("array,cycles,mapping_utilization");
         let mut ranked = rank_scaleup(&dims, 1 << exp, 8, &model);
         // Present tall-to-wide (the paper's x axis), not by rank.

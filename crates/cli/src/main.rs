@@ -15,6 +15,14 @@ scale-sim — systolic-array DNN accelerator simulator (SCALE-Sim in Rust)
 
 USAGE:
     scale-sim [OPTIONS]
+    scale-sim serve [--port <P>] [--host <ADDR>] [--workers <N>] [--cache <N>]
+    scale-sim batch --manifest <FILE> [--jobs <N>] [--output <FILE>] [--cache <N>]
+
+SUBCOMMANDS:
+    serve    run the HTTP simulation service (POST /simulate, GET /stats,
+             GET /healthz) with a shared content-addressed result cache
+    batch    run a manifest of jobs concurrently through the same engine
+             and write one combined REPORT CSV
 
 OPTIONS:
     -c, --config <FILE>     hardware config file (Table I format); defaults
@@ -145,10 +153,30 @@ fn load_topology(args: &Args) -> Result<Topology, String> {
     }
 }
 
-fn run() -> Result<(), String> {
-    let argv: Vec<String> = env::args().skip(1).collect();
-    let args = parse_args(&argv)?;
+/// How a failed invocation should be reported.
+enum CliError {
+    /// `--help`: print usage, exit 0.
+    Help,
+    /// The command line itself is wrong: one-line error plus usage.
+    Usage(String),
+    /// The command line was fine but execution failed (unreadable or
+    /// malformed config/topology/manifest, bind failure, ...): one-line
+    /// error only — no usage dump, no panic, nonzero exit.
+    Runtime(String),
+}
 
+fn run(argv: &[String]) -> Result<(), CliError> {
+    let args = parse_args(argv).map_err(|msg| {
+        if msg.is_empty() {
+            CliError::Help
+        } else {
+            CliError::Usage(msg)
+        }
+    })?;
+    run_simulation(&args).map_err(CliError::Runtime)
+}
+
+fn run_simulation(args: &Args) -> Result<(), String> {
     let mut config: SimConfig = match &args.config {
         Some(path) => {
             let text = fs::read_to_string(path)
@@ -169,7 +197,7 @@ fn run() -> Result<(), String> {
         return Ok(());
     }
 
-    let mut topology = load_topology(&args)?;
+    let mut topology = load_topology(args)?;
     if let Some(batch) = args.batch {
         topology = networks::batched(&topology, batch);
     }
@@ -213,16 +241,28 @@ fn run() -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
-    match run() {
+    let argv: Vec<String> = env::args().skip(1).collect();
+    // Subcommands dispatch to the server crate; their errors are always
+    // runtime-style (one line, no usage dump).
+    let outcome = match argv.first().map(String::as_str) {
+        Some("serve") => scalesim_server::cli::run_serve(&argv[1..]).map_err(CliError::Runtime),
+        Some("batch") => scalesim_server::cli::run_batch_cli(&argv[1..]).map_err(CliError::Runtime),
+        _ => run(&argv),
+    };
+    match outcome {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) if msg.is_empty() => {
+        Err(CliError::Help) => {
             print!("{USAGE}");
             ExitCode::SUCCESS
         }
-        Err(msg) => {
+        Err(CliError::Usage(msg)) => {
             eprintln!("error: {msg}");
             eprintln!();
             eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+        Err(CliError::Runtime(msg)) => {
+            eprintln!("error: {msg}");
             ExitCode::FAILURE
         }
     }
@@ -239,7 +279,14 @@ mod tests {
     #[test]
     fn parses_full_argument_set() {
         let a = parse_args(&argv(&[
-            "--config", "x.cfg", "--topology", "t.csv", "--grid", "4x2", "--output", "out",
+            "--config",
+            "x.cfg",
+            "--topology",
+            "t.csv",
+            "--grid",
+            "4x2",
+            "--output",
+            "out",
             "--traces",
         ]))
         .unwrap();
@@ -251,7 +298,12 @@ mod tests {
     #[test]
     fn parses_extended_flags() {
         let a = parse_args(&argv(&[
-            "--dataflow", "ws", "--bandwidth", "32.5", "--batch", "8",
+            "--dataflow",
+            "ws",
+            "--bandwidth",
+            "32.5",
+            "--batch",
+            "8",
         ]))
         .unwrap();
         assert_eq!(a.dataflow, Some(Dataflow::WeightStationary));

@@ -85,13 +85,7 @@ fn full_pipeline_writes_report_and_traces() {
     assert_eq!(report.lines().count(), 3); // header + 2 layers
     assert!(report.contains("TinyConv"));
     // Stall column is populated because --bandwidth was set.
-    let last_col = report
-        .lines()
-        .nth(1)
-        .unwrap()
-        .rsplit(',')
-        .next()
-        .unwrap();
+    let last_col = report.lines().nth(1).unwrap().rsplit(',').next().unwrap();
     assert!(last_col.parse::<u64>().is_ok(), "stalled_cycles column");
     for suffix in ["sram_read", "sram_write", "dram_read", "dram_write"] {
         let path = dir.join(format!("TinyConv_{suffix}.csv"));
@@ -138,4 +132,132 @@ fn missing_topology_file_is_a_clean_error() {
     assert!(!out.status.success());
     let err = String::from_utf8(out.stderr).unwrap();
     assert!(err.contains("cannot read topology"));
+}
+
+/// Runtime failures (valid flags, bad file contents) must exit nonzero with
+/// exactly one `error:` line — no usage dump, no panic backtrace.
+fn assert_one_line_error(out: &Output, expect: &str) {
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr.clone()).unwrap();
+    assert!(err.contains(expect), "stderr missing `{expect}`: {err}");
+    assert_eq!(
+        err.lines().count(),
+        1,
+        "expected one-line error, got: {err}"
+    );
+    assert!(err.starts_with("error:"), "stderr: {err}");
+    assert!(!err.contains("USAGE"), "runtime errors must not dump usage");
+    assert!(!err.contains("panicked"), "stderr: {err}");
+}
+
+#[test]
+fn malformed_config_is_a_one_line_error() {
+    let dir = temp_dir("badcfg");
+    let cfg = dir.join("bad.cfg");
+    fs::write(&cfg, "ArrayHeight : not_a_number\n").unwrap();
+    let out = scale_sim(&["--config", cfg.to_str().unwrap(), "--network", "alexnet"]);
+    assert_one_line_error(&out, "config parse error");
+}
+
+#[test]
+fn malformed_topology_csv_is_a_one_line_error() {
+    let dir = temp_dir("badtopo");
+    let topo = dir.join("bad.csv");
+    fs::write(&topo, "Conv1,230,230,7,7\n").unwrap(); // wrong column count
+    let out = scale_sim(&["--topology", topo.to_str().unwrap()]);
+    assert_one_line_error(&out, "topology parse error");
+}
+
+#[test]
+fn bad_flags_still_dump_usage() {
+    let out = scale_sim(&["--bogus"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown argument"));
+    assert!(err.contains("USAGE"), "argument errors keep the usage dump");
+}
+
+#[test]
+fn help_mentions_subcommands() {
+    let out = scale_sim(&["--help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("serve"));
+    assert!(text.contains("batch"));
+    assert!(text.contains("/simulate"));
+}
+
+#[test]
+fn serve_with_bad_flag_is_a_one_line_error() {
+    let out = scale_sim(&["serve", "--frobnicate"]);
+    assert_one_line_error(&out, "unknown serve argument");
+}
+
+#[test]
+fn batch_without_manifest_is_a_one_line_error() {
+    let out = scale_sim(&["batch"]);
+    assert_one_line_error(&out, "--manifest");
+}
+
+/// The batch acceptance scenario: a manifest listing every ResNet-50 layer
+/// twice must report exactly a 50% cache-hit rate and produce per-layer
+/// rows byte-identical to a sequential single-shot CLI run.
+#[test]
+fn batch_resnet50_duplicates_hit_exactly_fifty_percent() {
+    let dir = temp_dir("batch50");
+
+    // Sequential ground truth: one full run, REPORT.csv row per layer.
+    let seq_out = scale_sim(&["--network", "resnet50", "--output", dir.to_str().unwrap()]);
+    assert!(seq_out.status.success());
+    let sequential = fs::read_to_string(dir.join("REPORT.csv")).unwrap();
+    let mut rows = sequential.lines();
+    let header = rows.next().unwrap();
+    let rows: Vec<&str> = rows.collect();
+    assert_eq!(rows.len(), 54, "resnet50 has 54 layers");
+
+    // Manifest: each layer as its own job, listed twice back to back.
+    let names = scalesim_topology::networks::resnet50();
+    let manifest: String = names
+        .iter()
+        .flat_map(|layer| {
+            let line = format!("network=resnet50 layer={}\n", layer.name());
+            [line.clone(), line]
+        })
+        .collect();
+    let manifest_path = dir.join("manifest.txt");
+    fs::write(&manifest_path, manifest).unwrap();
+
+    let batch_csv = dir.join("batch.csv");
+    let out = scale_sim(&[
+        "batch",
+        "--manifest",
+        manifest_path.to_str().unwrap(),
+        "--jobs",
+        "8",
+        "--output",
+        batch_csv.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let summary = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        summary.contains("cache-hit rate 50.0% (54/108)"),
+        "summary: {summary}"
+    );
+    assert!(summary.contains("54 simulations"), "summary: {summary}");
+
+    // Byte-identical per-layer rows, in manifest order (each row twice).
+    let mut expected = String::from(header);
+    expected.push('\n');
+    for row in &rows {
+        expected.push_str(row);
+        expected.push('\n');
+        expected.push_str(row);
+        expected.push('\n');
+    }
+    let batch = fs::read_to_string(&batch_csv).unwrap();
+    assert_eq!(batch, expected, "batch rows must match sequential runs");
 }

@@ -253,11 +253,13 @@ pub fn parse_config(text: &str) -> Result<SimConfig, ParseConfigError> {
             })?;
         let lower = key.to_ascii_lowercase();
         let num = |key: &str| -> Result<u64, ParseConfigError> {
-            value.parse::<u64>().map_err(|_| ParseConfigError::InvalidNumber {
-                line: line_no,
-                key: key.to_owned(),
-                text: value.to_owned(),
-            })
+            value
+                .parse::<u64>()
+                .map_err(|_| ParseConfigError::InvalidNumber {
+                    line: line_no,
+                    key: key.to_owned(),
+                    text: value.to_owned(),
+                })
         };
         match lower.as_str() {
             "arrayheight" => rows = num(key)?,
@@ -270,14 +272,11 @@ pub fn parse_config(text: &str) -> Result<SimConfig, ParseConfigError> {
             "ofmapoffset" => config.offsets.ofmap = num(key)?,
             "wordbytes" => config.word_bytes = num(key)?,
             "drambandwidth" => {
-                let bw: f64 =
-                    value
-                        .parse()
-                        .map_err(|_| ParseConfigError::InvalidNumber {
-                            line: line_no,
-                            key: key.to_owned(),
-                            text: value.to_owned(),
-                        })?;
+                let bw: f64 = value.parse().map_err(|_| ParseConfigError::InvalidNumber {
+                    line: line_no,
+                    key: key.to_owned(),
+                    text: value.to_owned(),
+                })?;
                 if !(bw.is_finite() && bw > 0.0) {
                     return Err(ParseConfigError::ZeroParameter {
                         key: "DramBandwidth",
@@ -286,10 +285,12 @@ pub fn parse_config(text: &str) -> Result<SimConfig, ParseConfigError> {
                 config.dram_bandwidth = Some(bw);
             }
             "dataflow" => {
-                config.dataflow = value.parse().map_err(|_| ParseConfigError::InvalidDataflow {
-                    line: line_no,
-                    text: value.to_owned(),
-                })?;
+                config.dataflow = value
+                    .parse()
+                    .map_err(|_| ParseConfigError::InvalidDataflow {
+                        line: line_no,
+                        text: value.to_owned(),
+                    })?;
             }
             // Keys present in original config files but consumed elsewhere.
             "run_name" | "runname" | "topology" => {}

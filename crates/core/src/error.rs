@@ -50,10 +50,16 @@ impl fmt::Display for ParseConfigError {
                 write!(f, "line {line}: expected `key = value`, got `{text}`")
             }
             ParseConfigError::InvalidNumber { line, key, text } => {
-                write!(f, "line {line}: parameter `{key}` is not a number: `{text}`")
+                write!(
+                    f,
+                    "line {line}: parameter `{key}` is not a number: `{text}`"
+                )
             }
             ParseConfigError::InvalidDataflow { line, text } => {
-                write!(f, "line {line}: dataflow must be `os`, `ws` or `is`, got `{text}`")
+                write!(
+                    f,
+                    "line {line}: dataflow must be `os`, `ws` or `is`, got `{text}`"
+                )
             }
             ParseConfigError::UnknownKey { line, key } => {
                 write!(f, "line {line}: unknown parameter `{key}`")

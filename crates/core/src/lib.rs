@@ -64,8 +64,8 @@ pub mod sweep;
 
 pub use crate::config::{parse_config, SimConfig, SimConfigBuilder};
 pub use crate::error::ParseConfigError;
-pub use crate::report::{LayerReport, NetworkReport};
 pub use crate::pipeline::{balance_stages, run_pipeline, PipelineReport, StageReport};
+pub use crate::report::{LayerReport, NetworkReport};
 pub use crate::simulator::Simulator;
 pub use crate::sweep::{run_partition_sweep, sweet_spot, SweepPoint};
 

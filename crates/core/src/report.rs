@@ -173,14 +173,25 @@ impl NetworkReport {
         }
     }
 
+    /// The header row of the CSV serialization, terminated by a newline.
+    pub const CSV_HEADER: &'static str =
+        "layer,cycles,macs,mapping_util,compute_util,sram_reads,sram_writes,\
+         dram_reads,dram_writes,dram_bytes,req_bw_bytes_per_cycle,avg_bw_bytes_per_cycle,\
+         energy,stalled_cycles\n";
+
     /// Serializes the per-layer metrics as CSV (one row per layer), in the
     /// spirit of the original tool's `REPORT.csv`.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from(
-            "layer,cycles,macs,mapping_util,compute_util,sram_reads,sram_writes,\
-             dram_reads,dram_writes,dram_bytes,req_bw_bytes_per_cycle,avg_bw_bytes_per_cycle,\
-             energy,stalled_cycles\n",
-        );
+        let mut out = String::from(Self::CSV_HEADER);
+        out.push_str(&self.csv_rows());
+        out
+    }
+
+    /// The CSV data rows alone, without [`Self::CSV_HEADER`] — lets callers
+    /// (e.g. the batch runner) concatenate rows from several reports into
+    /// one file while staying byte-identical to per-report `to_csv` output.
+    pub fn csv_rows(&self) -> String {
+        let mut out = String::new();
         for l in &self.layers {
             out.push_str(&format!(
                 "{},{},{},{:.4},{:.4},{},{},{},{},{},{:.3},{:.3},{:.1},{}\n",

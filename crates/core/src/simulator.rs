@@ -9,9 +9,7 @@ use scalesim_memory::{
     AddressMap, ConvAddressMap, DramModel, DramSummary, DramTraceWriter, GemmAddressMap,
     StallModel, StallSummary, SubGemmMap,
 };
-use scalesim_systolic::{
-    analyze, fold_demands, simulate, ComputeReport, CsvTraceSink, SramCounts,
-};
+use scalesim_systolic::{analyze, fold_demands, simulate, ComputeReport, CsvTraceSink, SramCounts};
 use scalesim_topology::{GemmShape, Layer, Topology};
 
 use crate::config::SimConfig;
@@ -147,12 +145,9 @@ impl Simulator {
         // Idle accounting covers every provisioned PE for the whole layer
         // runtime — including partitions that finished early or had no work.
         let pe_cycles = provisioned * config.array.macs() * total_cycles;
-        let energy = self.energy_model.evaluate(
-            mac_ops,
-            pe_cycles,
-            sram.total(),
-            dram.total_accesses(),
-        );
+        let energy =
+            self.energy_model
+                .evaluate(mac_ops, pe_cycles, sram.total(), dram.total_accesses());
 
         LayerReport {
             name: layer.name().to_owned(),
@@ -226,7 +221,14 @@ impl Simulator {
         );
         let mut tracer = DramTraceWriter::new(reads, writes);
         for d in fold_demands(&dims, self.config.array, &*map) {
-            dram.fold_traced(d.fold.duration, d.a, d.b, d.o_spill, d.o_writes, &mut tracer)?;
+            dram.fold_traced(
+                d.fold.duration,
+                d.a,
+                d.b,
+                d.o_spill,
+                d.o_writes,
+                &mut tracer,
+            )?;
         }
         tracer.finish()?;
         Ok(dram.finish())
@@ -237,9 +239,7 @@ impl Simulator {
 fn layer_map(layer: &Layer, config: &SimConfig) -> Box<dyn AddressMap + Send + Sync> {
     match layer {
         Layer::Conv(conv) => Box::new(ConvAddressMap::new(conv, config.offsets)),
-        Layer::Gemm { shape, .. } => {
-            Box::new(GemmAddressMap::from_shape(*shape, config.offsets))
-        }
+        Layer::Gemm { shape, .. } => Box::new(GemmAddressMap::from_shape(*shape, config.offsets)),
     }
 }
 
@@ -486,7 +486,11 @@ mod tests {
                 dram_bandwidth: Some(bw),
                 ..small_config()
             };
-            Simulator::new(cfg).run_layer(&layer).stall.unwrap().slowdown()
+            Simulator::new(cfg)
+                .run_layer(&layer)
+                .stall
+                .unwrap()
+                .slowdown()
         };
         let s1 = slowdown(1.0);
         let s8 = slowdown(8.0);
@@ -501,7 +505,9 @@ mod tests {
         let layer = Layer::gemm("g", 32, 8, 32);
         let mut reads = Vec::new();
         let mut writes = Vec::new();
-        let summary = sim.write_dram_traces(&layer, &mut reads, &mut writes).unwrap();
+        let summary = sim
+            .write_dram_traces(&layer, &mut reads, &mut writes)
+            .unwrap();
         let count_addrs = |buf: &[u8]| -> u64 {
             String::from_utf8(buf.to_vec())
                 .unwrap()
@@ -509,7 +515,10 @@ mod tests {
                 .map(|l| l.split(',').count() as u64 - 1)
                 .sum()
         };
-        assert_eq!(count_addrs(&reads), summary.reads_a + summary.reads_b + summary.reads_o);
+        assert_eq!(
+            count_addrs(&reads),
+            summary.reads_a + summary.reads_b + summary.reads_o
+        );
         assert_eq!(count_addrs(&writes), summary.writes_o);
     }
 

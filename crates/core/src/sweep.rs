@@ -115,8 +115,7 @@ pub fn sweet_spot(points: &[SweepPoint]) -> Option<&SweepPoint> {
     points
         .iter()
         .find(|p| {
-            p.report.required_bandwidth() / max_bw
-                >= p.report.total_cycles as f64 / max_cycles
+            p.report.required_bandwidth() / max_bw >= p.report.total_cycles as f64 / max_cycles
         })
         .or_else(|| points.last())
         .into()
@@ -148,9 +147,7 @@ mod tests {
         // (The paper calls the runtime trend "almost monotonic" — fixed
         // square-ish grids can mis-split a skewed layer at one point, so
         // only the endpoints are asserted strictly.)
-        assert!(
-            points.last().unwrap().report.total_cycles < points[0].report.total_cycles
-        );
+        assert!(points.last().unwrap().report.total_cycles < points[0].report.total_cycles);
         assert!(
             points.last().unwrap().report.required_bandwidth()
                 > points[0].report.required_bandwidth()

@@ -223,7 +223,11 @@ impl<'a, M: AddressMap + ?Sized> SubGemmMap<'a, M> {
     /// Wraps `inner`, offsetting output rows by `m_off` and output columns
     /// by `n_off`.
     pub fn new(inner: &'a M, m_off: u64, n_off: u64) -> Self {
-        SubGemmMap { inner, m_off, n_off }
+        SubGemmMap {
+            inner,
+            m_off,
+            n_off,
+        }
     }
 }
 
@@ -328,9 +332,7 @@ mod tests {
         // real ifmap element.
         assert!(distinct.len() as u64 <= layer.ifmap_elems());
         assert!((distinct.len() as u64) < touches / 4);
-        assert!(distinct
-            .iter()
-            .all(|&addr| addr < layer.ifmap_elems()));
+        assert!(distinct.iter().all(|&addr| addr < layer.ifmap_elems()));
     }
 
     #[test]

@@ -306,8 +306,14 @@ mod tests {
 
     #[test]
     fn capacity_from_kb_and_word_size() {
-        assert_eq!(OperandBufferSpec::from_kb(512, 1).capacity_elems(), 512 * 1024);
-        assert_eq!(OperandBufferSpec::from_kb(512, 4).capacity_elems(), 128 * 1024);
+        assert_eq!(
+            OperandBufferSpec::from_kb(512, 1).capacity_elems(),
+            512 * 1024
+        );
+        assert_eq!(
+            OperandBufferSpec::from_kb(512, 4).capacity_elems(),
+            128 * 1024
+        );
         // Zero word size is clamped to 1.
         assert_eq!(OperandBufferSpec::from_kb(1, 0).capacity_elems(), 1024);
     }

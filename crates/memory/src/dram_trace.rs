@@ -10,7 +10,6 @@
 
 use std::io::{self, Write};
 
-
 /// Records the interface schedule and writes DRAM trace CSVs.
 ///
 /// Feed it the same folds (plus the miss addresses) the [`crate::DramModel`]
@@ -63,13 +62,23 @@ impl<W: Write> DramTraceWriter<W> {
     /// # Errors
     ///
     /// Propagates writer I/O errors.
-    pub fn fold(&mut self, duration: u64, read_misses: &[u64], write_addrs: &[u64]) -> io::Result<()> {
+    pub fn fold(
+        &mut self,
+        duration: u64,
+        read_misses: &[u64],
+        write_addrs: &[u64],
+    ) -> io::Result<()> {
         // Prefetch window: the previous fold's span (or a cold-start window
         // of this fold's own length, clamped at cycle 0).
         let window = self.prev_duration.unwrap_or(duration).max(1);
         let window_start = self.fold_start.saturating_sub(window);
         emit_spread(&mut self.reads, read_misses, window_start, window)?;
-        emit_spread(&mut self.writes, write_addrs, self.fold_start, duration.max(1))?;
+        emit_spread(
+            &mut self.writes,
+            write_addrs,
+            self.fold_start,
+            duration.max(1),
+        )?;
         self.fold_start += duration;
         self.prev_duration = Some(duration);
         self.folds += 1;

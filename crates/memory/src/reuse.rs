@@ -79,11 +79,7 @@ impl ReuseProfile {
     /// stream: cold misses plus every access with stack distance
     /// ≥ capacity.
     pub fn misses_at(&self, capacity: usize) -> u64 {
-        let reuse_misses: u64 = self
-            .histogram
-            .iter()
-            .skip(capacity)
-            .sum();
+        let reuse_misses: u64 = self.histogram.iter().skip(capacity).sum();
         self.cold + reuse_misses
     }
 
@@ -118,9 +114,7 @@ struct Fenwick {
 
 impl Fenwick {
     fn with_len(len: usize) -> Self {
-        Fenwick {
-            tree: vec![0; len],
-        }
+        Fenwick { tree: vec![0; len] }
     }
 
     fn add(&mut self, mut index: usize, delta: i64) {

@@ -1,0 +1,480 @@
+//! The execution engine: a worker pool over the simulator with
+//! single-flight deduplication and a content-addressed result cache.
+//!
+//! Every job resolves to a [`JobKey`] before touching the simulator. The
+//! engine then guarantees that, among any set of concurrently submitted
+//! jobs with equal keys, **exactly one** simulation runs: the first caller
+//! becomes the *leader* and enqueues work for the pool, later callers
+//! become *joiners* that block on the leader's completion slot. Finished
+//! results land in a sharded LRU cache, so repeats after completion are
+//! pure cache hits.
+//!
+//! Stats semantics: `cache_hits` counts both LRU hits and single-flight
+//! joins — every request that was served without running a simulation.
+//! This makes hit-rate assertions independent of scheduling timing (a
+//! duplicate counts the same whether it arrived before or after the leader
+//! finished).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use scalesim::{NetworkReport, Simulator};
+
+use crate::cache::ShardedLru;
+use crate::job::{JobError, JobKey, NormalizedJob, SimJob};
+use crate::json::Json;
+
+/// How a completed request was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Served {
+    /// This request's simulation actually ran.
+    Fresh,
+    /// Served from the result cache.
+    Cache,
+    /// Joined an identical in-flight simulation (single-flight dedup).
+    Joined,
+}
+
+impl Served {
+    /// Short lowercase tag, used in the `X-Scalesim-Cache` response header.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Served::Fresh => "miss",
+            Served::Cache => "hit",
+            Served::Joined => "joined",
+        }
+    }
+}
+
+/// The outcome of one simulation job.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Content-addressed key of the normalized job.
+    pub key: JobKey,
+    /// The simulation report.
+    pub report: NetworkReport,
+    /// Wall time of the underlying simulation in microseconds (the
+    /// leader's measurement; identical for cache hits and joins, keeping
+    /// response bodies for equal jobs byte-identical).
+    pub sim_wall_micros: u64,
+}
+
+impl SimResult {
+    /// JSON body returned by `POST /simulate`. Deterministic for a given
+    /// key: field order is fixed and no request-specific data is included.
+    pub fn to_json(&self) -> Json {
+        let layers: Vec<Json> = self
+            .report
+            .layers()
+            .iter()
+            .map(|l| {
+                Json::obj(vec![
+                    ("name", Json::str(l.name.clone())),
+                    ("cycles", Json::Int(l.total_cycles.into())),
+                    ("effective_cycles", Json::Int(l.effective_cycles().into())),
+                    ("macs", Json::Int(l.mac_ops.into())),
+                    ("mapping_util", Json::Float(l.mapping_utilization)),
+                    ("compute_util", Json::Float(l.compute_utilization)),
+                    ("sram_accesses", Json::Int(l.sram.total().into())),
+                    ("dram_bytes", Json::Int(l.dram.total_bytes().into())),
+                    ("req_bw", Json::Float(l.required_bandwidth())),
+                    ("avg_bw", Json::Float(l.average_bandwidth())),
+                    ("energy", Json::Float(l.energy.total())),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("key", Json::str(self.key.to_string())),
+            ("network", Json::str(self.report.name().to_owned())),
+            ("total_cycles", Json::Int(self.report.total_cycles().into())),
+            ("total_macs", Json::Int(self.report.total_macs().into())),
+            (
+                "total_dram_bytes",
+                Json::Int(self.report.total_dram_bytes().into()),
+            ),
+            (
+                "overall_utilization",
+                Json::Float(self.report.overall_utilization()),
+            ),
+            (
+                "total_energy",
+                Json::Float(self.report.total_energy().total()),
+            ),
+            ("sim_wall_micros", Json::Int(self.sim_wall_micros.into())),
+            ("layers", Json::Arr(layers)),
+        ])
+    }
+}
+
+/// Monotonic service counters, all relaxed atomics.
+#[derive(Debug, Default)]
+pub struct Stats {
+    /// Jobs accepted for execution (normalized successfully).
+    pub accepted: AtomicU64,
+    /// Jobs completed (any path: fresh, cache, join).
+    pub completed: AtomicU64,
+    /// Simulations actually executed by the pool.
+    pub simulations: AtomicU64,
+    /// Requests served from the LRU result cache.
+    pub lru_hits: AtomicU64,
+    /// Requests that joined an identical in-flight simulation.
+    pub joins: AtomicU64,
+    /// Jobs currently being simulated.
+    pub in_flight: AtomicU64,
+    /// Total simulation wall time in microseconds (fresh runs only).
+    pub total_sim_micros: AtomicU64,
+}
+
+impl Stats {
+    /// Requests served without running a simulation (LRU hits + joins).
+    pub fn cache_hits(&self) -> u64 {
+        self.lru_hits.load(Ordering::Relaxed) + self.joins.load(Ordering::Relaxed)
+    }
+
+    /// JSON body returned by `GET /stats`.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "accepted",
+                Json::Int(self.accepted.load(Ordering::Relaxed).into()),
+            ),
+            (
+                "completed",
+                Json::Int(self.completed.load(Ordering::Relaxed).into()),
+            ),
+            (
+                "simulations",
+                Json::Int(self.simulations.load(Ordering::Relaxed).into()),
+            ),
+            ("cache_hits", Json::Int(self.cache_hits().into())),
+            (
+                "lru_hits",
+                Json::Int(self.lru_hits.load(Ordering::Relaxed).into()),
+            ),
+            (
+                "joins",
+                Json::Int(self.joins.load(Ordering::Relaxed).into()),
+            ),
+            (
+                "in_flight",
+                Json::Int(self.in_flight.load(Ordering::Relaxed).into()),
+            ),
+            (
+                "total_sim_micros",
+                Json::Int(self.total_sim_micros.load(Ordering::Relaxed).into()),
+            ),
+        ])
+    }
+}
+
+/// Completion slot shared by a leader and its joiners.
+struct Slot {
+    state: Mutex<Option<Result<Arc<SimResult>, JobError>>>,
+    done: Condvar,
+}
+
+impl Slot {
+    fn new() -> Arc<Slot> {
+        Arc::new(Slot {
+            state: Mutex::new(None),
+            done: Condvar::new(),
+        })
+    }
+
+    fn fill(&self, result: Result<Arc<SimResult>, JobError>) {
+        *self.state.lock().unwrap() = Some(result);
+        self.done.notify_all();
+    }
+
+    fn wait(&self) -> Result<Arc<SimResult>, JobError> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(result) = state.as_ref() {
+                return result.clone();
+            }
+            state = self.done.wait(state).unwrap();
+        }
+    }
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<(NormalizedJob, JobKey, Arc<Slot>)>>,
+    queue_cv: Condvar,
+    inflight: Mutex<HashMap<u128, Arc<Slot>>>,
+    cache: ShardedLru<Arc<SimResult>>,
+    stats: Stats,
+    shutdown: AtomicBool,
+}
+
+/// The simulation engine: worker pool + cache + single-flight table.
+///
+/// Cloning is cheap (an `Arc`); drop of the last handle created by
+/// [`Engine::new`] does *not* stop workers — call [`Engine::shutdown`].
+#[derive(Clone)]
+pub struct Engine {
+    shared: Arc<Shared>,
+}
+
+impl Engine {
+    /// Spawns `workers` simulator threads and a cache of `cache_capacity`
+    /// results. Worker threads are detached; they exit on [`Engine::shutdown`].
+    pub fn new(workers: usize, cache_capacity: usize) -> Engine {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            inflight: Mutex::new(HashMap::new()),
+            cache: ShardedLru::new(cache_capacity, workers.next_power_of_two().min(16)),
+            stats: Stats::default(),
+            shutdown: AtomicBool::new(false),
+        });
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("sim-worker-{i}"))
+                .spawn(move || worker_loop(shared))
+                .expect("spawn simulation worker");
+        }
+        Engine { shared }
+    }
+
+    /// Service counters.
+    pub fn stats(&self) -> &Stats {
+        &self.shared.stats
+    }
+
+    /// Runs a job to completion, deduplicating against the cache and any
+    /// identical in-flight simulation. Blocks the calling thread.
+    pub fn run(&self, job: &SimJob) -> Result<(Arc<SimResult>, Served), JobError> {
+        let normalized = job.normalize()?;
+        let key = normalized.key();
+        self.shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+
+        if let Some(result) = self.shared.cache.get(key.0) {
+            self.shared.stats.lru_hits.fetch_add(1, Ordering::Relaxed);
+            self.shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+            return Ok((result, Served::Cache));
+        }
+
+        // Slow path: become the leader for this key, or join an existing one.
+        let (slot, leader) = {
+            let mut inflight = self.shared.inflight.lock().unwrap();
+            // A leader may have completed between the cache probe and this
+            // lock; its result is in the cache (inserted before the inflight
+            // entry is removed), so re-check under the lock.
+            if let Some(result) = self.shared.cache.get(key.0) {
+                self.shared.stats.lru_hits.fetch_add(1, Ordering::Relaxed);
+                self.shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+                return Ok((result, Served::Cache));
+            }
+            match inflight.get(&key.0) {
+                Some(slot) => (Arc::clone(slot), false),
+                None => {
+                    let slot = Slot::new();
+                    inflight.insert(key.0, Arc::clone(&slot));
+                    (slot, true)
+                }
+            }
+        };
+
+        if leader {
+            let mut queue = self.shared.queue.lock().unwrap();
+            queue.push_back((normalized, key, Arc::clone(&slot)));
+            drop(queue);
+            self.shared.queue_cv.notify_one();
+        } else {
+            self.shared.stats.joins.fetch_add(1, Ordering::Relaxed);
+        }
+
+        let outcome = slot.wait();
+        self.shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+        outcome.map(|r| {
+            (
+                r,
+                if leader {
+                    Served::Fresh
+                } else {
+                    Served::Joined
+                },
+            )
+        })
+    }
+
+    /// Signals workers to exit once the queue drains. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let (job, key, slot) = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if let Some(item) = queue.pop_front() {
+                    break item;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = shared.queue_cv.wait(queue).unwrap();
+            }
+        };
+
+        shared.stats.in_flight.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Simulator::new(job.config)
+                .with_grid(job.grid)
+                .run_topology(&job.topology)
+        }));
+        let sim_wall_micros = started.elapsed().as_micros() as u64;
+
+        let outcome = match run {
+            Ok(report) => {
+                shared.stats.simulations.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .stats
+                    .total_sim_micros
+                    .fetch_add(sim_wall_micros, Ordering::Relaxed);
+                Ok(Arc::new(SimResult {
+                    key,
+                    report,
+                    sim_wall_micros,
+                }))
+            }
+            Err(panic) => Err(JobError::Internal(panic_message(&panic))),
+        };
+
+        // Order matters: publish to the cache *before* removing the inflight
+        // entry, so a racing `run()` that misses the inflight table is
+        // guaranteed to find the result in the cache.
+        if let Ok(result) = &outcome {
+            shared.cache.insert(key.0, Arc::clone(result));
+        }
+        shared.inflight.lock().unwrap().remove(&key.0);
+        shared.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+        slot.fill(outcome);
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "simulation panicked".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_job() -> SimJob {
+        // Single tiny layer so engine tests stay fast.
+        SimJob {
+            workload: crate::job::Workload::InlineCsv {
+                name: "tiny".into(),
+                csv: "Layer,IfmapH,IfmapW,FilterH,FilterW,Channels,Filters,Strides\n\
+                      L1,8,8,3,3,4,8,1\n"
+                    .into(),
+            },
+            layer: None,
+            config: vec![
+                ("ArrayHeight".into(), "8".into()),
+                ("ArrayWidth".into(), "8".into()),
+            ],
+            grid: (1, 1),
+            dataflow: None,
+            bandwidth: None,
+            batch: None,
+        }
+    }
+
+    #[test]
+    fn fresh_then_cached() {
+        let engine = Engine::new(2, 64);
+        let job = small_job();
+        let (first, served) = engine.run(&job).unwrap();
+        assert_eq!(served, Served::Fresh);
+        let (second, served) = engine.run(&job).unwrap();
+        assert_eq!(served, Served::Cache);
+        assert_eq!(first.key, second.key);
+        assert_eq!(first.report, second.report);
+        let stats = engine.stats();
+        assert_eq!(stats.simulations.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.cache_hits(), 1);
+        assert_eq!(stats.completed.load(Ordering::Relaxed), 2);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn concurrent_duplicates_run_once() {
+        let engine = Engine::new(4, 64);
+        let job = small_job();
+        let results: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let engine = engine.clone();
+                    let job = job.clone();
+                    s.spawn(move || engine.run(&job).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let stats = engine.stats();
+        assert_eq!(stats.simulations.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.cache_hits(), 7);
+        let first_json = results[0].0.to_json().to_string();
+        for (result, _) in &results {
+            assert_eq!(result.to_json().to_string(), first_json);
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn distinct_jobs_each_simulate() {
+        let engine = Engine::new(2, 64);
+        let a = small_job();
+        let mut b = small_job();
+        b.config.push(("Dataflow".into(), "is".into()));
+        engine.run(&a).unwrap();
+        engine.run(&b).unwrap();
+        assert_eq!(engine.stats().simulations.load(Ordering::Relaxed), 2);
+        assert_eq!(engine.stats().cache_hits(), 0);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn bad_job_is_rejected_before_the_pool() {
+        let engine = Engine::new(1, 4);
+        let job = SimJob::builtin("no_such_net");
+        assert!(engine.run(&job).is_err());
+        assert_eq!(engine.stats().accepted.load(Ordering::Relaxed), 0);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn stats_json_shape() {
+        let engine = Engine::new(1, 4);
+        let json = engine.stats().to_json();
+        for field in [
+            "accepted",
+            "completed",
+            "simulations",
+            "cache_hits",
+            "lru_hits",
+            "joins",
+            "in_flight",
+            "total_sim_micros",
+        ] {
+            assert!(json.get(field).is_some(), "missing stats field {field}");
+        }
+        engine.shutdown();
+    }
+}

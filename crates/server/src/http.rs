@@ -1,0 +1,334 @@
+//! A minimal HTTP/1.1 front end over the [`Engine`], built directly on
+//! `std::net` — no async runtime, thread per connection.
+//!
+//! Routes:
+//!
+//! * `POST /simulate` — body is a [`SimJob`](crate::job::SimJob) JSON
+//!   object; responds with the result JSON. The `X-Scalesim-Cache` header
+//!   carries `miss` / `hit` / `joined`; the *body* is identical for equal
+//!   jobs regardless of how they were served.
+//! * `GET /stats` — service counters.
+//! * `GET /healthz` — liveness probe; answers immediately even while long
+//!   simulations are running (handled on its own connection thread, never
+//!   queued behind the worker pool).
+//!
+//! The subset implemented is deliberately small: one request per
+//! connection (`Connection: close`), `Content-Length` bodies only, 16 KiB
+//! header cap, 4 MiB body cap, 5 s socket timeouts.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::engine::Engine;
+use crate::job::{JobError, SimJob};
+use crate::json::Json;
+
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A bound, not-yet-serving HTTP server.
+pub struct Server {
+    listener: TcpListener,
+    engine: Engine,
+}
+
+/// Handle to a serving [`Server`]; stops it on [`ServerHandle::stop`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    pub fn bind(addr: &str, engine: Engine) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server { listener, engine })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener has addr")
+    }
+
+    /// Serves until the returned handle is stopped. The accept loop runs on
+    /// its own thread; each connection gets a thread.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.local_addr();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("http-accept".into())
+            .spawn(move || self.accept_loop(stop_flag))
+            .expect("spawn http accept thread");
+        ServerHandle {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        }
+    }
+
+    /// Serves on the calling thread until the process exits. Used by
+    /// `scale-sim serve`.
+    pub fn run(self) -> ! {
+        self.accept_loop(Arc::new(AtomicBool::new(false)));
+        unreachable!("accept loop only returns when stopped");
+    }
+
+    fn accept_loop(self, stop: Arc<AtomicBool>) {
+        for conn in self.listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            let Ok(stream) = conn else { continue };
+            let engine = self.engine.clone();
+            // Detached: a hung connection times out via socket deadlines.
+            let _ = std::thread::Builder::new()
+                .name("http-conn".into())
+                .spawn(move || {
+                    let _ = handle_connection(stream, &engine);
+                });
+        }
+    }
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins the accept thread. In-flight
+    /// connections finish on their own threads.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop is blocked in `incoming()`; poke it awake.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, engine: &Engine) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(SOCKET_TIMEOUT))?;
+    stream.set_write_timeout(Some(SOCKET_TIMEOUT))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+
+    let (method, path, body) = match read_request(&mut reader) {
+        Ok(req) => req,
+        Err(msg) => return respond(&stream, 400, &[], &error_body(&msg).to_string()),
+    };
+
+    match (method.as_str(), path.as_str()) {
+        ("GET", "/healthz") => respond(&stream, 200, &[], r#"{"status":"ok"}"#),
+        ("GET", "/stats") => respond(&stream, 200, &[], &engine.stats().to_json().to_string()),
+        ("POST", "/simulate") => {
+            let job = Json::parse(&body)
+                .map_err(|e| JobError::bad_request(format!("invalid JSON: {e}")))
+                .and_then(|json| SimJob::from_json(&json));
+            match job {
+                Err(e) => respond(&stream, 400, &[], &error_body(&e.to_string()).to_string()),
+                Ok(job) => match engine.run(&job) {
+                    Ok((result, served)) => {
+                        let headers = [("X-Scalesim-Cache", served.tag())];
+                        respond(&stream, 200, &headers, &result.to_json().to_string())
+                    }
+                    Err(JobError::BadRequest(msg)) => {
+                        respond(&stream, 400, &[], &error_body(&msg).to_string())
+                    }
+                    Err(JobError::Internal(msg)) => {
+                        respond(&stream, 500, &[], &error_body(&msg).to_string())
+                    }
+                },
+            }
+        }
+        ("GET" | "POST", _) => respond(&stream, 404, &[], &error_body("no such route").to_string()),
+        _ => respond(
+            &stream,
+            405,
+            &[],
+            &error_body("method not allowed").to_string(),
+        ),
+    }
+}
+
+fn error_body(msg: &str) -> Json {
+    Json::obj(vec![("error", Json::str(msg))])
+}
+
+/// Reads one request: returns (method, path, body).
+fn read_request(reader: &mut BufReader<TcpStream>) -> Result<(String, String, String), String> {
+    let mut request_line = String::new();
+    reader
+        .read_line(&mut request_line)
+        .map_err(|e| format!("read request line: {e}"))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or("empty request line")?.to_owned();
+    let path = parts.next().ok_or("request line missing path")?.to_owned();
+    let version = parts.next().ok_or("request line missing version")?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported protocol `{version}`"));
+    }
+
+    let mut content_length: usize = 0;
+    let mut header_bytes = request_line.len();
+    loop {
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read header: {e}"))?;
+        header_bytes += line.len();
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err("headers too large".into());
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad Content-Length `{}`", value.trim()))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err("body too large".into());
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("read body: {e}"))?;
+    let body = String::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    Ok((method, path, body))
+}
+
+fn respond(
+    mut stream: &TcpStream,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    };
+    let mut response = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        response.push_str(&format!("{name}: {value}\r\n"));
+    }
+    response.push_str("\r\n");
+    response.push_str(body);
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// A tiny blocking HTTP client for tests and the batch tool's self-checks.
+pub mod client {
+    use super::*;
+
+    /// A parsed HTTP response.
+    #[derive(Debug, Clone)]
+    pub struct Response {
+        /// Status code.
+        pub status: u16,
+        /// Response headers, lowercased names.
+        pub headers: Vec<(String, String)>,
+        /// Body text.
+        pub body: String,
+    }
+
+    impl Response {
+        /// Looks up a header value by case-insensitive name.
+        pub fn header(&self, name: &str) -> Option<&str> {
+            let name = name.to_ascii_lowercase();
+            self.headers
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| v.as_str())
+        }
+    }
+
+    /// Issues one request against `addr` and reads the full response.
+    pub fn request(
+        addr: SocketAddr,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<Response> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+        stream.set_write_timeout(Some(SOCKET_TIMEOUT))?;
+        let body = body.unwrap_or("");
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(request.as_bytes())?;
+        stream.flush()?;
+
+        let mut reader = BufReader::new(stream);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line)?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("bad status line `{}`", status_line.trim_end()),
+                )
+            })?;
+        let mut headers = Vec::new();
+        let mut content_length = None;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line)?;
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                let name = name.trim().to_ascii_lowercase();
+                let value = value.trim().to_owned();
+                if name == "content-length" {
+                    content_length = value.parse::<usize>().ok();
+                }
+                headers.push((name, value));
+            }
+        }
+        let body = match content_length {
+            Some(n) => {
+                let mut buf = vec![0u8; n];
+                reader.read_exact(&mut buf)?;
+                String::from_utf8_lossy(&buf).into_owned()
+            }
+            None => {
+                let mut buf = String::new();
+                reader.read_to_string(&mut buf)?;
+                buf
+            }
+        };
+        Ok(Response {
+            status,
+            headers,
+            body,
+        })
+    }
+}

@@ -1,0 +1,43 @@
+//! `scalesim-server` — a concurrent simulation service over the
+//! `scale-sim-rs` simulator.
+//!
+//! Design-space exploration (the paper's Sections IV–V) re-runs the same
+//! layer/configuration pairs constantly: sweeping partition grids over
+//! ResNet-50 revisits identical monolithic baselines, and several users
+//! sweeping together duplicate each other's work. This crate turns the
+//! simulator into a shared service that exploits that redundancy:
+//!
+//! * **Job model** ([`job`]) — a [`SimJob`] names a workload (built-in
+//!   network or inline topology CSV), config overrides, partition grid,
+//!   dataflow and bandwidth. Normalization routes every field through the
+//!   simulator's canonical serializers, so equivalent requests — reordered
+//!   config keys, `ws` vs `weight_stationary`, reformatted CSV — collapse
+//!   to one content-addressed [`JobKey`].
+//! * **Engine** ([`engine`]) — a worker pool with *single-flight*
+//!   deduplication (concurrent identical jobs run one simulation; the rest
+//!   join it) in front of a sharded LRU result cache ([`cache`]).
+//! * **Front ends** — an HTTP/1.1 service ([`http`]; `POST /simulate`,
+//!   `GET /stats`, `GET /healthz`) and a manifest-driven batch runner
+//!   ([`batch`]) that emits one combined REPORT CSV. Both are wired to the
+//!   `scale-sim` binary's `serve` and `batch` subcommands via [`cli`].
+//!
+//! Everything is built on `std` networking and threads plus a hand-rolled
+//! JSON module ([`json`]) — matching the repo-wide policy of no heavyweight
+//! external dependencies.
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod cache;
+pub mod cli;
+pub mod engine;
+pub mod http;
+pub mod job;
+pub mod json;
+
+pub use batch::{parse_manifest, run_batch, BatchOutcome};
+pub use cache::ShardedLru;
+pub use engine::{Engine, Served, SimResult, Stats};
+pub use http::{Server, ServerHandle};
+pub use job::{JobError, JobKey, NormalizedJob, SimJob, Workload};
+pub use json::Json;

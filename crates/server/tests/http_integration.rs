@@ -1,0 +1,168 @@
+//! Integration tests of the HTTP front end over real TCP sockets: an
+//! ephemeral-port server, concurrent duplicate submissions, liveness under
+//! load, and error paths.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use scalesim_server::http::client::{request, Response};
+use scalesim_server::{Engine, Json, Server};
+
+fn start_server(workers: usize) -> scalesim_server::ServerHandle {
+    let engine = Engine::new(workers, 64);
+    Server::bind("127.0.0.1:0", engine)
+        .expect("bind ephemeral port")
+        .spawn()
+}
+
+fn get(handle: &scalesim_server::ServerHandle, path: &str) -> Response {
+    request(handle.addr(), "GET", path, None).expect("GET succeeds")
+}
+
+fn stats_field(handle: &scalesim_server::ServerHandle, field: &str) -> u64 {
+    let response = get(handle, "/stats");
+    assert_eq!(response.status, 200);
+    Json::parse(&response.body)
+        .expect("stats is JSON")
+        .get(field)
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("stats field {field} missing"))
+}
+
+/// The acceptance scenario: the same ResNet-50 layer job POSTed twice
+/// concurrently runs one simulation, counts one cache hit, returns
+/// byte-identical bodies — and `/healthz` answers 200 the whole time.
+#[test]
+fn concurrent_duplicate_posts_share_one_simulation() {
+    let handle = start_server(4);
+    let job = r#"{"network": "resnet50", "layer": "Conv1"}"#;
+
+    let done = Arc::new(AtomicBool::new(false));
+    let responses: Vec<Response> = std::thread::scope(|s| {
+        let posts: Vec<_> = (0..2)
+            .map(|_| {
+                let addr = handle.addr();
+                s.spawn(move || request(addr, "POST", "/simulate", Some(job)).expect("POST"))
+            })
+            .collect();
+        // Liveness probe: hammer /healthz while the (multi-second) layer
+        // simulation is in flight.
+        let health_done = Arc::clone(&done);
+        let addr = handle.addr();
+        let health = s.spawn(move || {
+            let mut probes = 0u32;
+            while !health_done.load(Ordering::SeqCst) {
+                let response = request(addr, "GET", "/healthz", None).expect("healthz");
+                assert_eq!(response.status, 200);
+                assert_eq!(response.body, r#"{"status":"ok"}"#);
+                probes += 1;
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            probes
+        });
+        let responses = posts.into_iter().map(|p| p.join().unwrap()).collect();
+        done.store(true, Ordering::SeqCst);
+        assert!(health.join().unwrap() > 0, "healthz probed at least once");
+        responses
+    });
+
+    for response in &responses {
+        assert_eq!(response.status, 200, "body: {}", response.body);
+    }
+    assert_eq!(
+        responses[0].body, responses[1].body,
+        "duplicate jobs must return identical JSON bodies"
+    );
+    let tags: Vec<&str> = responses
+        .iter()
+        .map(|r| r.header("X-Scalesim-Cache").expect("cache header"))
+        .collect();
+    assert!(
+        tags.contains(&"miss"),
+        "one request must be the leader, got {tags:?}"
+    );
+
+    assert_eq!(stats_field(&handle, "simulations"), 1);
+    assert_eq!(stats_field(&handle, "cache_hits"), 1);
+    assert_eq!(stats_field(&handle, "accepted"), 2);
+    assert_eq!(stats_field(&handle, "completed"), 2);
+
+    // A third, later submission is a pure LRU hit with the same body.
+    let third = request(handle.addr(), "POST", "/simulate", Some(job)).unwrap();
+    assert_eq!(third.status, 200);
+    assert_eq!(third.header("X-Scalesim-Cache"), Some("hit"));
+    assert_eq!(third.body, responses[0].body);
+    assert_eq!(stats_field(&handle, "simulations"), 1);
+    assert_eq!(stats_field(&handle, "cache_hits"), 2);
+
+    // The body carries the expected report fields.
+    let body = Json::parse(&third.body).unwrap();
+    assert_eq!(body.get("network").and_then(Json::as_str), Some("resnet50"));
+    assert!(body.get("total_cycles").and_then(Json::as_u64).unwrap() > 0);
+    assert_eq!(
+        body.get("layers").and_then(Json::as_array).unwrap().len(),
+        1
+    );
+
+    handle.stop();
+}
+
+#[test]
+fn error_paths_return_clean_json() {
+    let handle = start_server(1);
+
+    let bad_json = request(handle.addr(), "POST", "/simulate", Some("{nope")).unwrap();
+    assert_eq!(bad_json.status, 400);
+    assert!(Json::parse(&bad_json.body).unwrap().get("error").is_some());
+
+    let bad_net = request(
+        handle.addr(),
+        "POST",
+        "/simulate",
+        Some(r#"{"network": "skynet"}"#),
+    )
+    .unwrap();
+    assert_eq!(bad_net.status, 400);
+    assert!(bad_net.body.contains("unknown built-in network"));
+
+    let bad_layer = request(
+        handle.addr(),
+        "POST",
+        "/simulate",
+        Some(r#"{"network": "alexnet", "layer": "Conv99"}"#),
+    )
+    .unwrap();
+    assert_eq!(bad_layer.status, 400);
+
+    let missing = get(&handle, "/nope");
+    assert_eq!(missing.status, 404);
+
+    let delete = request(handle.addr(), "DELETE", "/simulate", None).unwrap();
+    assert_eq!(delete.status, 405);
+
+    // Nothing was accepted by the engine.
+    assert_eq!(stats_field(&handle, "accepted"), 0);
+    assert_eq!(stats_field(&handle, "simulations"), 0);
+
+    handle.stop();
+}
+
+#[test]
+fn inline_topology_round_trips_over_http() {
+    let handle = start_server(2);
+    let job = r#"{
+        "topology_name": "tiny",
+        "topology_csv": "L1,8,8,3,3,4,8,1\nL2,8,8,1,1,8,8,1",
+        "config": {"ArrayHeight": 8, "ArrayWidth": 8},
+        "dataflow": "ws",
+        "grid": "2x2"
+    }"#;
+    let response = request(handle.addr(), "POST", "/simulate", Some(job)).unwrap();
+    assert_eq!(response.status, 200, "body: {}", response.body);
+    let body = Json::parse(&response.body).unwrap();
+    assert_eq!(body.get("network").and_then(Json::as_str), Some("tiny"));
+    let layers = body.get("layers").and_then(Json::as_array).unwrap();
+    assert_eq!(layers.len(), 2);
+    assert_eq!(layers[0].get("name").and_then(Json::as_str), Some("L1"));
+    handle.stop();
+}

@@ -1,0 +1,173 @@
+//! Property tests for the content-addressed job key: equivalent requests
+//! must collide, distinct requests must not.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use scalesim_server::job::{JobKey, SimJob, Workload};
+
+/// Table I keys the job model accepts, with a generator for plausible values.
+const CONFIG_KEYS: [&str; 5] = [
+    "ArrayHeight",
+    "ArrayWidth",
+    "IfmapSramSz",
+    "FilterSramSz",
+    "OfmapSramSz",
+];
+
+fn inline_job(csv: &str) -> SimJob {
+    SimJob {
+        workload: Workload::InlineCsv {
+            name: "prop".into(),
+            csv: csv.into(),
+        },
+        layer: None,
+        config: Vec::new(),
+        grid: (1, 1),
+        dataflow: None,
+        bandwidth: None,
+        batch: None,
+    }
+}
+
+fn key_of(job: &SimJob) -> JobKey {
+    job.normalize().expect("job is valid").key()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Reordering (rotating) the config override list never changes the key.
+    fn config_key_order_is_irrelevant(
+        values in prop::collection::vec(1u64..=512, 2..=5),
+        rotation in 0usize..5,
+    ) {
+        let mut job = SimJob::builtin("alexnet");
+        job.config = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (CONFIG_KEYS[i].to_string(), v.to_string()))
+            .collect();
+        let mut rotated = job.clone();
+        let len = rotated.config.len();
+        rotated.config.rotate_left(rotation % len);
+        prop_assert_eq!(key_of(&job), key_of(&rotated));
+    }
+
+    /// Config key spelling is case-insensitive.
+    fn config_key_case_is_irrelevant(
+        value in 1u64..=512,
+        which in 0usize..5,
+    ) {
+        let key = CONFIG_KEYS[which % CONFIG_KEYS.len()];
+        let mut a = SimJob::builtin("alexnet");
+        a.config = vec![(key.to_string(), value.to_string())];
+        let mut b = SimJob::builtin("alexnet");
+        b.config = vec![(key.to_ascii_lowercase(), value.to_string())];
+        let mut c = SimJob::builtin("alexnet");
+        c.config = vec![(key.to_ascii_uppercase(), value.to_string())];
+        prop_assert_eq!(key_of(&a), key_of(&b));
+        prop_assert_eq!(key_of(&a), key_of(&c));
+    }
+
+    /// Every accepted spelling of a dataflow maps to the same key, and the
+    /// explicit default spelling equals no override at all.
+    fn dataflow_spellings_are_equivalent(which in 0usize..3, case_flip in 0u8..2) {
+        let spellings: [&[&str]; 3] = [
+            &["os", "output_stationary"],
+            &["ws", "weight_stationary"],
+            &["is", "input_stationary"],
+        ];
+        let pair = spellings[which % 3];
+        let mut keys = Vec::new();
+        for spelling in pair {
+            let mut job = SimJob::builtin("alexnet");
+            let text = if case_flip == 1 {
+                spelling.to_ascii_uppercase()
+            } else {
+                (*spelling).to_string()
+            };
+            job.dataflow = Some(text);
+            keys.push(key_of(&job));
+        }
+        prop_assert_eq!(keys[0], keys[1]);
+        if pair[0] == "os" {
+            // OS is the paper's default dataflow.
+            prop_assert_eq!(keys[0], key_of(&SimJob::builtin("alexnet")));
+        }
+    }
+
+    /// Whitespace, trailing commas, comments and blank lines in an inline
+    /// topology CSV never change the key.
+    fn topology_csv_whitespace_is_irrelevant(
+        ih in 4u64..=64,
+        fh in 1u64..=3,
+        channels in 1u64..=16,
+        filters in 1u64..=16,
+        pad in 0usize..6,
+    ) {
+        let iw = ih;
+        let tight = format!("L0,{ih},{iw},{fh},{fh},{channels},{filters},1");
+        let spaces = " ".repeat(pad);
+        let loose = format!(
+            "# generated\n\n  L0 ,{spaces}{ih} , {iw},{spaces}{fh}, {fh} , {channels} ,{filters} , 1 ,,\n\n"
+        );
+        prop_assert_eq!(key_of(&inline_job(&tight)), key_of(&inline_job(&loose)));
+    }
+
+    /// Semantically different jobs get different keys.
+    fn different_jobs_differ(
+        grid_a in 1u64..=4, grid_b in 1u64..=4,
+        height in 4u64..=8,
+    ) {
+        prop_assume!(grid_a != grid_b);
+        let csv = format!("L0,{height},{height},3,3,4,8,1");
+        let mut a = inline_job(&csv);
+        a.grid = (grid_a, 1);
+        let mut b = inline_job(&csv);
+        b.grid = (grid_b, 1);
+        prop_assert_ne!(key_of(&a), key_of(&b));
+    }
+}
+
+/// 10k-sample collision sweep: distinct jobs spanning grids, array shapes,
+/// dataflows and layer geometries must produce 10k distinct FNV-128 keys.
+#[test]
+fn ten_thousand_distinct_jobs_no_collision() {
+    let mut keys: HashSet<u128> = HashSet::with_capacity(10_000);
+    let mut jobs = 0u32;
+    'outer: for grid_r in 1u64..=5 {
+        for grid_c in 1u64..=5 {
+            for (di, df) in ["os", "ws", "is"].iter().enumerate() {
+                for array in [4u64, 8, 16, 32, 64] {
+                    for ih in 0..30u64 {
+                        let mut job = inline_job(&format!(
+                            "L0,{h},{h},3,3,{c},8,1",
+                            h = 8 + ih,
+                            c = 1 + di as u64,
+                        ));
+                        job.grid = (grid_r, grid_c);
+                        job.dataflow = Some((*df).to_string());
+                        job.config = vec![
+                            ("ArrayHeight".into(), array.to_string()),
+                            ("ArrayWidth".into(), array.to_string()),
+                        ];
+                        let key = key_of(&job);
+                        assert!(
+                            keys.insert(key.0),
+                            "collision at job {jobs}: grid {grid_r}x{grid_c} df {df} \
+                             array {array} ih {ih} -> {key}"
+                        );
+                        jobs += 1;
+                        if jobs == 10_000 {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(keys.len() as u32, jobs);
+    assert!(jobs >= 10_000, "sweep produced only {jobs} jobs");
+}

@@ -7,7 +7,7 @@
 //! suite proves the two views consistent (every address a fold demands here
 //! appears in its trace window, and vice versa).
 
-use scalesim_memory::{AddressMap, AddrSet};
+use scalesim_memory::{AddrSet, AddressMap};
 use scalesim_topology::{Dataflow, MappedDims};
 
 use crate::fold::{Fold, FoldPlan};
@@ -86,11 +86,7 @@ fn push_unique(seen: &mut AddrSet, out: &mut Vec<u64>, addr: u64) {
     }
 }
 
-fn demand_for_fold<M: AddressMap + ?Sized>(
-    dims: &MappedDims,
-    fold: &Fold,
-    map: &M,
-) -> FoldDemand {
+fn demand_for_fold<M: AddressMap + ?Sized>(dims: &MappedDims, fold: &Fold, map: &M) -> FoldDemand {
     let t = dims.temporal;
     let ru = fold.rows_used;
     let cu = fold.cols_used;
@@ -187,10 +183,10 @@ fn demand_for_fold<M: AddressMap + ?Sized>(
 mod tests {
     use super::*;
     use crate::simulate;
-    use std::collections::HashSet;
     use crate::trace::TraceSink;
     use scalesim_memory::{ConvAddressMap, GemmAddressMap, RegionOffsets};
     use scalesim_topology::{ConvLayer, GemmShape};
+    use std::collections::HashSet;
 
     /// A sink that collects the unique addresses per fold, for comparing
     /// against the demand iterator.

@@ -127,21 +127,40 @@ pub struct GoldenRun {
 /// test suite exercises this heavily).
 pub fn run(a: &Matrix, b: &Matrix, array: ArrayShape, dataflow: Dataflow) -> GoldenRun {
     assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
-    let shape = scalesim_topology::GemmShape::new(a.rows() as u64, a.cols() as u64, b.cols() as u64);
+    let shape =
+        scalesim_topology::GemmShape::new(a.rows() as u64, a.cols() as u64, b.cols() as u64);
     let dims = shape.project(dataflow);
     let mut output = Matrix::zeros(a.rows(), b.cols());
     let mut cycles = 0u64;
     for fold in FoldPlan::new(&dims, array) {
         let local = match dataflow {
-            Dataflow::OutputStationary => {
-                fold_os(a, b, fold.row_base, fold.col_base, fold.rows_used, fold.cols_used, &mut output)
-            }
-            Dataflow::WeightStationary => {
-                fold_ws(a, b, fold.row_base, fold.col_base, fold.rows_used, fold.cols_used, &mut output)
-            }
-            Dataflow::InputStationary => {
-                fold_is(a, b, fold.row_base, fold.col_base, fold.rows_used, fold.cols_used, &mut output)
-            }
+            Dataflow::OutputStationary => fold_os(
+                a,
+                b,
+                fold.row_base,
+                fold.col_base,
+                fold.rows_used,
+                fold.cols_used,
+                &mut output,
+            ),
+            Dataflow::WeightStationary => fold_ws(
+                a,
+                b,
+                fold.row_base,
+                fold.col_base,
+                fold.rows_used,
+                fold.cols_used,
+                &mut output,
+            ),
+            Dataflow::InputStationary => fold_is(
+                a,
+                b,
+                fold.row_base,
+                fold.col_base,
+                fold.rows_used,
+                fold.cols_used,
+                &mut output,
+            ),
         };
         cycles += local;
     }
@@ -155,7 +174,8 @@ pub fn run(a: &Matrix, b: &Matrix, array: ArrayShape, dataflow: Dataflow) -> Gol
 /// through the array. Values are still computed by the register machine.
 pub fn run_os_separate_plane(a: &Matrix, b: &Matrix, array: ArrayShape) -> GoldenRun {
     assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
-    let shape = scalesim_topology::GemmShape::new(a.rows() as u64, a.cols() as u64, b.cols() as u64);
+    let shape =
+        scalesim_topology::GemmShape::new(a.rows() as u64, a.cols() as u64, b.cols() as u64);
     let dims = shape.project(Dataflow::OutputStationary);
     let mut output = Matrix::zeros(a.rows(), b.cols());
     let mut cycles = 0u64;
@@ -380,9 +400,9 @@ fn fold_ws(
         }
     }
     // After r' shifts, row i must hold B[k_base + i][·].
-    debug_assert!((0..ru).all(|i| (0..cu).all(|j| {
-        w[idx(i, j)] == Some(b[(k_base + i, n_base + j)])
-    })));
+    debug_assert!(
+        (0..ru).all(|i| (0..cu).all(|j| { w[idx(i, j)] == Some(b[(k_base + i, n_base + j)]) }))
+    );
 
     // --- stream phase ---
     // a-values travel right; (value, pixel-tag) pairs. Partial sums travel
@@ -466,9 +486,9 @@ fn fold_is(
             s[idx(0, j)] = Some(a[(m_base + j, k_base + (ru - 1 - p))]);
         }
     }
-    debug_assert!((0..ru).all(|i| (0..cu).all(|j| {
-        s[idx(i, j)] == Some(a[(m_base + j, k_base + i)])
-    })));
+    debug_assert!(
+        (0..ru).all(|i| (0..cu).all(|j| { s[idx(i, j)] == Some(a[(m_base + j, k_base + i)]) }))
+    );
 
     // --- stream phase: filters travel right, psums travel down ---
     let mut b_reg: Vec<Option<(i64, usize)>> = vec![None; ru * cu];

@@ -141,7 +141,11 @@ pub fn occupancy_histogram(dims: &MappedDims, array: ArrayShape) -> OccupancyHis
             hist.add(occ_at(start), (end - start) as u64);
         }
         // Drain/fill segments beyond the last event (if any) are idle.
-        let last = events.last().copied().unwrap_or(0).min(fold.duration as i64);
+        let last = events
+            .last()
+            .copied()
+            .unwrap_or(0)
+            .min(fold.duration as i64);
         if last < fold.duration as i64 {
             hist.add(0, (fold.duration as i64 - last) as u64);
         }
@@ -184,7 +188,11 @@ mod tests {
     #[test]
     fn matches_brute_force_all_dataflows() {
         for df in Dataflow::ALL {
-            for (m, k, n, r, c) in [(4u64, 16u64, 4u64, 4u64, 4u64), (10, 3, 7, 4, 4), (5, 9, 5, 8, 2)] {
+            for (m, k, n, r, c) in [
+                (4u64, 16u64, 4u64, 4u64, 4u64),
+                (10, 3, 7, 4, 4),
+                (5, 9, 5, 8, 2),
+            ] {
                 let dims = GemmShape::new(m, k, n).project(df);
                 let array = ArrayShape::new(r, c);
                 let fast = occupancy_histogram(&dims, array);

@@ -47,10 +47,7 @@ pub fn parse_topology_csv(name: &str, text: &str) -> Result<Topology, ParseTopol
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let fields: Vec<&str> = line
-            .split(',')
-            .map(str::trim)
-            .collect();
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
         // Drop empty trailing fields caused by trailing commas.
         let fields: Vec<&str> = {
             let mut f = fields;
@@ -80,7 +77,11 @@ fn parse_row(line: usize, fields: &[&str]) -> Result<Layer, ParseTopologyError> 
         8.. => parse_conv_row(line, fields),
         n => {
             // Report the first column that is missing from the conv format.
-            let column = if n == 0 { CONV_COLUMNS[0] } else { CONV_COLUMNS[n] };
+            let column = if n == 0 {
+                CONV_COLUMNS[0]
+            } else {
+                CONV_COLUMNS[n]
+            };
             Err(ParseTopologyError::MissingColumn { line, column })
         }
     }
@@ -222,7 +223,10 @@ mod tests {
     #[test]
     fn reports_invalid_layer() {
         let err = parse_topology_csv("n", "Conv1,2,2,7,7,3,64,2\n").unwrap_err();
-        assert!(matches!(err, ParseTopologyError::InvalidLayer { line: 1, .. }));
+        assert!(matches!(
+            err,
+            ParseTopologyError::InvalidLayer { line: 1, .. }
+        ));
     }
 
     #[test]

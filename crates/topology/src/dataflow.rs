@@ -96,8 +96,14 @@ mod tests {
 
     #[test]
     fn parse_is_case_insensitive_and_trims() {
-        assert_eq!(" OS ".parse::<Dataflow>().unwrap(), Dataflow::OutputStationary);
-        assert_eq!("Ws".parse::<Dataflow>().unwrap(), Dataflow::WeightStationary);
+        assert_eq!(
+            " OS ".parse::<Dataflow>().unwrap(),
+            Dataflow::OutputStationary
+        );
+        assert_eq!(
+            "Ws".parse::<Dataflow>().unwrap(),
+            Dataflow::WeightStationary
+        );
     }
 
     #[test]

@@ -35,10 +35,7 @@ impl fmt::Display for ValidateLayerError {
                 filter,
                 ifmap,
                 axis,
-            } => write!(
-                f,
-                "filter {axis} ({filter}) exceeds ifmap {axis} ({ifmap})"
-            ),
+            } => write!(f, "filter {axis} ({filter}) exceeds ifmap {axis} ({ifmap})"),
         }
     }
 }
@@ -82,7 +79,10 @@ impl fmt::Display for ParseTopologyError {
                 write!(f, "line {line}: missing column `{column}`")
             }
             ParseTopologyError::InvalidNumber { line, column, text } => {
-                write!(f, "line {line}: column `{column}` is not a number: `{text}`")
+                write!(
+                    f,
+                    "line {line}: column `{column}` is not a number: `{text}`"
+                )
             }
             ParseTopologyError::InvalidLayer { line, source } => {
                 write!(f, "line {line}: invalid layer: {source}")
@@ -108,7 +108,10 @@ mod tests {
     #[test]
     fn display_zero_dimension() {
         let err = ValidateLayerError::ZeroDimension { field: "channels" };
-        assert_eq!(err.to_string(), "layer dimension `channels` must be at least 1");
+        assert_eq!(
+            err.to_string(),
+            "layer dimension `channels` must be at least 1"
+        );
     }
 
     #[test]
@@ -118,7 +121,10 @@ mod tests {
             ifmap: 5,
             axis: "height",
         };
-        assert_eq!(err.to_string(), "filter height (7) exceeds ifmap height (5)");
+        assert_eq!(
+            err.to_string(),
+            "filter height (7) exceeds ifmap height (5)"
+        );
     }
 
     #[test]

@@ -120,11 +120,20 @@ mod tests {
     fn projection_matches_table_iii() {
         let g = GemmShape::new(10, 20, 30);
         let os = g.project(Dataflow::OutputStationary);
-        assert_eq!((os.spatial_rows, os.spatial_cols, os.temporal), (10, 30, 20));
+        assert_eq!(
+            (os.spatial_rows, os.spatial_cols, os.temporal),
+            (10, 30, 20)
+        );
         let ws = g.project(Dataflow::WeightStationary);
-        assert_eq!((ws.spatial_rows, ws.spatial_cols, ws.temporal), (20, 30, 10));
+        assert_eq!(
+            (ws.spatial_rows, ws.spatial_cols, ws.temporal),
+            (20, 30, 10)
+        );
         let is = g.project(Dataflow::InputStationary);
-        assert_eq!((is.spatial_rows, is.spatial_cols, is.temporal), (20, 10, 30));
+        assert_eq!(
+            (is.spatial_rows, is.spatial_cols, is.temporal),
+            (20, 10, 30)
+        );
     }
 
     #[test]

@@ -49,7 +49,12 @@ mod tests {
     fn fc_layers_are_fully_connected() {
         let net = alexnet();
         for name in ["FC6", "FC7", "FC8"] {
-            assert!(net.layer(name).unwrap().as_conv().unwrap().is_fully_connected());
+            assert!(net
+                .layer(name)
+                .unwrap()
+                .as_conv()
+                .unwrap()
+                .is_fully_connected());
         }
     }
 }

@@ -69,15 +69,105 @@ pub fn googlenet() -> Topology {
     add(&mut layers, "Conv2", 58, 3, 64, 192, 1); // pool -> 28
 
     let modules = [
-        Inception { tag: "3a", fmap: 28, c_in: 192, p1: 64, p3_red: 96, p3: 128, p5_red: 16, p5: 32, pool_proj: 32 },
-        Inception { tag: "3b", fmap: 28, c_in: 256, p1: 128, p3_red: 128, p3: 192, p5_red: 32, p5: 96, pool_proj: 64 },
-        Inception { tag: "4a", fmap: 14, c_in: 480, p1: 192, p3_red: 96, p3: 208, p5_red: 16, p5: 48, pool_proj: 64 },
-        Inception { tag: "4b", fmap: 14, c_in: 512, p1: 160, p3_red: 112, p3: 224, p5_red: 24, p5: 64, pool_proj: 64 },
-        Inception { tag: "4c", fmap: 14, c_in: 512, p1: 128, p3_red: 128, p3: 256, p5_red: 24, p5: 64, pool_proj: 64 },
-        Inception { tag: "4d", fmap: 14, c_in: 512, p1: 112, p3_red: 144, p3: 288, p5_red: 32, p5: 64, pool_proj: 64 },
-        Inception { tag: "4e", fmap: 14, c_in: 528, p1: 256, p3_red: 160, p3: 320, p5_red: 32, p5: 128, pool_proj: 128 },
-        Inception { tag: "5a", fmap: 7, c_in: 832, p1: 256, p3_red: 160, p3: 320, p5_red: 32, p5: 128, pool_proj: 128 },
-        Inception { tag: "5b", fmap: 7, c_in: 832, p1: 384, p3_red: 192, p3: 384, p5_red: 48, p5: 128, pool_proj: 128 },
+        Inception {
+            tag: "3a",
+            fmap: 28,
+            c_in: 192,
+            p1: 64,
+            p3_red: 96,
+            p3: 128,
+            p5_red: 16,
+            p5: 32,
+            pool_proj: 32,
+        },
+        Inception {
+            tag: "3b",
+            fmap: 28,
+            c_in: 256,
+            p1: 128,
+            p3_red: 128,
+            p3: 192,
+            p5_red: 32,
+            p5: 96,
+            pool_proj: 64,
+        },
+        Inception {
+            tag: "4a",
+            fmap: 14,
+            c_in: 480,
+            p1: 192,
+            p3_red: 96,
+            p3: 208,
+            p5_red: 16,
+            p5: 48,
+            pool_proj: 64,
+        },
+        Inception {
+            tag: "4b",
+            fmap: 14,
+            c_in: 512,
+            p1: 160,
+            p3_red: 112,
+            p3: 224,
+            p5_red: 24,
+            p5: 64,
+            pool_proj: 64,
+        },
+        Inception {
+            tag: "4c",
+            fmap: 14,
+            c_in: 512,
+            p1: 128,
+            p3_red: 128,
+            p3: 256,
+            p5_red: 24,
+            p5: 64,
+            pool_proj: 64,
+        },
+        Inception {
+            tag: "4d",
+            fmap: 14,
+            c_in: 512,
+            p1: 112,
+            p3_red: 144,
+            p3: 288,
+            p5_red: 32,
+            p5: 64,
+            pool_proj: 64,
+        },
+        Inception {
+            tag: "4e",
+            fmap: 14,
+            c_in: 528,
+            p1: 256,
+            p3_red: 160,
+            p3: 320,
+            p5_red: 32,
+            p5: 128,
+            pool_proj: 128,
+        },
+        Inception {
+            tag: "5a",
+            fmap: 7,
+            c_in: 832,
+            p1: 256,
+            p3_red: 160,
+            p3: 320,
+            p5_red: 32,
+            p5: 128,
+            pool_proj: 128,
+        },
+        Inception {
+            tag: "5b",
+            fmap: 7,
+            c_in: 832,
+            p1: 384,
+            p3_red: 192,
+            p3: 384,
+            p5_red: 48,
+            p5: 128,
+            pool_proj: 128,
+        },
     ];
     // Channel bookkeeping: each module's input must match the previous
     // module's concatenated output (checked in tests).

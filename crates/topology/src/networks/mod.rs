@@ -70,7 +70,12 @@ mod tests {
             names.sort_unstable();
             let before = names.len();
             names.dedup();
-            assert_eq!(before, names.len(), "duplicate layer names in {}", topo.name());
+            assert_eq!(
+                before,
+                names.len(),
+                "duplicate layer names in {}",
+                topo.name()
+            );
         }
     }
 }

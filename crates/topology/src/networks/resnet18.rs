@@ -64,7 +64,11 @@ mod tests {
     fn projection_matches_main_path_output() {
         let net = resnet18();
         for tag in ["S2", "S3", "S4"] {
-            let proj = net.layer(&format!("{tag}B1_proj")).unwrap().as_conv().unwrap();
+            let proj = net
+                .layer(&format!("{tag}B1_proj"))
+                .unwrap()
+                .as_conv()
+                .unwrap();
             let main = net.layer(&format!("{tag}B1_2")).unwrap().as_conv().unwrap();
             assert_eq!(proj.num_filters(), main.num_filters(), "{tag}");
             assert_eq!(proj.ofmap_pixels(), main.ofmap_pixels(), "{tag}");

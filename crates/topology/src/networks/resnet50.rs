@@ -113,10 +113,7 @@ mod tests {
         // ResNet-50 is ~3.8-4.1 GMACs at 224x224 (this listing excludes
         // pooling and counts the padded stem).
         let macs = resnet50().total_macs();
-        assert!(
-            (3_500_000_000..5_000_000_000).contains(&macs),
-            "got {macs}"
-        );
+        assert!((3_500_000_000..5_000_000_000).contains(&macs), "got {macs}");
     }
 
     #[test]

@@ -9,8 +9,7 @@ pub fn vgg16() -> Topology {
     let mut layers: Vec<Layer> = Vec::with_capacity(16);
     let mut add = |name: String, ih: u64, fh: u64, c: u64, nf: u64| {
         layers.push(Layer::Conv(
-            ConvLayer::new(name, ih, ih, fh, fh, c, nf, 1)
-                .expect("built-in VGG-16 layer is valid"),
+            ConvLayer::new(name, ih, ih, fh, fh, c, nf, 1).expect("built-in VGG-16 layer is valid"),
         ));
     };
 
@@ -58,7 +57,10 @@ mod tests {
     fn total_macs_in_vgg16_ballpark() {
         // VGG-16 is ~15.5 GMACs at 224x224.
         let macs = vgg16().total_macs();
-        assert!((14_000_000_000..18_000_000_000).contains(&macs), "got {macs}");
+        assert!(
+            (14_000_000_000..18_000_000_000).contains(&macs),
+            "got {macs}"
+        );
     }
 
     #[test]

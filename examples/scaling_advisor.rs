@@ -42,7 +42,8 @@ fn main() {
         let rec = recommend(&workloads, budget, 8, bw, &model);
         println!(
             "{:>22} {:>26} {:>14} {:>14.1} {:>8}",
-            bw.map(|b| format!("{b} elem/cycle")).unwrap_or_else(|| "unlimited".into()),
+            bw.map(|b| format!("{b} elem/cycle"))
+                .unwrap_or_else(|| "unlimited".into()),
             rec.config.to_string(),
             rec.total_cycles,
             rec.peak_bandwidth,

@@ -40,7 +40,10 @@ fn main() {
     for line in reads.lines().take(5) {
         println!("  {line}");
     }
-    println!("\nsram_write.csv ({} rows), first 5:", writes.lines().count());
+    println!(
+        "\nsram_write.csv ({} rows), first 5:",
+        writes.lines().count()
+    );
     for line in writes.lines().take(5) {
         println!("  {line}");
     }

@@ -14,16 +14,31 @@ fn shipped_config_matches_the_paper_defaults() {
 #[test]
 fn shipped_topologies_parse_back_to_the_builtins() {
     let cases = [
-        (include_str!("../../assets/alexnet.csv"), networks::alexnet()),
-        (include_str!("../../assets/resnet18.csv"), networks::resnet18()),
-        (include_str!("../../assets/resnet50.csv"), networks::resnet50()),
-        (include_str!("../../assets/googlenet.csv"), networks::googlenet()),
+        (
+            include_str!("../../assets/alexnet.csv"),
+            networks::alexnet(),
+        ),
+        (
+            include_str!("../../assets/resnet18.csv"),
+            networks::resnet18(),
+        ),
+        (
+            include_str!("../../assets/resnet50.csv"),
+            networks::resnet50(),
+        ),
+        (
+            include_str!("../../assets/googlenet.csv"),
+            networks::googlenet(),
+        ),
         (
             include_str!("../../assets/mobilenet_v1.csv"),
             networks::mobilenet_v1(),
         ),
         (include_str!("../../assets/vgg16.csv"), networks::vgg16()),
-        (include_str!("../../assets/yolo_tiny.csv"), networks::yolo_tiny()),
+        (
+            include_str!("../../assets/yolo_tiny.csv"),
+            networks::yolo_tiny(),
+        ),
         (
             include_str!("../../assets/language_models.csv"),
             networks::language_models(),

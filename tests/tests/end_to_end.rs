@@ -91,7 +91,10 @@ fn csv_report_round_trips_row_count() {
     let row = csv.lines().nth(1).unwrap();
     let cols: Vec<&str> = row.split(',').collect();
     assert_eq!(cols[0], "Conv1");
-    assert_eq!(cols[1].parse::<u64>().unwrap(), report.layers()[0].total_cycles);
+    assert_eq!(
+        cols[1].parse::<u64>().unwrap(),
+        report.layers()[0].total_cycles
+    );
 }
 
 #[test]

@@ -4,19 +4,17 @@
 use proptest::prelude::*;
 
 use scalesim::{parse_config, ArrayShape, Dataflow, RegionOffsets, SimConfig};
-use scalesim_topology::{
-    parse_topology_csv, topology_to_csv, ConvLayerBuilder, Layer, Topology,
-};
+use scalesim_topology::{parse_topology_csv, topology_to_csv, ConvLayerBuilder, Layer, Topology};
 
 fn arb_conv_layer() -> impl Strategy<Value = Layer> {
     (
-        1u64..64,  // ifmap_h
-        1u64..64,  // ifmap_w
-        1u64..8,   // filter (clamped below)
+        1u64..64, // ifmap_h
+        1u64..64, // ifmap_w
+        1u64..8,  // filter (clamped below)
         1u64..8,
-        1u64..32,  // channels
-        1u64..64,  // num_filters
-        1u64..4,   // stride
+        1u64..32, // channels
+        1u64..64, // num_filters
+        1u64..4,  // stride
         "[A-Za-z][A-Za-z0-9_]{0,12}",
     )
         .prop_map(|(ih, iw, fh, fw, c, nf, s, name)| {
@@ -33,7 +31,12 @@ fn arb_conv_layer() -> impl Strategy<Value = Layer> {
 }
 
 fn arb_gemm_layer() -> impl Strategy<Value = Layer> {
-    (1u64..10_000, 1u64..10_000, 1u64..10_000, "[A-Za-z][A-Za-z0-9_]{0,12}")
+    (
+        1u64..10_000,
+        1u64..10_000,
+        1u64..10_000,
+        "[A-Za-z][A-Za-z0-9_]{0,12}",
+    )
         .prop_map(|(m, k, n, name)| Layer::gemm(name, m, k, n))
 }
 

@@ -12,8 +12,12 @@ use scalesim_systolic::{analyze, simulate, ArrayShape, CountingSink, Dataflow};
 use scalesim_topology::GemmShape;
 
 fn matrices(m: usize, k: usize, n: usize, seed: i64) -> (Matrix, Matrix) {
-    let a = Matrix::from_fn(m, k, |i, j| ((i as i64 * 31 + j as i64 * 17 + seed) % 13) - 6);
-    let b = Matrix::from_fn(k, n, |i, j| ((i as i64 * 7 + j as i64 * 23 - seed) % 11) - 5);
+    let a = Matrix::from_fn(m, k, |i, j| {
+        ((i as i64 * 31 + j as i64 * 17 + seed) % 13) - 6
+    });
+    let b = Matrix::from_fn(k, n, |i, j| {
+        ((i as i64 * 7 + j as i64 * 23 - seed) % 11) - 5
+    });
     (a, b)
 }
 

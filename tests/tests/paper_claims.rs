@@ -21,14 +21,17 @@ fn equation_hierarchy() {
         .unwrap()
         .shape()
         .project(Dataflow::OutputStationary); // S_R=84, S_C=1024, T=4096
-    // Oversized array: one partial fold, exact == Eq. 1; Eq. 4 still
-    // charges the full 128x8192 fill/drain and must exceed both.
+                                              // Oversized array: one partial fold, exact == Eq. 1; Eq. 4 still
+                                              // charges the full 128x8192 fill/drain and must exceed both.
     let big = ArrayShape::new(128, 8192);
     assert_eq!(eq1_unlimited(&dims), exact_scaleup(&dims, big));
     assert!(eq4_scaleup(&dims, big) >= eq1_unlimited(&dims));
     // Exactly divisible: Eq. 4 == exact.
     let divisible = ArrayShape::new(84, 128);
-    assert_eq!(eq4_scaleup(&dims, divisible), exact_scaleup(&dims, divisible));
+    assert_eq!(
+        eq4_scaleup(&dims, divisible),
+        exact_scaleup(&dims, divisible)
+    );
     // Ragged folding: Eq. 4 strictly upper bounds the exact schedule.
     let small = ArrayShape::new(60, 60);
     assert!(eq4_scaleup(&dims, small) > exact_scaleup(&dims, small));
@@ -67,7 +70,11 @@ fn fig10_ratio_grows_with_scale() {
             let ratio = up / out as f64;
             assert!(ratio >= 1.0 - 1e-12, "{} at 2^{exp}", layer.name());
             // Not strictly monotonic for every layer, but never collapsing:
-            assert!(ratio >= prev * 0.5, "{} regressed hard at 2^{exp}", layer.name());
+            assert!(
+                ratio >= prev * 0.5,
+                "{} regressed hard at 2^{exp}",
+                layer.name()
+            );
             prev = ratio;
             max_ratio = max_ratio.max(ratio);
         }
@@ -139,7 +146,10 @@ fn fig12_energy_minimum_moves_right_with_scale() {
     };
     let small = min_energy_partitions(8);
     let large = min_energy_partitions(14);
-    assert!(small <= 4, "small budgets should favour few partitions, got {small}");
+    assert!(
+        small <= 4,
+        "small budgets should favour few partitions, got {small}"
+    );
     assert!(
         large >= small,
         "the energy minimum should move toward more partitions ({small} -> {large})"
@@ -169,11 +179,9 @@ fn partitioning_loses_conv_reuse() {
 #[test]
 fn dram_dominates_partitioned_energy() {
     let layer = networks::language_model("DB1").unwrap();
-    let report = Simulator::new(
-        SimConfig::builder().array(ArrayShape::square(8)).build(),
-    )
-    .with_grid(PartitionGrid::new(4, 4))
-    .with_energy_model(EnergyModel::default())
-    .run_layer(&layer);
+    let report = Simulator::new(SimConfig::builder().array(ArrayShape::square(8)).build())
+        .with_grid(PartitionGrid::new(4, 4))
+        .with_energy_model(EnergyModel::default())
+        .run_layer(&layer);
     assert!(report.energy.dram_fraction() > 0.5);
 }

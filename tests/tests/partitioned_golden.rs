@@ -62,11 +62,43 @@ fn check(m: usize, k: usize, n: usize, pr: u64, pc: u64, array: ArrayShape, df: 
 
 #[test]
 fn partitioned_golden_fixed_cases() {
-    check(12, 5, 10, 2, 2, ArrayShape::new(4, 4), Dataflow::OutputStationary);
-    check(9, 4, 7, 3, 2, ArrayShape::new(2, 4), Dataflow::WeightStationary);
-    check(10, 6, 11, 2, 3, ArrayShape::new(4, 2), Dataflow::InputStationary);
+    check(
+        12,
+        5,
+        10,
+        2,
+        2,
+        ArrayShape::new(4, 4),
+        Dataflow::OutputStationary,
+    );
+    check(
+        9,
+        4,
+        7,
+        3,
+        2,
+        ArrayShape::new(2, 4),
+        Dataflow::WeightStationary,
+    );
+    check(
+        10,
+        6,
+        11,
+        2,
+        3,
+        ArrayShape::new(4, 2),
+        Dataflow::InputStationary,
+    );
     // Grid larger than the workload: idle partitions drop out.
-    check(3, 3, 3, 4, 4, ArrayShape::new(4, 4), Dataflow::OutputStationary);
+    check(
+        3,
+        3,
+        3,
+        4,
+        4,
+        ArrayShape::new(4, 4),
+        Dataflow::OutputStationary,
+    );
 }
 
 proptest! {

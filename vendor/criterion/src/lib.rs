@@ -1,0 +1,136 @@
+//! Offline stand-in for `criterion`, covering the macro and method surface
+//! used by `crates/bench`: `criterion_group!`/`criterion_main!`,
+//! `Criterion::bench_function`, `benchmark_group` (+ `sample_size`,
+//! `bench_function`, `finish`), `Bencher::iter` and `black_box`.
+//!
+//! Instead of criterion's statistical machinery this runs each benchmark a
+//! handful of times and prints a mean wall-clock figure — enough to compare
+//! runs by eye and to keep `cargo bench` compiling and running offline.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement budget per benchmark.
+const BUDGET: Duration = Duration::from_millis(300);
+/// Hard cap on timed iterations.
+const MAX_ITERS: u64 = 1000;
+
+/// Times a single benchmark body.
+pub struct Bencher {
+    mean_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Runs `body` repeatedly within the budget and records the mean time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut body: F) {
+        // One warm-up run, which also sizes the measurement loop.
+        let warm_start = Instant::now();
+        black_box(body());
+        let warm = warm_start.elapsed();
+
+        let iters = if warm.is_zero() {
+            MAX_ITERS
+        } else {
+            (BUDGET.as_nanos() / warm.as_nanos().max(1)).clamp(1, MAX_ITERS as u128) as u64
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(body());
+        }
+        self.mean_ns = Some(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let mut bencher = Bencher { mean_ns: None };
+        body(&mut bencher);
+        match bencher.mean_ns {
+            Some(ns) => println!("bench {name:<50} {:>14.0} ns/iter", ns),
+            None => println!("bench {name:<50} (no measurement)"),
+        }
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub sizes runs by wall clock.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        self.criterion.bench_function(full, body);
+        self
+    }
+
+    /// Ends the group (no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_returns() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("group");
+        group.sample_size(10);
+        group.bench_function("noop2", |b| b.iter(|| black_box(2 + 2)));
+        group.finish();
+    }
+}

@@ -1,0 +1,473 @@
+//! Value-generation strategies: the subset of proptest's `Strategy` world
+//! used by this workspace.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy so differently shaped strategies with the
+    /// same value type can be mixed (e.g. in `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            sample: Box::new(move |rng| self.new_value(rng)),
+        }
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// A type-erased strategy (see [`Strategy::boxed`]).
+pub struct BoxedStrategy<V> {
+    sample: Box<dyn Fn(&mut TestRng) -> V>,
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        (self.sample)(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies — the engine behind `prop_oneof!`.
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// A union over `options`; must be non-empty.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].new_value(rng)
+    }
+}
+
+/// Length bounds for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end() + 1,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+/// The result of [`crate::collection::vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> VecStrategy<S> {
+    pub(crate) fn new(element: S, size: SizeRange) -> Self {
+        VecStrategy { element, size }
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.hi - self.size.lo) as u64;
+        let len = self.size.lo + rng.below(span.max(1)) as usize;
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// The result of [`crate::option::of`].
+pub struct OptionStrategy<S> {
+    element: S,
+}
+
+impl<S: Strategy> OptionStrategy<S> {
+    pub(crate) fn new(element: S) -> Self {
+        OptionStrategy { element }
+    }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.element.new_value(rng))
+        }
+    }
+}
+
+// ---------------------------------------------------------------- integers
+
+macro_rules! impl_int_range {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let lo = self.start as i128;
+                    let hi = self.end as i128;
+                    assert!(lo < hi, "empty integer range strategy");
+                    let span = (hi - lo) as u128;
+                    let draw = if span == 0 || span > u128::from(u64::MAX) {
+                        u128::from(rng.next_u64())
+                    } else {
+                        u128::from(rng.below(span as u64))
+                    };
+                    (lo + (draw % span.max(1)) as i128) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let lo = *self.start() as i128;
+                    let hi = *self.end() as i128 + 1;
+                    let span = (hi - lo) as u128;
+                    let draw = u128::from(rng.next_u64()) % span.max(1);
+                    (lo + draw as i128) as $t
+                }
+            }
+        )*
+    };
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// ------------------------------------------------------------------ tuples
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+// ----------------------------------------------------------- regex strings
+
+/// `&'static str` is a strategy producing strings matching the pattern
+/// (proptest's regex-string convention), for the regex subset documented in
+/// the crate docs.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        sample_regex(self, rng)
+    }
+}
+
+/// Cap for unbounded quantifiers (`*`, `+`).
+const UNBOUNDED_CAP: u64 = 8;
+
+fn sample_regex(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let (atom, next) = parse_atom(&chars, i, pattern);
+        i = next;
+        let (min, max, next) = parse_quantifier(&chars, i, pattern);
+        i = next;
+        let span = max - min + 1;
+        let reps = min + rng.below(span.max(1));
+        for _ in 0..reps {
+            out.push(atom.sample(rng));
+        }
+    }
+    out
+}
+
+/// One generatable unit: a literal char or a character class.
+enum Atom {
+    Literal(char),
+    Class(Vec<(char, char)>), // inclusive ranges
+}
+
+impl Atom {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            Atom::Literal(c) => *c,
+            Atom::Class(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1)
+                    .sum();
+                let mut pick = rng.below(total.max(1));
+                for (lo, hi) in ranges {
+                    let size = (*hi as u64) - (*lo as u64) + 1;
+                    if pick < size {
+                        return char::from_u32(*lo as u32 + pick as u32).unwrap_or(*lo);
+                    }
+                    pick -= size;
+                }
+                ranges[0].0
+            }
+        }
+    }
+}
+
+fn class_for_escape(c: char, pattern: &str) -> Atom {
+    match c {
+        'd' => Atom::Class(vec![('0', '9')]),
+        'w' => Atom::Class(vec![('0', '9'), ('A', 'Z'), ('a', 'z'), ('_', '_')]),
+        's' => Atom::Literal(' '),
+        'n' => Atom::Literal('\n'),
+        't' => Atom::Literal('\t'),
+        '\\' | '.' | '[' | ']' | '{' | '}' | '(' | ')' | '*' | '+' | '?' | '|' | '^' | '$'
+        | '-' => Atom::Literal(c),
+        other => panic!("proptest stub: unsupported escape `\\{other}` in regex `{pattern}`"),
+    }
+}
+
+fn parse_atom(chars: &[char], mut i: usize, pattern: &str) -> (Atom, usize) {
+    match chars[i] {
+        '[' => {
+            i += 1;
+            let mut ranges = Vec::new();
+            while i < chars.len() && chars[i] != ']' {
+                let lo = if chars[i] == '\\' {
+                    i += 1;
+                    match class_for_escape(chars[i], pattern) {
+                        Atom::Literal(c) => c,
+                        Atom::Class(mut r) => {
+                            // `[\d...]`: splice the class in directly.
+                            ranges.append(&mut r);
+                            i += 1;
+                            continue;
+                        }
+                    }
+                } else {
+                    chars[i]
+                };
+                if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                    ranges.push((lo, chars[i + 2]));
+                    i += 3;
+                } else {
+                    ranges.push((lo, lo));
+                    i += 1;
+                }
+            }
+            assert!(
+                i < chars.len(),
+                "proptest stub: unterminated character class in regex `{pattern}`"
+            );
+            (Atom::Class(ranges), i + 1)
+        }
+        '\\' => (class_for_escape(chars[i + 1], pattern), i + 2),
+        '.' => (Atom::Class(vec![(' ', '~')]), i + 1),
+        '(' | ')' | '|' => {
+            panic!("proptest stub: groups/alternation unsupported in regex `{pattern}`")
+        }
+        c => (Atom::Literal(c), i + 1),
+    }
+}
+
+fn parse_quantifier(chars: &[char], i: usize, pattern: &str) -> (u64, u64, usize) {
+    if i >= chars.len() {
+        return (1, 1, i);
+    }
+    match chars[i] {
+        '?' => (0, 1, i + 1),
+        '*' => (0, UNBOUNDED_CAP, i + 1),
+        '+' => (1, UNBOUNDED_CAP, i + 1),
+        '{' => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| {
+                    panic!("proptest stub: unterminated quantifier in regex `{pattern}`")
+                });
+            let body: String = chars[i + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                None => {
+                    let n: u64 = body.trim().parse().expect("numeric quantifier");
+                    (n, n)
+                }
+                Some((lo, "")) => (
+                    lo.trim().parse().expect("numeric quantifier"),
+                    UNBOUNDED_CAP,
+                ),
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("numeric quantifier"),
+                    hi.trim().parse().expect("numeric quantifier"),
+                ),
+            };
+            (min, max, close + 1)
+        }
+        _ => (1, 1, i),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(42)
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..2000 {
+            let v = (1u64..600).new_value(&mut r);
+            assert!((1..600).contains(&v));
+            let s = (-20i64..20).new_value(&mut r);
+            assert!((-20..20).contains(&s));
+            let u = (0usize..3).new_value(&mut r);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn tuples_and_map_compose() {
+        let strat = (1u64..10, 1u64..10).prop_map(|(a, b)| a * b);
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = strat.new_value(&mut r);
+            assert!((1..=81).contains(&v));
+        }
+    }
+
+    #[test]
+    fn regex_identifier_pattern() {
+        let strat = "[A-Za-z][A-Za-z0-9_]{0,12}";
+        let mut r = rng();
+        for _ in 0..500 {
+            let s = strat.new_value(&mut r);
+            assert!(!s.is_empty() && s.len() <= 13, "bad len: {s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_alphabetic());
+            assert!(cs.all(|c| c.is_ascii_alphanumeric() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn vec_and_option_strategies() {
+        let vs = crate::collection::vec(1u64..5, 1..12);
+        let os = crate::option::of(1u64..5);
+        let mut r = rng();
+        let mut saw_none = false;
+        let mut saw_some = false;
+        for _ in 0..300 {
+            let v = vs.new_value(&mut r);
+            assert!((1..12).contains(&v.len()));
+            match os.new_value(&mut r) {
+                None => saw_none = true,
+                Some(x) => {
+                    saw_some = true;
+                    assert!((1..5).contains(&x));
+                }
+            }
+        }
+        assert!(saw_none && saw_some);
+    }
+
+    #[test]
+    fn union_draws_from_all_branches() {
+        let u = Union::new(vec![(0u64..1).boxed(), (100u64..101).boxed()]);
+        let mut r = rng();
+        let draws: Vec<u64> = (0..100).map(|_| u.new_value(&mut r)).collect();
+        assert!(draws.contains(&0) && draws.contains(&100));
+    }
+}

@@ -1,0 +1,46 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This build environment has no access to crates.io, so the real
+//! `serde_derive` (and its `syn`/`quote` dependency tree) cannot be used.
+//! The repo only relies on `#[derive(Serialize, Deserialize)]` as a *marker*
+//! — nothing calls serde's serialization machinery — so these derives simply
+//! emit the corresponding marker-trait impls for the annotated type.
+//!
+//! Limitations (deliberate): generic types are not supported; every type in
+//! this workspace that derives the serde traits is concrete.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the `struct` / `enum` / `union` keyword.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tok) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tok {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    return name.to_string();
+                }
+            }
+        }
+    }
+    panic!("serde stub derive: could not find a type name in the input");
+}
+
+/// Marker derive: `impl serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("serde stub derive: generated impl must parse")
+}
+
+/// Marker derive: `impl<'de> serde::Deserialize<'de> for T {}`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("serde stub derive: generated impl must parse")
+}
