@@ -121,7 +121,7 @@ pub fn recommend<M: RuntimeModel>(
             total_cycles += crate::partition::scaleout_runtime(w, &config, model);
             peak_bw = peak_bw.max(estimate_scaleout_bandwidth(w, &config));
         }
-        let within = bandwidth_budget.map_or(true, |limit| peak_bw <= limit);
+        let within = bandwidth_budget.is_none_or(|limit| peak_bw <= limit);
         let candidate = Recommendation {
             config,
             total_cycles,
@@ -131,14 +131,14 @@ pub fn recommend<M: RuntimeModel>(
         if within {
             let better = best_fit
                 .as_ref()
-                .map_or(true, |b| candidate.total_cycles < b.total_cycles);
+                .is_none_or(|b| candidate.total_cycles < b.total_cycles);
             if better {
                 best_fit = Some(candidate);
             }
         }
         let thriftier = least_hungry
             .as_ref()
-            .map_or(true, |b| candidate.peak_bandwidth < b.peak_bandwidth);
+            .is_none_or(|b| candidate.peak_bandwidth < b.peak_bandwidth);
         if thriftier {
             least_hungry = Some(candidate);
         }

@@ -25,7 +25,7 @@ fn main() {
         .iter()
         .map(|n| resnet.layer(n).expect("built-in layer").clone())
         .collect();
-    layers.extend(networks::language_models().into_iter());
+    layers.extend(networks::language_models());
 
     for layer in &layers {
         let ranked = rank_dataflows(layer.shape(), array, &model);

@@ -37,7 +37,7 @@ fn sweep_layer(layer: &Layer, budget_exp: u32) {
             e.sram,
             e.dram,
         );
-        if best.map_or(true, |(_, b)| e.total() < b) {
+        if best.is_none_or(|(_, b)| e.total() < b) {
             best = Some((point.partitions(), e.total()));
         }
     }

@@ -54,7 +54,7 @@ fn main() {
         println!("array,cycles,mapping_utilization");
         let mut ranked = rank_scaleup(&dims, 1 << exp, 8, &model);
         // Present tall-to-wide (the paper's x axis), not by rank.
-        ranked.sort_by(|a, b| b.array.rows().cmp(&a.array.rows()));
+        ranked.sort_by_key(|s| std::cmp::Reverse(s.array.rows()));
         for s in ranked {
             println!("{},{},{:.4}", s.array, s.cycles, s.mapping_utilization);
         }

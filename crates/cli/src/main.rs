@@ -14,13 +14,15 @@ const USAGE: &str = "\
 scale-sim — systolic-array DNN accelerator simulator (SCALE-Sim in Rust)
 
 USAGE:
-    scale-sim [OPTIONS]
+    scale-sim [run] [OPTIONS]
     scale-sim serve [--port <P>] [--host <ADDR>] [--workers <N>] [--cache <N>]
     scale-sim batch --manifest <FILE> [--jobs <N>] [--output <FILE>] [--cache <N>]
 
 SUBCOMMANDS:
+    run      simulate one workload (the default when no subcommand is given)
     serve    run the HTTP simulation service (POST /simulate, GET /stats,
-             GET /healthz) with a shared content-addressed result cache
+             GET /metrics, GET /healthz) with a shared content-addressed
+             result cache
     batch    run a manifest of jobs concurrently through the same engine
              and write one combined REPORT CSV
 
@@ -37,6 +39,8 @@ OPTIONS:
         --batch <N>         batch the workload N times (lowers convs to GEMM)
     -o, --output <DIR>      write REPORT.csv (and traces) into DIR
         --traces            also write per-layer SRAM and DRAM traces
+        --profile           print a per-layer wall-time/cycles table after
+                            the report (from the telemetry registry)
         --dump-config       print the effective config and exit
     -h, --help              show this help
 ";
@@ -51,6 +55,7 @@ struct Args {
     batch: Option<u64>,
     output: Option<PathBuf>,
     traces: bool,
+    profile: bool,
     dump_config: bool,
 }
 
@@ -65,6 +70,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         batch: None,
         output: None,
         traces: false,
+        profile: false,
         dump_config: false,
     };
     let mut it = argv.iter();
@@ -117,6 +123,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "-o" | "--output" => args.output = Some(PathBuf::from(value("--output")?)),
             "--traces" => args.traces = true,
+            "--profile" => args.profile = true,
             "--dump-config" => args.dump_config = true,
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
@@ -230,6 +237,9 @@ fn run_simulation(args: &Args) -> Result<(), String> {
 
     let report = sim.run_topology(&topology);
     println!("{report}");
+    if args.profile {
+        print!("{}", profile_table(&report));
+    }
 
     if let Some(dir) = &args.output {
         let path = dir.join("REPORT.csv");
@@ -240,13 +250,63 @@ fn run_simulation(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Renders the `--profile` table: one row per layer with simulated cycles
+/// and the wall-clock time `run_layer` spent on it, read back from the
+/// process-global telemetry registry.
+fn profile_table(report: &scalesim::NetworkReport) -> String {
+    use scalesim::telemetry_names;
+    let registry = scalesim_telemetry::global();
+    let wall_of = |layer: &str| {
+        registry
+            .counter_value(telemetry_names::LAYER_WALL_MICROS, &[("layer", layer)])
+            .unwrap_or(0)
+    };
+    let total_wall: u64 = report.layers().iter().map(|l| wall_of(&l.name)).sum();
+    let name_width = report
+        .layers()
+        .iter()
+        .map(|l| l.name.len())
+        .max()
+        .unwrap_or(5)
+        .max("layer".len());
+
+    let mut out = String::new();
+    out.push_str("\nprofile (wall time per layer):\n");
+    out.push_str(&format!(
+        "{:<name_width$}  {:>14}  {:>12}  {:>6}\n",
+        "layer", "cycles", "wall_micros", "wall%"
+    ));
+    for layer in report.layers() {
+        let wall = wall_of(&layer.name);
+        let pct = if total_wall > 0 {
+            100.0 * wall as f64 / total_wall as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "{:<name_width$}  {:>14}  {:>12}  {:>5.1}%\n",
+            layer.name, layer.total_cycles, wall, pct
+        ));
+    }
+    out.push_str(&format!(
+        "{:<name_width$}  {:>14}  {:>12}  {:>6}\n",
+        "total",
+        report.total_cycles(),
+        total_wall,
+        "100.0%"
+    ));
+    out
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = env::args().skip(1).collect();
     // Subcommands dispatch to the server crate; their errors are always
-    // runtime-style (one line, no usage dump).
+    // runtime-style (one line, no usage dump). `run` is the explicit
+    // spelling of the default simulate path.
     let outcome = match argv.first().map(String::as_str) {
         Some("serve") => scalesim_server::cli::run_serve(&argv[1..]).map_err(CliError::Runtime),
         Some("batch") => scalesim_server::cli::run_batch_cli(&argv[1..]).map_err(CliError::Runtime),
+        Some("run") => run(&argv[1..]),
         _ => run(&argv),
     };
     match outcome {

@@ -94,6 +94,42 @@ fn full_pipeline_writes_report_and_traces() {
     }
 }
 
+/// `run --profile` appends a per-layer timing table: every layer of the
+/// workload appears exactly once, plus a total row.
+#[test]
+fn profile_flag_lists_every_layer_exactly_once() {
+    let dir = temp_dir("profile");
+    let topo = dir.join("tiny.csv");
+    fs::write(
+        &topo,
+        "ProfA,8,8,3,3,2,4,1\nProfB,16,8,16\nProfC,8,8,1,1,4,8,1\n",
+    )
+    .unwrap();
+    let out = scale_sim(&["run", "--topology", topo.to_str().unwrap(), "--profile"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    let (_, profile) = text
+        .split_once("profile (wall time per layer):")
+        .expect("profile table present");
+    for layer in ["ProfA", "ProfB", "ProfC"] {
+        let rows = profile.matches(layer).count();
+        assert_eq!(rows, 1, "{layer} must appear exactly once in the profile");
+    }
+    assert!(profile.contains("wall_micros"));
+    assert!(profile.contains("total"));
+    assert!(profile.trim_end().ends_with("100.0%"));
+
+    // Without the flag the table is absent, and `run` is optional.
+    let plain = scale_sim(&["--topology", topo.to_str().unwrap()]);
+    assert!(plain.status.success());
+    let plain_text = String::from_utf8(plain.stdout).unwrap();
+    assert!(!plain_text.contains("profile (wall time per layer)"));
+}
+
 #[test]
 fn dataflow_override_changes_the_report() {
     let run = |df: &str| {

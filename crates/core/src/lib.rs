@@ -66,7 +66,7 @@ pub use crate::config::{parse_config, SimConfig, SimConfigBuilder};
 pub use crate::error::ParseConfigError;
 pub use crate::pipeline::{balance_stages, run_pipeline, PipelineReport, StageReport};
 pub use crate::report::{LayerReport, NetworkReport};
-pub use crate::simulator::Simulator;
+pub use crate::simulator::{telemetry_names, Simulator};
 pub use crate::sweep::{run_partition_sweep, sweet_spot, SweepPoint};
 
 // The vocabulary types users need with the facade.

@@ -89,8 +89,8 @@ pub fn balance_stages(costs: &[u64], stages: usize) -> Vec<usize> {
     // dp[j][i] = minimal max-stage-cost splitting costs[..i] into j groups.
     let mut dp = vec![vec![u64::MAX; n + 1]; k + 1];
     let mut cut = vec![vec![0usize; n + 1]; k + 1];
-    for i in 1..=n {
-        dp[1][i] = seg(0, i);
+    for (i, slot) in dp[1].iter_mut().enumerate().skip(1) {
+        *slot = seg(0, i);
     }
     for j in 2..=k {
         for i in j..=n {

@@ -2,6 +2,8 @@
 //! partitioned, cycle-accurate compute plus the DRAM interface model.
 
 use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 use scalesim_analytical::PartitionGrid;
 use scalesim_energy::EnergyModel;
@@ -77,7 +79,15 @@ impl Simulator {
 
     /// Simulates one layer end to end: cycle-accurate compute schedule plus
     /// the double-buffered DRAM interface model, per partition, aggregated.
+    ///
+    /// Telemetry: records wall time, cycle totals and per-phase (compute /
+    /// dram / energy) timings into the
+    /// [`scalesim_telemetry::global`] registry under the metric names in
+    /// [`telemetry_names`].
     pub fn run_layer(&self, layer: &Layer) -> LayerReport {
+        let started = Instant::now();
+        let _span = scalesim_telemetry::span!("run_layer", layer = layer.name());
+        let phases = PhaseNanos::default();
         let shape = layer.shape();
         let config = if self.auto_dataflow {
             let best = scalesim_analytical::best_dataflow(
@@ -98,7 +108,15 @@ impl Simulator {
 
         // Each partition gets an even share of the interface bandwidth.
         let per_partition_bw = config.dram_bandwidth.map(|bw| bw / provisioned as f64);
-        let results = run_partitions(&tiles, &*map, shape, &config, provisioned, per_partition_bw);
+        let results = run_partitions(
+            &tiles,
+            &*map,
+            shape,
+            &config,
+            provisioned,
+            per_partition_bw,
+            &phases,
+        );
 
         // Aggregate across partitions.
         let mut per_partition_cycles = Vec::with_capacity(results.len());
@@ -145,11 +163,13 @@ impl Simulator {
         // Idle accounting covers every provisioned PE for the whole layer
         // runtime — including partitions that finished early or had no work.
         let pe_cycles = provisioned * config.array.macs() * total_cycles;
+        let energy_started = Instant::now();
         let energy =
             self.energy_model
                 .evaluate(mac_ops, pe_cycles, sram.total(), dram.total_accesses());
+        phases.add_energy(energy_started.elapsed());
 
-        LayerReport {
+        let report = LayerReport {
             name: layer.name().to_owned(),
             grid: self.grid,
             array: config.array,
@@ -167,13 +187,22 @@ impl Simulator {
             compute_utilization: mac_ops as f64 / pe_cycles as f64,
             energy,
             stall,
-        }
+        };
+        record_layer_telemetry(&report, started.elapsed(), &phases);
+        report
     }
 
     /// Simulates every layer of `topology` in order (SCALE-Sim serializes
     /// layers — Section II-E).
     pub fn run_topology(&self, topology: &Topology) -> NetworkReport {
+        let _span = scalesim_telemetry::span!("run_topology", network = topology.name());
         let layers = topology.iter().map(|l| self.run_layer(l)).collect();
+        scalesim_telemetry::global()
+            .counter(
+                telemetry_names::NETWORK_RUNS,
+                "Topologies simulated end to end.",
+            )
+            .inc();
         NetworkReport::new(topology.name(), layers)
     }
 
@@ -235,6 +264,111 @@ impl Simulator {
     }
 }
 
+/// Metric names the simulator records into the
+/// [`scalesim_telemetry::global`] registry. Servers and profilers read
+/// these back by name, so they are part of the public API.
+pub mod telemetry_names {
+    /// Counter, `{layer}`: layers simulated.
+    pub const LAYER_RUNS: &str = "scalesim_layer_runs_total";
+    /// Counter, `{layer}`: cumulative stall-free cycles per layer tag.
+    pub const LAYER_CYCLES: &str = "scalesim_layer_cycles_total";
+    /// Counter, `{layer}`: cumulative simulation wall time per layer tag.
+    pub const LAYER_WALL_MICROS: &str = "scalesim_layer_wall_micros_total";
+    /// Counter, `{phase}` in `compute` / `dram` / `energy`: wall time spent
+    /// in each simulation phase.
+    pub const PHASE_MICROS: &str = "scalesim_sim_phase_micros_total";
+    /// Counter: modeled DRAM traffic across all simulated layers.
+    pub const DRAM_BYTES: &str = "scalesim_sim_dram_bytes_total";
+    /// Counter: modeled SRAM accesses across all simulated layers.
+    pub const SRAM_ACCESSES: &str = "scalesim_sim_sram_accesses_total";
+    /// Float counter: modeled energy across all simulated layers.
+    pub const ENERGY: &str = "scalesim_sim_energy_total";
+    /// Counter: whole topologies simulated.
+    pub const NETWORK_RUNS: &str = "scalesim_network_runs_total";
+}
+
+/// Per-phase wall-time accumulators, shared across partition threads.
+#[derive(Debug, Default)]
+struct PhaseNanos {
+    compute: AtomicU64,
+    dram: AtomicU64,
+    energy: AtomicU64,
+}
+
+impl PhaseNanos {
+    fn add_compute(&self, d: std::time::Duration) {
+        self.compute
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    fn add_dram(&self, d: std::time::Duration) {
+        self.dram.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    fn add_energy(&self, d: std::time::Duration) {
+        self.energy
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    fn micros(&self) -> [(&'static str, u64); 3] {
+        [
+            ("compute", self.compute.load(Ordering::Relaxed) / 1_000),
+            ("dram", self.dram.load(Ordering::Relaxed) / 1_000),
+            ("energy", self.energy.load(Ordering::Relaxed) / 1_000),
+        ]
+    }
+}
+
+/// Publishes one finished layer's results to the global metric registry.
+fn record_layer_telemetry(report: &LayerReport, wall: std::time::Duration, phases: &PhaseNanos) {
+    let registry = scalesim_telemetry::global();
+    let labels = [("layer", report.name.as_str())];
+    registry
+        .counter_with(telemetry_names::LAYER_RUNS, "Layers simulated.", &labels)
+        .inc();
+    registry
+        .counter_with(
+            telemetry_names::LAYER_CYCLES,
+            "Cumulative stall-free cycles per layer tag.",
+            &labels,
+        )
+        .add(report.total_cycles);
+    registry
+        .counter_with(
+            telemetry_names::LAYER_WALL_MICROS,
+            "Cumulative simulation wall time per layer tag.",
+            &labels,
+        )
+        .add(wall.as_micros() as u64);
+    for (phase, micros) in phases.micros() {
+        registry
+            .counter_with(
+                telemetry_names::PHASE_MICROS,
+                "Wall time spent in each simulation phase.",
+                &[("phase", phase)],
+            )
+            .add(micros);
+    }
+    registry
+        .counter(
+            telemetry_names::DRAM_BYTES,
+            "Modeled DRAM traffic across all simulated layers.",
+        )
+        .add(report.dram.total_bytes());
+    registry
+        .counter(
+            telemetry_names::SRAM_ACCESSES,
+            "Modeled SRAM accesses across all simulated layers.",
+        )
+        .add(report.sram.total());
+    registry
+        .float_counter(
+            telemetry_names::ENERGY,
+            "Modeled energy across all simulated layers.",
+        )
+        .add(report.energy.total());
+}
+
 /// Builds the operand address map for a layer.
 fn layer_map(layer: &Layer, config: &SimConfig) -> Box<dyn AddressMap + Send + Sync> {
     match layer {
@@ -284,7 +418,9 @@ fn partition_tiles(shape: GemmShape, grid: PartitionGrid) -> Vec<Tile> {
 }
 
 /// Simulates each tile (compute schedule + DRAM model), in parallel across
-/// OS threads when there are several.
+/// OS threads when there are several. Phase wall time (compute schedule vs
+/// DRAM interface walk) accumulates into `phases` from every thread.
+#[allow(clippy::too_many_arguments)]
 fn run_partitions(
     tiles: &[Tile],
     map: &(dyn AddressMap + Send + Sync),
@@ -292,18 +428,22 @@ fn run_partitions(
     config: &SimConfig,
     provisioned: u64,
     bandwidth_share: Option<f64>,
+    phases: &PhaseNanos,
 ) -> Vec<(ComputeReport, DramSummary, Option<StallSummary>)> {
     let run_tile = |tile: &Tile| -> (ComputeReport, DramSummary, Option<StallSummary>) {
         let sub_map = SubGemmMap::new(map, tile.m_off, tile.n_off);
         let sub_shape = GemmShape::new(tile.m_len, shape.k, tile.n_len);
         let dims = sub_shape.project(config.dataflow);
+        let compute_started = Instant::now();
         let compute = analyze(&dims, config.array);
+        phases.add_compute(compute_started.elapsed());
         let mut dram = DramModel::new(
             config.ifmap_buffer(provisioned),
             config.filter_buffer(provisioned),
             config.ofmap_buffer(provisioned),
         );
         let mut stall = bandwidth_share.map(StallModel::new);
+        let dram_started = Instant::now();
         for demand in fold_demands(&dims, config.array, &sub_map) {
             let traffic = dram.fold(
                 demand.fold.duration,
@@ -316,6 +456,7 @@ fn run_partitions(
                 stall.fold(traffic.duration, traffic.read_bytes, traffic.write_bytes);
             }
         }
+        phases.add_dram(dram_started.elapsed());
         (compute, dram.finish(), stall.map(StallModel::finish))
     };
 
@@ -558,6 +699,31 @@ mod tests {
             auto.total_cycles,
             fixed.total_cycles
         );
+    }
+
+    #[test]
+    fn run_layer_records_telemetry() {
+        let registry = scalesim_telemetry::global();
+        let labels = [("layer", "telemetry_probe")];
+        let before = registry
+            .counter_value(telemetry_names::LAYER_CYCLES, &labels)
+            .unwrap_or(0);
+        let report =
+            Simulator::new(small_config()).run_layer(&Layer::gemm("telemetry_probe", 64, 32, 64));
+        let cycles = registry
+            .counter_value(telemetry_names::LAYER_CYCLES, &labels)
+            .expect("layer cycles recorded");
+        assert_eq!(cycles - before, report.total_cycles);
+        assert!(registry
+            .counter_value(telemetry_names::LAYER_WALL_MICROS, &labels)
+            .is_some());
+        // Phase counters exist once any layer ran (values are cumulative
+        // across concurrently running tests, so only presence is asserted).
+        for phase in ["compute", "dram", "energy"] {
+            assert!(registry
+                .counter_value(telemetry_names::PHASE_MICROS, &[("phase", phase)])
+                .is_some());
+        }
     }
 
     #[test]

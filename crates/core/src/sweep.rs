@@ -118,7 +118,6 @@ pub fn sweet_spot(points: &[SweepPoint]) -> Option<&SweepPoint> {
             p.report.required_bandwidth() / max_bw >= p.report.total_cycles as f64 / max_cycles
         })
         .or_else(|| points.last())
-        .into()
 }
 
 #[cfg(test)]

@@ -74,13 +74,11 @@ mod tests {
     fn distinct_keys_hash_distinctly_in_practice() {
         // Sanity: sequential addresses spread across buckets (no mass
         // collision into identical hashes).
-        use std::hash::{BuildHasher, Hash};
+        use std::hash::BuildHasher;
         let build = AddrBuildHasher::default();
         let mut hashes = HashSet::new();
         for addr in 0u64..10_000 {
-            let mut h = build.build_hasher();
-            addr.hash(&mut h);
-            hashes.insert(h.finish());
+            hashes.insert(build.hash_one(addr));
         }
         assert_eq!(hashes.len(), 10_000);
     }

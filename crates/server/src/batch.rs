@@ -108,6 +108,9 @@ impl BatchOutcome {
     }
 }
 
+/// A finished manifest slot: how the job was served plus the shared result.
+type CompletedJob = Option<(Served, std::sync::Arc<SimResult>)>;
+
 /// Runs `jobs` through `engine` using `submitters` concurrent submitter
 /// threads. Results come back in manifest order regardless of completion
 /// order. Fails fast on the first job error.
@@ -118,8 +121,7 @@ pub fn run_batch(
 ) -> Result<BatchOutcome, JobError> {
     let submitters = submitters.clamp(1, jobs.len().max(1));
     let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<(Served, std::sync::Arc<SimResult>)>>> =
-        Mutex::new(vec![None; jobs.len()]);
+    let slots: Mutex<Vec<CompletedJob>> = Mutex::new(vec![None; jobs.len()]);
     let first_error: Mutex<Option<JobError>> = Mutex::new(None);
 
     crossbeam::thread::scope(|scope| {

@@ -9,14 +9,21 @@
 //! does).
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+
+use scalesim_telemetry::{Counter, Gauge};
 
 /// Slab sentinel: "no node".
 const NIL: usize = usize::MAX;
 
 /// A fixed-capacity sharded LRU map from `u128` content hashes to values.
+///
+/// Optionally instrumented via [`ShardedLru::with_metrics`]: an eviction
+/// counter and a resident-entries gauge, updated as entries come and go.
 pub struct ShardedLru<V> {
     shards: Box<[Mutex<Shard<V>>]>,
+    evictions: Option<Arc<Counter>>,
+    resident: Option<Arc<Gauge>>,
 }
 
 struct Shard<V> {
@@ -56,7 +63,19 @@ impl<V: Clone> ShardedLru<V> {
             })
             .collect::<Vec<_>>()
             .into_boxed_slice();
-        ShardedLru { shards }
+        ShardedLru {
+            shards,
+            evictions: None,
+            resident: None,
+        }
+    }
+
+    /// Attaches telemetry: `evictions` increments on every LRU eviction,
+    /// `resident` tracks the live entry count.
+    pub fn with_metrics(mut self, evictions: Arc<Counter>, resident: Arc<Gauge>) -> ShardedLru<V> {
+        self.evictions = Some(evictions);
+        self.resident = Some(resident);
+        self
     }
 
     fn shard(&self, key: u128) -> &Mutex<Shard<V>> {
@@ -81,8 +100,15 @@ impl<V: Clone> ShardedLru<V> {
             shard.promote(slot);
             return;
         }
-        if shard.index.len() >= shard.capacity {
-            shard.evict_tail();
+        let evicted = shard.index.len() >= shard.capacity && shard.evict_tail();
+        if evicted {
+            if let Some(evictions) = &self.evictions {
+                evictions.inc();
+            }
+        } else if let Some(resident) = &self.resident {
+            // A new entry without an eviction grows the cache by one;
+            // evict-then-insert nets zero residents.
+            resident.add(1);
         }
         let slot = match shard.free.pop() {
             Some(slot) => {
@@ -154,15 +180,17 @@ impl<V> Shard<V> {
         }
     }
 
-    fn evict_tail(&mut self) {
+    /// Evicts the least-recently-used entry; false if the shard was empty.
+    fn evict_tail(&mut self) -> bool {
         let tail = self.tail;
         if tail == NIL {
-            return;
+            return false;
         }
         self.detach(tail);
         let key = self.slab[tail].key;
         self.index.remove(&key);
         self.free.push(tail);
+        true
     }
 }
 
@@ -224,6 +252,24 @@ mod tests {
         for k in 0..64u128 {
             assert_eq!(lru.get(k), Some(k));
         }
+    }
+
+    #[test]
+    fn metrics_track_residency_and_evictions() {
+        let evictions = Arc::new(Counter::new());
+        let resident = Arc::new(Gauge::new());
+        let lru = ShardedLru::new(2, 1).with_metrics(Arc::clone(&evictions), Arc::clone(&resident));
+        lru.insert(1, 1);
+        lru.insert(2, 2);
+        assert_eq!(resident.get(), 2);
+        assert_eq!(evictions.get(), 0);
+        lru.insert(2, 20); // replace: no residency change, no eviction
+        assert_eq!(resident.get(), 2);
+        lru.insert(3, 3); // full: evicts key 1
+        assert_eq!(resident.get(), 2);
+        assert_eq!(evictions.get(), 1);
+        assert_eq!(lru.get(1), None);
+        assert_eq!(resident.get() as usize, lru.len());
     }
 
     #[test]

@@ -61,7 +61,8 @@ pub fn run_serve(argv: &[String]) -> Result<(), String> {
         "scale-sim serve: listening on http://{} ({workers} workers, {cache}-entry cache)",
         server.local_addr()
     );
-    eprintln!("routes: POST /simulate, GET /stats, GET /healthz");
+    eprintln!("routes: POST /simulate, GET /stats, GET /metrics, GET /healthz");
+    eprintln!("logging: set SCALESIM_LOG=info (or debug,json) for access logs");
     server.run()
 }
 

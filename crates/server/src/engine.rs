@@ -21,6 +21,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use scalesim::{NetworkReport, Simulator};
+use scalesim_telemetry::{log, Counter, Gauge, Histogram, Registry};
 
 use crate::cache::ShardedLru;
 use crate::job::{JobError, JobKey, NormalizedJob, SimJob};
@@ -108,62 +109,113 @@ impl SimResult {
     }
 }
 
-/// Monotonic service counters, all relaxed atomics.
-#[derive(Debug, Default)]
+/// Service counters, backed by [`scalesim_telemetry`] primitives registered
+/// in the engine's [`Registry`] — `GET /stats` and `GET /metrics` read the
+/// *same* atomics, so the two views can never drift.
+#[derive(Debug, Clone)]
 pub struct Stats {
     /// Jobs accepted for execution (normalized successfully).
-    pub accepted: AtomicU64,
+    pub accepted: Arc<Counter>,
     /// Jobs completed (any path: fresh, cache, join).
-    pub completed: AtomicU64,
+    pub completed: Arc<Counter>,
     /// Simulations actually executed by the pool.
-    pub simulations: AtomicU64,
-    /// Requests served from the LRU result cache.
-    pub lru_hits: AtomicU64,
-    /// Requests that joined an identical in-flight simulation.
-    pub joins: AtomicU64,
+    pub simulations: Arc<Counter>,
+    /// Requests that ran a fresh simulation
+    /// (`scalesim_requests_total{outcome="fresh"}`).
+    pub fresh: Arc<Counter>,
+    /// Requests served from the LRU result cache
+    /// (`scalesim_requests_total{outcome="hit"}`).
+    pub lru_hits: Arc<Counter>,
+    /// Requests that joined an identical in-flight simulation
+    /// (`scalesim_requests_total{outcome="joined"}`).
+    pub joins: Arc<Counter>,
+    /// Requests whose simulation failed (a joiner of a failed leader counts
+    /// here *and* in `joins`).
+    pub errors: Arc<Counter>,
     /// Jobs currently being simulated.
-    pub in_flight: AtomicU64,
+    pub in_flight: Arc<Gauge>,
     /// Total simulation wall time in microseconds (fresh runs only).
-    pub total_sim_micros: AtomicU64,
+    pub total_sim_micros: Arc<Counter>,
+    /// Leader queue wait (enqueue to worker pickup), seconds.
+    pub queue_wait: Arc<Histogram>,
+    /// Simulation wall time (fresh runs only), seconds.
+    pub sim_duration: Arc<Histogram>,
+    /// Joiners that piled onto each completed leader (single-flight fan-in
+    /// per key; counts joiners present when the leader finished).
+    pub joiners_per_key: Arc<Histogram>,
 }
 
 impl Stats {
-    /// Requests served without running a simulation (LRU hits + joins).
-    pub fn cache_hits(&self) -> u64 {
-        self.lru_hits.load(Ordering::Relaxed) + self.joins.load(Ordering::Relaxed)
+    fn new(registry: &Registry) -> Stats {
+        let outcome = |tag| {
+            registry.counter_with(
+                "scalesim_requests_total",
+                "Completed requests by outcome.",
+                &[("outcome", tag)],
+            )
+        };
+        Stats {
+            accepted: registry.counter(
+                "scalesim_jobs_accepted_total",
+                "Jobs accepted for execution (normalized successfully).",
+            ),
+            completed: registry.counter(
+                "scalesim_jobs_completed_total",
+                "Jobs completed on any path: fresh, cache hit, or join.",
+            ),
+            simulations: registry.counter(
+                "scalesim_simulations_total",
+                "Simulations actually executed by the worker pool.",
+            ),
+            fresh: outcome("fresh"),
+            lru_hits: outcome("hit"),
+            joins: outcome("joined"),
+            errors: registry.counter(
+                "scalesim_job_errors_total",
+                "Requests whose simulation failed.",
+            ),
+            in_flight: registry.gauge("scalesim_jobs_in_flight", "Jobs currently being simulated."),
+            total_sim_micros: registry.counter(
+                "scalesim_sim_wall_micros_total",
+                "Total simulation wall time in microseconds (fresh runs only).",
+            ),
+            queue_wait: registry.histogram(
+                "scalesim_queue_wait_seconds",
+                "Leader queue wait from enqueue to worker pickup.",
+                &Histogram::duration_buckets(),
+            ),
+            sim_duration: registry.histogram(
+                "scalesim_sim_seconds",
+                "Simulation wall time (fresh runs only).",
+                &Histogram::duration_buckets(),
+            ),
+            joiners_per_key: registry.histogram(
+                "scalesim_dedup_joiners",
+                "Joiners that piled onto each completed leader (per job key).",
+                &[0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0],
+            ),
+        }
     }
 
-    /// JSON body returned by `GET /stats`.
+    /// Requests served without running a simulation (LRU hits + joins).
+    pub fn cache_hits(&self) -> u64 {
+        self.lru_hits.get() + self.joins.get()
+    }
+
+    /// JSON body returned by `GET /stats`. Field set is kept stable for
+    /// pre-telemetry clients; values read the same counters as `/metrics`.
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
-            (
-                "accepted",
-                Json::Int(self.accepted.load(Ordering::Relaxed).into()),
-            ),
-            (
-                "completed",
-                Json::Int(self.completed.load(Ordering::Relaxed).into()),
-            ),
-            (
-                "simulations",
-                Json::Int(self.simulations.load(Ordering::Relaxed).into()),
-            ),
+            ("accepted", Json::Int(self.accepted.get().into())),
+            ("completed", Json::Int(self.completed.get().into())),
+            ("simulations", Json::Int(self.simulations.get().into())),
             ("cache_hits", Json::Int(self.cache_hits().into())),
-            (
-                "lru_hits",
-                Json::Int(self.lru_hits.load(Ordering::Relaxed).into()),
-            ),
-            (
-                "joins",
-                Json::Int(self.joins.load(Ordering::Relaxed).into()),
-            ),
-            (
-                "in_flight",
-                Json::Int(self.in_flight.load(Ordering::Relaxed).into()),
-            ),
+            ("lru_hits", Json::Int(self.lru_hits.get().into())),
+            ("joins", Json::Int(self.joins.get().into())),
+            ("in_flight", Json::Int(self.in_flight.get().max(0).into())),
             (
                 "total_sim_micros",
-                Json::Int(self.total_sim_micros.load(Ordering::Relaxed).into()),
+                Json::Int(self.total_sim_micros.get().into()),
             ),
         ])
     }
@@ -173,6 +225,10 @@ impl Stats {
 struct Slot {
     state: Mutex<Option<Result<Arc<SimResult>, JobError>>>,
     done: Condvar,
+    /// Joiners registered so far; sampled into the `joiners_per_key`
+    /// histogram when the leader finishes (joiners racing in after the
+    /// fill are missed — acceptable for telemetry).
+    joiners: AtomicU64,
 }
 
 impl Slot {
@@ -180,6 +236,7 @@ impl Slot {
         Arc::new(Slot {
             state: Mutex::new(None),
             done: Condvar::new(),
+            joiners: AtomicU64::new(0),
         })
     }
 
@@ -199,11 +256,21 @@ impl Slot {
     }
 }
 
+/// A queued leader job: the normalized work plus its completion slot and
+/// the enqueue instant (for the queue-wait histogram).
+struct QueuedJob {
+    job: NormalizedJob,
+    key: JobKey,
+    slot: Arc<Slot>,
+    enqueued: Instant,
+}
+
 struct Shared {
-    queue: Mutex<VecDeque<(NormalizedJob, JobKey, Arc<Slot>)>>,
+    queue: Mutex<VecDeque<QueuedJob>>,
     queue_cv: Condvar,
     inflight: Mutex<HashMap<u128, Arc<Slot>>>,
     cache: ShardedLru<Arc<SimResult>>,
+    registry: Arc<Registry>,
     stats: Stats,
     shutdown: AtomicBool,
 }
@@ -222,12 +289,28 @@ impl Engine {
     /// results. Worker threads are detached; they exit on [`Engine::shutdown`].
     pub fn new(workers: usize, cache_capacity: usize) -> Engine {
         let workers = workers.max(1);
+        // One registry per engine (not the process-wide one): stats stay
+        // attributable to this engine, and engines in tests don't bleed
+        // counters into each other. `/metrics` renders this registry plus
+        // the global simulator-side one.
+        let registry = Arc::new(Registry::new());
+        let stats = Stats::new(&registry);
+        let evictions = registry.counter(
+            "scalesim_cache_evictions_total",
+            "Results evicted from the LRU cache.",
+        );
+        let resident = registry.gauge(
+            "scalesim_cache_resident_entries",
+            "Results currently held by the LRU cache.",
+        );
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             inflight: Mutex::new(HashMap::new()),
-            cache: ShardedLru::new(cache_capacity, workers.next_power_of_two().min(16)),
-            stats: Stats::default(),
+            cache: ShardedLru::new(cache_capacity, workers.next_power_of_two().min(16))
+                .with_metrics(evictions, resident),
+            registry,
+            stats,
             shutdown: AtomicBool::new(false),
         });
         for i in 0..workers {
@@ -245,16 +328,24 @@ impl Engine {
         &self.shared.stats
     }
 
+    /// The engine's metric registry — everything `GET /stats` reports plus
+    /// cache, queue-wait and dedup histograms, renderable as Prometheus
+    /// text via [`Registry::render`].
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.shared.registry
+    }
+
     /// Runs a job to completion, deduplicating against the cache and any
     /// identical in-flight simulation. Blocks the calling thread.
     pub fn run(&self, job: &SimJob) -> Result<(Arc<SimResult>, Served), JobError> {
         let normalized = job.normalize()?;
         let key = normalized.key();
-        self.shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+        let stats = &self.shared.stats;
+        stats.accepted.inc();
 
         if let Some(result) = self.shared.cache.get(key.0) {
-            self.shared.stats.lru_hits.fetch_add(1, Ordering::Relaxed);
-            self.shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+            stats.lru_hits.inc();
+            stats.completed.inc();
             return Ok((result, Served::Cache));
         }
 
@@ -265,8 +356,8 @@ impl Engine {
             // lock; its result is in the cache (inserted before the inflight
             // entry is removed), so re-check under the lock.
             if let Some(result) = self.shared.cache.get(key.0) {
-                self.shared.stats.lru_hits.fetch_add(1, Ordering::Relaxed);
-                self.shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+                stats.lru_hits.inc();
+                stats.completed.inc();
                 return Ok((result, Served::Cache));
             }
             match inflight.get(&key.0) {
@@ -281,15 +372,32 @@ impl Engine {
 
         if leader {
             let mut queue = self.shared.queue.lock().unwrap();
-            queue.push_back((normalized, key, Arc::clone(&slot)));
+            queue.push_back(QueuedJob {
+                job: normalized,
+                key,
+                slot: Arc::clone(&slot),
+                enqueued: Instant::now(),
+            });
             drop(queue);
             self.shared.queue_cv.notify_one();
         } else {
-            self.shared.stats.joins.fetch_add(1, Ordering::Relaxed);
+            slot.joiners.fetch_add(1, Ordering::Relaxed);
+            stats.joins.inc();
         }
 
         let outcome = slot.wait();
-        self.shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+        stats.completed.inc();
+        match &outcome {
+            Ok(_) if leader => stats.fresh.inc(),
+            Ok(_) => {}
+            Err(e) => {
+                stats.errors.inc();
+                log::error(
+                    "engine.job_failed",
+                    &[("key", &key.to_string()), ("error", &e.to_string())],
+                );
+            }
+        }
         outcome.map(|r| {
             (
                 r,
@@ -311,7 +419,12 @@ impl Engine {
 
 fn worker_loop(shared: Arc<Shared>) {
     loop {
-        let (job, key, slot) = {
+        let QueuedJob {
+            job,
+            key,
+            slot,
+            enqueued,
+        } = {
             let mut queue = shared.queue.lock().unwrap();
             loop {
                 if let Some(item) = queue.pop_front() {
@@ -324,22 +437,22 @@ fn worker_loop(shared: Arc<Shared>) {
             }
         };
 
-        shared.stats.in_flight.fetch_add(1, Ordering::Relaxed);
+        shared.stats.queue_wait.observe_duration(enqueued.elapsed());
+        shared.stats.in_flight.add(1);
         let started = Instant::now();
         let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             Simulator::new(job.config)
                 .with_grid(job.grid)
                 .run_topology(&job.topology)
         }));
-        let sim_wall_micros = started.elapsed().as_micros() as u64;
+        let sim_wall = started.elapsed();
+        let sim_wall_micros = sim_wall.as_micros() as u64;
 
         let outcome = match run {
             Ok(report) => {
-                shared.stats.simulations.fetch_add(1, Ordering::Relaxed);
-                shared
-                    .stats
-                    .total_sim_micros
-                    .fetch_add(sim_wall_micros, Ordering::Relaxed);
+                shared.stats.simulations.inc();
+                shared.stats.total_sim_micros.add(sim_wall_micros);
+                shared.stats.sim_duration.observe_duration(sim_wall);
                 Ok(Arc::new(SimResult {
                     key,
                     report,
@@ -356,7 +469,11 @@ fn worker_loop(shared: Arc<Shared>) {
             shared.cache.insert(key.0, Arc::clone(result));
         }
         shared.inflight.lock().unwrap().remove(&key.0);
-        shared.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+        shared.stats.in_flight.sub(1);
+        shared
+            .stats
+            .joiners_per_key
+            .observe(slot.joiners.load(Ordering::Relaxed) as f64);
         slot.fill(outcome);
     }
 }
@@ -407,9 +524,10 @@ mod tests {
         assert_eq!(first.key, second.key);
         assert_eq!(first.report, second.report);
         let stats = engine.stats();
-        assert_eq!(stats.simulations.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.simulations.get(), 1);
+        assert_eq!(stats.fresh.get(), 1);
         assert_eq!(stats.cache_hits(), 1);
-        assert_eq!(stats.completed.load(Ordering::Relaxed), 2);
+        assert_eq!(stats.completed.get(), 2);
         engine.shutdown();
     }
 
@@ -428,7 +546,7 @@ mod tests {
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
         let stats = engine.stats();
-        assert_eq!(stats.simulations.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.simulations.get(), 1);
         assert_eq!(stats.cache_hits(), 7);
         let first_json = results[0].0.to_json().to_string();
         for (result, _) in &results {
@@ -445,7 +563,7 @@ mod tests {
         b.config.push(("Dataflow".into(), "is".into()));
         engine.run(&a).unwrap();
         engine.run(&b).unwrap();
-        assert_eq!(engine.stats().simulations.load(Ordering::Relaxed), 2);
+        assert_eq!(engine.stats().simulations.get(), 2);
         assert_eq!(engine.stats().cache_hits(), 0);
         engine.shutdown();
     }
@@ -455,7 +573,7 @@ mod tests {
         let engine = Engine::new(1, 4);
         let job = SimJob::builtin("no_such_net");
         assert!(engine.run(&job).is_err());
-        assert_eq!(engine.stats().accepted.load(Ordering::Relaxed), 0);
+        assert_eq!(engine.stats().accepted.get(), 0);
         engine.shutdown();
     }
 
@@ -475,6 +593,64 @@ mod tests {
         ] {
             assert!(json.get(field).is_some(), "missing stats field {field}");
         }
+        engine.shutdown();
+    }
+
+    /// `/stats` and `/metrics` must report from one source of truth: the
+    /// JSON counters and the rendered Prometheus exposition agree exactly.
+    #[test]
+    fn stats_and_metrics_share_counters() {
+        let engine = Engine::new(2, 64);
+        let job = small_job();
+        engine.run(&job).unwrap();
+        engine.run(&job).unwrap();
+
+        let json = engine.stats().to_json();
+        assert_eq!(json.get("simulations").and_then(Json::as_u64), Some(1));
+        let registry = engine.registry();
+        assert_eq!(
+            registry.counter_value("scalesim_simulations_total", &[]),
+            Some(1)
+        );
+        assert_eq!(
+            registry.counter_value("scalesim_requests_total", &[("outcome", "fresh")]),
+            Some(1)
+        );
+        assert_eq!(
+            registry.counter_value("scalesim_requests_total", &[("outcome", "hit")]),
+            Some(1)
+        );
+
+        let text = registry.render();
+        assert!(text.contains("scalesim_simulations_total 1"));
+        assert!(text.contains("scalesim_requests_total{outcome=\"fresh\"} 1"));
+        assert!(text.contains("scalesim_requests_total{outcome=\"hit\"} 1"));
+        assert!(text.contains("# TYPE scalesim_queue_wait_seconds histogram"));
+        assert!(text.contains("scalesim_queue_wait_seconds_count 1"));
+        assert!(text.contains("scalesim_sim_seconds_count 1"));
+        assert!(text.contains("scalesim_cache_resident_entries 1"));
+        assert!(text.contains("scalesim_cache_evictions_total 0"));
+        assert!(text.contains("scalesim_dedup_joiners_count 1"));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn cache_evictions_surface_in_metrics() {
+        // Capacity 1, single shard: the second distinct job evicts the first.
+        let engine = Engine::new(1, 1);
+        let a = small_job();
+        let mut b = small_job();
+        b.config.push(("Dataflow".into(), "is".into()));
+        engine.run(&a).unwrap();
+        engine.run(&b).unwrap();
+        let registry = engine.registry();
+        assert_eq!(
+            registry.counter_value("scalesim_cache_evictions_total", &[]),
+            Some(1)
+        );
+        let text = registry.render();
+        assert!(text.contains("scalesim_cache_evictions_total 1"));
+        assert!(text.contains("scalesim_cache_resident_entries 1"));
         engine.shutdown();
     }
 }

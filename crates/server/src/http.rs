@@ -7,10 +7,22 @@
 //!   object; responds with the result JSON. The `X-Scalesim-Cache` header
 //!   carries `miss` / `hit` / `joined`; the *body* is identical for equal
 //!   jobs regardless of how they were served.
-//! * `GET /stats` — service counters.
-//! * `GET /healthz` — liveness probe; answers immediately even while long
-//!   simulations are running (handled on its own connection thread, never
-//!   queued behind the worker pool).
+//! * `GET /stats` — service counters (legacy JSON view of the metrics).
+//! * `GET /metrics` — Prometheus text exposition: the engine's registry
+//!   (request outcomes, queue wait, cache occupancy/evictions, dedup
+//!   fan-in, HTTP latency) plus the process-global simulator registry
+//!   (per-layer cycles, phase timings, span totals).
+//! * `GET /healthz` — liveness probe with crate version and uptime, so
+//!   fleet probes can detect stale deploys; answers immediately even while
+//!   long simulations are running (handled on its own connection thread,
+//!   never queued behind the worker pool).
+//!
+//! Every response carries an `X-Scalesim-Request-Id` header — the client's
+//! own if it sent one, a generated `pid-sequence` id otherwise — and every
+//! request emits one `http.request` access-log event (level *info*, so
+//! visible under `SCALESIM_LOG=info`). Request ids live in headers and
+//! logs only, never in bodies: responses for equal jobs stay
+//! byte-identical regardless of telemetry.
 //!
 //! The subset implemented is deliberately small: one request per
 //! connection (`Connection: close`), `Content-Length` bodies only, 16 KiB
@@ -18,9 +30,11 @@
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use scalesim_telemetry::{log, Histogram};
 
 use crate::engine::Engine;
 use crate::job::{JobError, SimJob};
@@ -30,10 +44,17 @@ const MAX_HEADER_BYTES: usize = 16 * 1024;
 const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
 const SOCKET_TIMEOUT: Duration = Duration::from_secs(5);
 
+/// Shared per-server state handed to every connection thread.
+struct Context {
+    engine: Engine,
+    started: Instant,
+    request_seq: AtomicU64,
+}
+
 /// A bound, not-yet-serving HTTP server.
 pub struct Server {
     listener: TcpListener,
-    engine: Engine,
+    context: Arc<Context>,
 }
 
 /// Handle to a serving [`Server`]; stops it on [`ServerHandle::stop`].
@@ -47,7 +68,14 @@ impl Server {
     /// Binds to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
     pub fn bind(addr: &str, engine: Engine) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
-        Ok(Server { listener, engine })
+        Ok(Server {
+            listener,
+            context: Arc::new(Context {
+                engine,
+                started: Instant::now(),
+                request_seq: AtomicU64::new(0),
+            }),
+        })
     }
 
     /// The bound address (useful after binding port 0).
@@ -85,12 +113,12 @@ impl Server {
                 return;
             }
             let Ok(stream) = conn else { continue };
-            let engine = self.engine.clone();
+            let context = Arc::clone(&self.context);
             // Detached: a hung connection times out via socket deadlines.
             let _ = std::thread::Builder::new()
                 .name("http-conn".into())
                 .spawn(move || {
-                    let _ = handle_connection(stream, &engine);
+                    let _ = handle_connection(stream, &context);
                 });
         }
     }
@@ -114,46 +142,146 @@ impl ServerHandle {
     }
 }
 
-fn handle_connection(stream: TcpStream, engine: &Engine) -> std::io::Result<()> {
+/// One routed response: status, extra headers, content type, body.
+struct Routed {
+    status: u16,
+    headers: Vec<(&'static str, String)>,
+    content_type: &'static str,
+    body: String,
+}
+
+impl Routed {
+    fn json(status: u16, body: String) -> Routed {
+        Routed {
+            status,
+            headers: Vec::new(),
+            content_type: "application/json",
+            body,
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, context: &Context) -> std::io::Result<()> {
     stream.set_read_timeout(Some(SOCKET_TIMEOUT))?;
     stream.set_write_timeout(Some(SOCKET_TIMEOUT))?;
     let mut reader = BufReader::new(stream.try_clone()?);
+    let received = Instant::now();
 
-    let (method, path, body) = match read_request(&mut reader) {
+    let (method, path, body, request_id) = match read_request(&mut reader) {
         Ok(req) => req,
-        Err(msg) => return respond(&stream, 400, &[], &error_body(&msg).to_string()),
+        Err(msg) => {
+            return respond(
+                &stream,
+                400,
+                &[],
+                "application/json",
+                &error_body(&msg).to_string(),
+            )
+        }
     };
+    // Echo the client's request id, or mint a traceable one.
+    let request_id = request_id.unwrap_or_else(|| {
+        format!(
+            "{:x}-{}",
+            std::process::id(),
+            context.request_seq.fetch_add(1, Ordering::Relaxed)
+        )
+    });
 
-    match (method.as_str(), path.as_str()) {
-        ("GET", "/healthz") => respond(&stream, 200, &[], r#"{"status":"ok"}"#),
-        ("GET", "/stats") => respond(&stream, 200, &[], &engine.stats().to_json().to_string()),
+    let routed = route(context, &method, &path, &body);
+    let mut headers: Vec<(&str, &str)> = vec![("X-Scalesim-Request-Id", &request_id)];
+    headers.extend(routed.headers.iter().map(|(k, v)| (*k, v.as_str())));
+    let result = respond(
+        &stream,
+        routed.status,
+        &headers,
+        routed.content_type,
+        &routed.body,
+    );
+
+    let elapsed = received.elapsed();
+    request_latency(context, &path).observe_duration(elapsed);
+    log::info(
+        "http.request",
+        &[
+            ("id", &request_id),
+            ("method", &method),
+            ("path", &path),
+            ("status", &routed.status.to_string()),
+            ("micros", &(elapsed.as_micros() as u64).to_string()),
+        ],
+    );
+    result
+}
+
+/// The per-route request latency histogram, labeled with a bounded route
+/// set (unknown paths collapse into `other` to cap metric cardinality).
+fn request_latency(context: &Context, path: &str) -> Arc<Histogram> {
+    let route = match path {
+        "/simulate" => "simulate",
+        "/stats" => "stats",
+        "/healthz" => "healthz",
+        "/metrics" => "metrics",
+        _ => "other",
+    };
+    context.engine.registry().histogram_with(
+        "scalesim_http_request_seconds",
+        "HTTP request latency from first byte read to response write.",
+        &Histogram::duration_buckets(),
+        &[("route", route)],
+    )
+}
+
+fn route(context: &Context, method: &str, path: &str, body: &str) -> Routed {
+    let engine = &context.engine;
+    match (method, path) {
+        ("GET", "/healthz") => Routed::json(
+            200,
+            Json::obj(vec![
+                ("status", Json::str("ok")),
+                ("version", Json::str(env!("CARGO_PKG_VERSION"))),
+                (
+                    "uptime_seconds",
+                    Json::Int(context.started.elapsed().as_secs().into()),
+                ),
+            ])
+            .to_string(),
+        ),
+        ("GET", "/stats") => Routed::json(200, engine.stats().to_json().to_string()),
+        ("GET", "/metrics") => {
+            // Engine-scoped metrics first, then the process-global
+            // simulator registry (per-layer cycles, phases, spans).
+            let mut text = engine.registry().render();
+            text.push_str(&scalesim_telemetry::global().render());
+            Routed {
+                status: 200,
+                headers: Vec::new(),
+                content_type: "text/plain; version=0.0.4",
+                body: text,
+            }
+        }
         ("POST", "/simulate") => {
-            let job = Json::parse(&body)
+            let job = Json::parse(body)
                 .map_err(|e| JobError::bad_request(format!("invalid JSON: {e}")))
                 .and_then(|json| SimJob::from_json(&json));
             match job {
-                Err(e) => respond(&stream, 400, &[], &error_body(&e.to_string()).to_string()),
+                Err(e) => Routed::json(400, error_body(&e.to_string()).to_string()),
                 Ok(job) => match engine.run(&job) {
-                    Ok((result, served)) => {
-                        let headers = [("X-Scalesim-Cache", served.tag())];
-                        respond(&stream, 200, &headers, &result.to_json().to_string())
-                    }
+                    Ok((result, served)) => Routed {
+                        status: 200,
+                        headers: vec![("X-Scalesim-Cache", served.tag().to_owned())],
+                        content_type: "application/json",
+                        body: result.to_json().to_string(),
+                    },
                     Err(JobError::BadRequest(msg)) => {
-                        respond(&stream, 400, &[], &error_body(&msg).to_string())
+                        Routed::json(400, error_body(&msg).to_string())
                     }
-                    Err(JobError::Internal(msg)) => {
-                        respond(&stream, 500, &[], &error_body(&msg).to_string())
-                    }
+                    Err(JobError::Internal(msg)) => Routed::json(500, error_body(&msg).to_string()),
                 },
             }
         }
-        ("GET" | "POST", _) => respond(&stream, 404, &[], &error_body("no such route").to_string()),
-        _ => respond(
-            &stream,
-            405,
-            &[],
-            &error_body("method not allowed").to_string(),
-        ),
+        ("GET" | "POST", _) => Routed::json(404, error_body("no such route").to_string()),
+        _ => Routed::json(405, error_body("method not allowed").to_string()),
     }
 }
 
@@ -161,8 +289,10 @@ fn error_body(msg: &str) -> Json {
     Json::obj(vec![("error", Json::str(msg))])
 }
 
-/// Reads one request: returns (method, path, body).
-fn read_request(reader: &mut BufReader<TcpStream>) -> Result<(String, String, String), String> {
+/// Reads one request: returns (method, path, body, client request id).
+fn read_request(
+    reader: &mut BufReader<TcpStream>,
+) -> Result<(String, String, String, Option<String>), String> {
     let mut request_line = String::new();
     reader
         .read_line(&mut request_line)
@@ -176,6 +306,7 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<(String, String, St
     }
 
     let mut content_length: usize = 0;
+    let mut request_id = None;
     let mut header_bytes = request_line.len();
     loop {
         let mut line = String::new();
@@ -191,11 +322,14 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<(String, String, St
             break;
         }
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
+            let name = name.trim();
+            if name.eq_ignore_ascii_case("content-length") {
                 content_length = value
                     .trim()
                     .parse()
                     .map_err(|_| format!("bad Content-Length `{}`", value.trim()))?;
+            } else if name.eq_ignore_ascii_case("x-scalesim-request-id") {
+                request_id = Some(value.trim().to_owned());
             }
         }
     }
@@ -208,13 +342,14 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<(String, String, St
         .read_exact(&mut body)
         .map_err(|e| format!("read body: {e}"))?;
     let body = String::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
-    Ok((method, path, body))
+    Ok((method, path, body, request_id))
 }
 
 fn respond(
     mut stream: &TcpStream,
     status: u16,
     extra_headers: &[(&str, &str)],
+    content_type: &str,
     body: &str,
 ) -> std::io::Result<()> {
     let reason = match status {
@@ -226,7 +361,7 @@ fn respond(
         _ => "Unknown",
     };
     let mut response = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
         body.len()
     );
     for (name, value) in extra_headers {
@@ -271,12 +406,28 @@ pub mod client {
         path: &str,
         body: Option<&str>,
     ) -> std::io::Result<Response> {
+        request_with_headers(addr, method, path, body, &[])
+    }
+
+    /// Like [`request`], but sends extra request headers (e.g. a client
+    /// `X-Scalesim-Request-Id` to verify the echo path).
+    pub fn request_with_headers(
+        addr: SocketAddr,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        headers: &[(&str, &str)],
+    ) -> std::io::Result<Response> {
         let mut stream = TcpStream::connect(addr)?;
         stream.set_read_timeout(Some(Duration::from_secs(120)))?;
         stream.set_write_timeout(Some(SOCKET_TIMEOUT))?;
         let body = body.unwrap_or("");
+        let extra: String = headers
+            .iter()
+            .map(|(name, value)| format!("{name}: {value}\r\n"))
+            .collect();
         let request = format!(
-            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n{extra}Connection: close\r\n\r\n{body}",
             body.len()
         );
         stream.write_all(request.as_bytes())?;

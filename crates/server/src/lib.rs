@@ -17,9 +17,17 @@
 //!   deduplication (concurrent identical jobs run one simulation; the rest
 //!   join it) in front of a sharded LRU result cache ([`cache`]).
 //! * **Front ends** — an HTTP/1.1 service ([`http`]; `POST /simulate`,
-//!   `GET /stats`, `GET /healthz`) and a manifest-driven batch runner
-//!   ([`batch`]) that emits one combined REPORT CSV. Both are wired to the
-//!   `scale-sim` binary's `serve` and `batch` subcommands via [`cli`].
+//!   `GET /stats`, `GET /metrics`, `GET /healthz`) and a manifest-driven
+//!   batch runner ([`batch`]) that emits one combined REPORT CSV. Both are
+//!   wired to the `scale-sim` binary's `serve` and `batch` subcommands via
+//!   [`cli`].
+//! * **Telemetry** — every service counter is a `scalesim-telemetry`
+//!   metric: the [`Stats`] snapshot served at `/stats` and the Prometheus
+//!   exposition at `/metrics` read the *same* counters, so the two views
+//!   can never drift. Queue wait, simulation wall time and dedup fan-in
+//!   are histograms; cache occupancy and evictions come from the LRU
+//!   itself. Structured logs (access lines, job failures) are gated by the
+//!   `SCALESIM_LOG` environment variable.
 //!
 //! Everything is built on `std` networking and threads plus a hand-rolled
 //! JSON module ([`json`]) — matching the repo-wide policy of no heavyweight

@@ -5,7 +5,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use scalesim_server::http::client::{request, Response};
+use scalesim_server::http::client::{request, request_with_headers, Response};
 use scalesim_server::{Engine, Json, Server};
 
 fn start_server(workers: usize) -> scalesim_server::ServerHandle {
@@ -54,7 +54,10 @@ fn concurrent_duplicate_posts_share_one_simulation() {
             while !health_done.load(Ordering::SeqCst) {
                 let response = request(addr, "GET", "/healthz", None).expect("healthz");
                 assert_eq!(response.status, 200);
-                assert_eq!(response.body, r#"{"status":"ok"}"#);
+                let health = Json::parse(&response.body).expect("healthz is JSON");
+                assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+                assert!(health.get("version").is_some());
+                assert!(health.get("uptime_seconds").is_some());
                 probes += 1;
                 std::thread::sleep(std::time::Duration::from_millis(20));
             }
@@ -143,6 +146,80 @@ fn error_paths_return_clean_json() {
     // Nothing was accepted by the engine.
     assert_eq!(stats_field(&handle, "accepted"), 0);
     assert_eq!(stats_field(&handle, "simulations"), 0);
+
+    handle.stop();
+}
+
+/// `/metrics` is a live Prometheus view of the service: outcome counters
+/// move as `/simulate` requests complete, cache and per-layer simulator
+/// series appear, and request ids are generated or echoed — all without
+/// perturbing response bodies.
+#[test]
+fn metrics_reflect_completed_simulations() {
+    let handle = start_server(2);
+    let job = r#"{"topology_csv": "M1,8,8,3,3,4,8,1",
+                  "config": {"ArrayHeight": 8, "ArrayWidth": 8}}"#;
+
+    let first = request(handle.addr(), "POST", "/simulate", Some(job)).unwrap();
+    assert_eq!(first.status, 200, "body: {}", first.body);
+    assert_eq!(first.header("X-Scalesim-Cache"), Some("miss"));
+    assert!(
+        first.header("X-Scalesim-Request-Id").is_some(),
+        "a request id is generated when the client sends none"
+    );
+
+    let second = request_with_headers(
+        handle.addr(),
+        "POST",
+        "/simulate",
+        Some(job),
+        &[("X-Scalesim-Request-Id", "itest-42")],
+    )
+    .unwrap();
+    assert_eq!(second.status, 200);
+    assert_eq!(second.header("X-Scalesim-Cache"), Some("hit"));
+    assert_eq!(
+        second.header("X-Scalesim-Request-Id"),
+        Some("itest-42"),
+        "client request ids are echoed back"
+    );
+    assert_eq!(
+        first.body, second.body,
+        "telemetry must never leak into response bodies"
+    );
+
+    // The latency histogram is observed after the response bytes are
+    // written, so poll briefly until both /simulate requests are recorded.
+    let simulate_count = r#"scalesim_http_request_seconds_count{route="simulate"} 2"#;
+    let mut metrics = get(&handle, "/metrics");
+    for _ in 0..100 {
+        if metrics.body.contains(simulate_count) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        metrics = get(&handle, "/metrics");
+    }
+    assert_eq!(metrics.status, 200);
+    assert!(
+        metrics
+            .header("content-type")
+            .is_some_and(|t| t.starts_with("text/plain")),
+        "exposition is text/plain"
+    );
+    let text = &metrics.body;
+    // Engine registry: outcomes, dedup, cache, HTTP latency.
+    assert!(text.contains("# TYPE scalesim_requests_total counter"));
+    assert!(text.contains("scalesim_requests_total{outcome=\"fresh\"} 1\n"));
+    assert!(text.contains("scalesim_requests_total{outcome=\"hit\"} 1\n"));
+    assert!(text.contains("scalesim_simulations_total 1\n"));
+    assert!(text.contains("scalesim_sim_seconds_count 1\n"));
+    assert!(text.contains("scalesim_queue_wait_seconds_count 1\n"));
+    assert!(text.contains("scalesim_cache_resident_entries 1\n"));
+    assert!(text.contains("scalesim_cache_evictions_total 0\n"));
+    assert!(text.contains(simulate_count));
+    // Global simulator registry: the layer this test simulated.
+    assert!(text.contains("scalesim_layer_cycles_total{layer=\"M1\"}"));
+    assert!(text.contains("# TYPE scalesim_sim_phase_micros_total counter"));
 
     handle.stop();
 }

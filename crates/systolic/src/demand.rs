@@ -188,12 +188,15 @@ mod tests {
     use scalesim_topology::{ConvLayer, GemmShape};
     use std::collections::HashSet;
 
+    /// Unique addresses per stream: (a_reads, b_reads, o_reads, o_writes).
+    type StreamSets = (HashSet<u64>, HashSet<u64>, HashSet<u64>, HashSet<u64>);
+
     /// A sink that collects the unique addresses per fold, for comparing
     /// against the demand iterator.
     #[derive(Default)]
     struct DemandCollector {
-        current: Option<(HashSet<u64>, HashSet<u64>, HashSet<u64>, HashSet<u64>)>,
-        folds: Vec<(HashSet<u64>, HashSet<u64>, HashSet<u64>, HashSet<u64>)>,
+        current: Option<StreamSets>,
+        folds: Vec<StreamSets>,
     }
 
     impl TraceSink for DemandCollector {

@@ -67,12 +67,22 @@ pub fn simulate<M: AddressMap + ?Sized, S: TraceSink + ?Sized>(
     map: &M,
     sink: &mut S,
 ) -> ComputeReport {
+    // Trace generation is the expensive cycle-accurate path (unlike
+    // `analyze`, which sweeps call in tight loops and stays uninstrumented).
+    let _span = scalesim_telemetry::span!("systolic_trace", dataflow = dims.dataflow);
     match dims.dataflow {
         Dataflow::OutputStationary => os::trace(dims, array, map, sink),
         Dataflow::WeightStationary => ws::trace(dims, array, map, sink),
         Dataflow::InputStationary => is_df::trace(dims, array, map, sink),
     }
-    analyze(dims, array)
+    let report = analyze(dims, array);
+    scalesim_telemetry::global()
+        .counter(
+            "scalesim_trace_folds_total",
+            "Folds emitted by the cycle-accurate trace engines.",
+        )
+        .add(report.folds);
+    report
 }
 
 /// Computes the [`ComputeReport`] for `dims` on `array` without emitting

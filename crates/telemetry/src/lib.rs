@@ -1,0 +1,35 @@
+//! `scalesim-telemetry` — zero-dependency observability for scale-sim-rs.
+//!
+//! The workspace's dependency policy is std-only (the build environment has
+//! no crates.io access — see `vendor/README.md`), so this crate implements
+//! the observability layer from scratch rather than binding `tracing` /
+//! `prometheus`:
+//!
+//! * **Metrics** ([`metrics`], [`registry`]) — [`Counter`],
+//!   [`FloatCounter`], [`Gauge`] and fixed-bucket [`Histogram`] primitives
+//!   behind a label-aware, get-or-create [`Registry`] with a Prometheus
+//!   text-format renderer ([`Registry::render`]). A process-wide
+//!   [`global()`] registry carries simulator-side metrics; servers render
+//!   it alongside their own per-engine registries.
+//! * **Spans** ([`span`], the [`span!`] macro) — RAII wall-time guards
+//!   that accumulate per-span-name totals into the global registry and
+//!   emit debug log events on enter/exit.
+//! * **Structured logging** ([`log`]) — leveled `key=value` or JSON line
+//!   events on stderr, gated by the `SCALESIM_LOG` environment variable
+//!   (off by default).
+//!
+//! The cost model is deliberate: disabled logging is one branch, metric
+//! updates held as `Arc` handles are one relaxed atomic op, and registry
+//! lookups (a short mutex + linear scan) only appear on per-layer or
+//! per-request paths, never inside per-cycle or per-fold loops.
+
+#![warn(missing_docs)]
+
+pub mod log;
+pub mod metrics;
+pub mod registry;
+pub mod span;
+
+pub use metrics::{Counter, FloatCounter, Gauge, Histogram};
+pub use registry::{global, Labels, Registry};
+pub use span::Span;

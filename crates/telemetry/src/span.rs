@@ -1,0 +1,117 @@
+//! Lightweight timing spans.
+//!
+//! A [`Span`] is an RAII guard created by the [`span!`](crate::span!)
+//! macro: it notes a monotonic start time on entry and, on drop, adds its
+//! wall time to a pair of per-span-name counters in the
+//! [`global`](crate::global) registry
+//! (`scalesim_span_micros_total{span=...}` /
+//! `scalesim_span_calls_total{span=...}`) and emits a debug log event with
+//! the span's fields. Fields carry request context (layer name, network)
+//! into the logs but deliberately *not* into metric labels, keeping metric
+//! cardinality bounded by the set of span names.
+
+use std::time::Instant;
+
+use crate::log::{self, Level};
+use crate::registry::global;
+
+/// Counter family for cumulative span wall time; see module docs.
+pub const SPAN_MICROS_TOTAL: &str = "scalesim_span_micros_total";
+/// Counter family for span entry counts; see module docs.
+pub const SPAN_CALLS_TOTAL: &str = "scalesim_span_calls_total";
+
+/// An in-progress timed span; created by [`span!`](crate::span!).
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    fields: Vec<(&'static str, String)>,
+    start: Instant,
+}
+
+impl Span {
+    /// Enters a span. Prefer the [`span!`](crate::span!) macro.
+    pub fn enter(name: &'static str, fields: Vec<(&'static str, String)>) -> Span {
+        if log::enabled(Level::Debug) {
+            let mut pairs: Vec<(&str, &str)> = vec![("span", name)];
+            pairs.extend(fields.iter().map(|(k, v)| (*k, v.as_str())));
+            log::debug("span.enter", &pairs);
+        }
+        Span {
+            name,
+            fields,
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed wall time so far.
+    pub fn elapsed_micros(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let micros = self.elapsed_micros();
+        let labels = [("span", self.name)];
+        global()
+            .counter_with(SPAN_MICROS_TOTAL, "Cumulative span wall time.", &labels)
+            .add(micros);
+        global()
+            .counter_with(SPAN_CALLS_TOTAL, "Span entry count.", &labels)
+            .inc();
+        if log::enabled(Level::Debug) {
+            let micros = micros.to_string();
+            let mut pairs: Vec<(&str, &str)> = vec![("span", self.name), ("micros", &micros)];
+            pairs.extend(self.fields.iter().map(|(k, v)| (*k, v.as_str())));
+            log::debug("span.exit", &pairs);
+        }
+    }
+}
+
+/// Opens a timed [`Span`]; bind it to keep it alive for the timed region:
+///
+/// ```
+/// let _span = scalesim_telemetry::span!("run_layer", layer = "Conv1");
+/// // ... timed work ...
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::Span::enter($name, ::std::vec::Vec::new())
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {
+        $crate::span::Span::enter(
+            $name,
+            ::std::vec![$((stringify!($key), ::std::string::ToString::to_string(&$value))),+],
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_accumulate_into_the_global_registry() {
+        {
+            let _span = crate::span!("telemetry_test_span", layer = "Conv1");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        {
+            let _span = crate::span!("telemetry_test_span");
+        }
+        let labels = [("span", "telemetry_test_span")];
+        let calls = global().counter_value(SPAN_CALLS_TOTAL, &labels).unwrap();
+        let micros = global().counter_value(SPAN_MICROS_TOTAL, &labels).unwrap();
+        assert!(calls >= 2, "calls = {calls}");
+        assert!(micros >= 2_000, "micros = {micros}");
+    }
+
+    #[test]
+    fn elapsed_is_monotonic() {
+        let span = Span::enter("telemetry_test_monotonic", Vec::new());
+        let a = span.elapsed_micros();
+        let b = span.elapsed_micros();
+        assert!(b >= a);
+    }
+}

@@ -3,11 +3,14 @@
 
 use crate::{ConvLayer, Layer, Topology};
 
+/// (name, ifmap_h, ifmap_w, filter_h, filter_w, channels, filters, stride).
+type ConvRow = (&'static str, u64, u64, u64, u64, u64, u64, u64);
+
 /// Builds the 8-layer AlexNet topology (5 convolutions, 3 FC layers).
 ///
 /// IFMAP extents include padding, following the SCALE-Sim topology file.
 pub fn alexnet() -> Topology {
-    let rows: [(&str, u64, u64, u64, u64, u64, u64, u64); 8] = [
+    let rows: [ConvRow; 8] = [
         ("Conv1", 227, 227, 11, 11, 3, 96, 4),
         ("Conv2", 31, 31, 5, 5, 96, 256, 1),
         ("Conv3", 15, 15, 3, 3, 256, 384, 1),

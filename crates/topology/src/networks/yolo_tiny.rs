@@ -4,10 +4,13 @@
 
 use crate::{ConvLayer, Layer, Topology};
 
+/// (name, ifmap_h, ifmap_w, filter_h, filter_w, channels, filters, stride).
+type ConvRow = (&'static str, u64, u64, u64, u64, u64, u64, u64);
+
 /// Builds the 9-convolution YOLO-tiny topology (padding baked into IFMAPs,
 /// pooling layers elided — SCALE-Sim simulates only the convolutions).
 pub fn yolo_tiny() -> Topology {
-    let rows: [(&str, u64, u64, u64, u64, u64, u64, u64); 9] = [
+    let rows: [ConvRow; 9] = [
         ("Conv1", 418, 418, 3, 3, 3, 16, 1),
         ("Conv2", 210, 210, 3, 3, 16, 32, 1),
         ("Conv3", 106, 106, 3, 3, 32, 64, 1),

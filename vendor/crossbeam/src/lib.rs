@@ -65,7 +65,7 @@ pub mod thread {
 mod tests {
     #[test]
     fn scope_joins_and_collects() {
-        let data = vec![1u64, 2, 3, 4];
+        let data = [1u64, 2, 3, 4];
         let total: u64 = crate::thread::scope(|scope| {
             let handles: Vec<_> = data
                 .chunks(2)
