@@ -1,0 +1,93 @@
+//! Sweep-engine throughput: the Fig. 9 TF0 aspect-ratio study evaluated
+//! serially (`jobs = 1`) versus on the full worker pool, plus a warm-cache
+//! rerun where every point is a memoization hit.
+//!
+//! The cold comparison is the headline: on a multi-core host the parallel
+//! run should finish the same 15-point plan at least ~2x faster than the
+//! serial one, while `sweep_is_deterministic_and_counts_cache_hits` (CLI
+//! e2e) and `parallel_output_is_byte_identical_to_serial` (core) pin down
+//! that the extra workers never change a byte of output.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use scalesim::sweep::{SweepEngine, SweepPlan};
+
+/// The Fig. 9 search-space study for TF0 at a 2^10 MAC budget: every
+/// power-of-two partition count crossed with every aspect ratio down to
+/// the 8x8 floor (15 distinct points). Small SRAM keeps one point cheap
+/// enough to sample.
+fn fig9_tf0_plan() -> SweepPlan {
+    SweepPlan::parse(
+        "name = fig9-tf0\n\
+         workload = TF0\n\
+         budget = 2^10\n\
+         aspect = all\n\
+         config.IfmapSramSz = 64\n\
+         config.FilterSramSz = 64\n\
+         config.OfmapSramSz = 32\n",
+    )
+    .expect("the Fig. 9 plan parses")
+}
+
+fn bench_sweep_engine(c: &mut Criterion) {
+    let plan = fig9_tf0_plan();
+    let points = plan.expand().expect("plan expands").len();
+    assert_eq!(points, 15, "the study is 15 distinct points");
+    let jobs = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4);
+
+    // The engine's LRU is sharded 16 ways with per-shard eviction, so the
+    // capacity must leave per-shard headroom (256 / 16 = 16 >= 15 points)
+    // for the warm rerun to be all hits even if every key lands in one
+    // shard.
+    let cache_capacity = 256;
+
+    let mut group = c.benchmark_group("sweep_engine_fig9_tf0");
+    group.sample_size(10);
+
+    // Cold cache: a fresh engine per iteration, so every point simulates.
+    group.bench_function("cold_jobs_1", |b| {
+        b.iter_batched(
+            || SweepEngine::new(cache_capacity),
+            |engine| {
+                let outcome = engine.run(&plan, 1).expect("sweep runs");
+                assert_eq!(outcome.simulations as usize, points);
+                outcome
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    // On a single-hardware-thread host the pool run is the serial run;
+    // skip the duplicate measurement.
+    if jobs > 1 {
+        group.bench_function(format!("cold_jobs_{jobs}"), |b| {
+            b.iter_batched(
+                || SweepEngine::new(cache_capacity),
+                |engine| {
+                    let outcome = engine.run(&plan, jobs).expect("sweep runs");
+                    assert_eq!(outcome.simulations as usize, points);
+                    outcome
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+
+    // Warm cache: one shared engine already holds every result, so reruns
+    // measure pure memoization overhead (hashing + LRU lookups).
+    let engine = SweepEngine::new(cache_capacity);
+    engine.run(&plan, jobs).expect("warm-up sweep runs");
+    group.bench_function("warm_rerun", |b| {
+        b.iter(|| {
+            let outcome = engine.run(&plan, jobs).expect("sweep runs");
+            assert_eq!(outcome.simulations, 0, "warm reruns must be all hits");
+            assert_eq!(outcome.cache_hits as usize, points);
+            outcome
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_engine);
+criterion_main!(benches);

@@ -10,10 +10,13 @@
 //! while the aggregate DRAM bandwidth requirement rises — the sweet spot is
 //! where the curves cross.
 //!
+//! Points are evaluated by the parallel, memoizing
+//! [`scalesim::run_partition_sweep`] engine; each row is byte-identical to
+//! a direct single-shot `Simulator::run_layer` of the same point.
+//!
 //! Run: `cargo run --release -p scalesim-bench --bin fig11_runtime_bw`
 
-use scalesim::{SimConfig, Simulator};
-use scalesim_bench::partition_sweep;
+use scalesim::{run_partition_sweep, SimConfig};
 use scalesim_topology::{networks, Layer};
 
 fn sweep_layer(layer: &Layer, budget_exp: u32) {
@@ -24,10 +27,8 @@ fn sweep_layer(layer: &Layer, budget_exp: u32) {
     println!(
         "partitions,grid,array,cycles,req_bw_bytes_per_cycle,avg_bw_bytes_per_cycle,dram_bytes"
     );
-    for point in partition_sweep(1 << budget_exp, 8) {
-        let config = SimConfig::builder().array(point.array).build();
-        let sim = Simulator::new(config).with_grid(point.grid);
-        let report = sim.run_layer(layer);
+    for point in run_partition_sweep(layer, &SimConfig::default(), 1 << budget_exp, 8) {
+        let report = &point.report;
         println!(
             "{},{},{},{},{:.3},{:.3},{}",
             point.partitions(),

@@ -7,10 +7,13 @@
 //! the idle energy a slow monolithic array burns across its huge PE count
 //! outweighs the reuse (SRAM/DRAM) energy partitioning sacrifices.
 //!
+//! Points are evaluated by the parallel, memoizing
+//! [`scalesim::run_partition_sweep`] engine; each row is byte-identical to
+//! a direct single-shot `Simulator::run_layer` of the same point.
+//!
 //! Run: `cargo run --release -p scalesim-bench --bin fig12_energy`
 
-use scalesim::{SimConfig, Simulator};
-use scalesim_bench::partition_sweep;
+use scalesim::{run_partition_sweep, SimConfig};
 use scalesim_topology::{networks, Layer};
 
 fn sweep_layer(layer: &Layer, budget_exp: u32) {
@@ -20,11 +23,9 @@ fn sweep_layer(layer: &Layer, budget_exp: u32) {
     );
     println!("partitions,grid,array,cycles,e_total,e_mac,e_idle,e_sram,e_dram");
     let mut best: Option<(u64, f64)> = None;
-    for point in partition_sweep(1 << budget_exp, 8) {
-        let config = SimConfig::builder().array(point.array).build();
-        let sim = Simulator::new(config).with_grid(point.grid);
-        let report = sim.run_layer(layer);
-        let e = report.energy;
+    for point in run_partition_sweep(layer, &SimConfig::default(), 1 << budget_exp, 8) {
+        let report = &point.report;
+        let e = &report.energy;
         println!(
             "{},{},{},{},{:.0},{:.0},{:.0},{:.0},{:.0}",
             point.partitions(),

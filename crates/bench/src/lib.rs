@@ -9,4 +9,4 @@ pub mod harness;
 pub mod sweep;
 
 pub use harness::{mac_budgets, print_series, Series};
-pub use sweep::{partition_sweep, squareish, SweepPoint};
+pub use sweep::squareish;

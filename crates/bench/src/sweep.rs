@@ -1,63 +1,11 @@
-//! Shared sweep definitions for the figure harnesses.
+//! Sweep helpers for the figure harnesses.
+//!
+//! The partition-sweep machinery itself (point expansion, the parallel
+//! memoizing engine, sweet-spot search) lives in [`scalesim::sweep`]; the
+//! figure binaries call [`scalesim::run_partition_sweep`] directly. This
+//! module re-exports the shape helper a few harnesses still use.
 
-use scalesim::{ArrayShape, PartitionGrid};
-
-/// Splits a power-of-two `n` into the most square `(rows, cols)` pair
-/// (`rows ≥ cols`, `rows · cols = n`).
-///
-/// # Panics
-///
-/// Panics if `n` is not a power of two.
-pub fn squareish(n: u64) -> (u64, u64) {
-    assert!(n.is_power_of_two(), "need a power of two, got {n}");
-    let e = n.trailing_zeros();
-    let rows = 1u64 << e.div_ceil(2);
-    (rows, n / rows)
-}
-
-/// One point of the Fig. 11/12 partition sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct SweepPoint {
-    /// Partition grid (square-ish arrangement of `P` partitions).
-    pub grid: PartitionGrid,
-    /// Per-partition array (square-ish shape of `budget / P` MACs).
-    pub array: ArrayShape,
-}
-
-impl SweepPoint {
-    /// Number of partitions.
-    pub fn partitions(&self) -> u64 {
-        self.grid.count()
-    }
-}
-
-/// The partition sweep of Figs. 11–12: for a fixed MAC budget, partition
-/// counts `P = 1, 2, 4, …` (square-ish grids) with square-ish per-partition
-/// arrays, stopping at the paper's `min_dim × min_dim` floor.
-///
-/// # Panics
-///
-/// Panics if `budget`/`min_dim` are not powers of two or the budget cannot
-/// fit one `min_dim × min_dim` array.
-pub fn partition_sweep(budget: u64, min_dim: u64) -> Vec<SweepPoint> {
-    assert!(
-        budget.is_power_of_two() && min_dim.is_power_of_two(),
-        "budget and min_dim must be powers of two"
-    );
-    assert!(budget >= min_dim * min_dim, "budget too small");
-    let mut points = Vec::new();
-    let mut p = 1u64;
-    while budget / p >= min_dim * min_dim {
-        let (gr, gc) = squareish(p);
-        let (ar, ac) = squareish(budget / p);
-        points.push(SweepPoint {
-            grid: PartitionGrid::new(gr, gc),
-            array: ArrayShape::new(ar, ac),
-        });
-        p *= 2;
-    }
-    points
-}
+pub use scalesim::sweep::squareish;
 
 #[cfg(test)]
 mod tests {
@@ -70,19 +18,6 @@ mod tests {
         assert_eq!(squareish(4), (2, 2));
         assert_eq!(squareish(8), (4, 2));
         assert_eq!(squareish(1 << 16), (256, 256));
-    }
-
-    #[test]
-    fn sweep_conserves_budget_and_respects_floor() {
-        let points = partition_sweep(1 << 14, 8);
-        for p in &points {
-            assert_eq!(p.grid.count() * p.array.macs(), 1 << 14);
-            assert!(p.array.rows() >= 8 && p.array.cols() >= 8);
-        }
-        // 2^14 budget, 8x8 floor: P from 1 to 2^8 -> 9 points.
-        assert_eq!(points.len(), 9);
-        assert_eq!(points[0].partitions(), 1);
-        assert_eq!(points.last().unwrap().partitions(), 256);
     }
 
     #[test]

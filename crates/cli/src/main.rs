@@ -4,9 +4,11 @@
 
 use std::env;
 use std::fs;
+use std::io;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use scalesim::sweep::{CsvSink, JsonLinesSink, SweepEngine, SweepOutcome, SweepPlan};
 use scalesim::{parse_config, Dataflow, PartitionGrid, SimConfig, Simulator};
 use scalesim_topology::{networks, parse_topology_csv, Topology};
 
@@ -17,14 +19,21 @@ USAGE:
     scale-sim [run] [OPTIONS]
     scale-sim serve [--port <P>] [--host <ADDR>] [--workers <N>] [--cache <N>]
     scale-sim batch --manifest <FILE> [--jobs <N>] [--output <FILE>] [--cache <N>]
+    scale-sim sweep --plan <FILE> [--jobs <N>] [--output <FILE>]
+                    [--format csv|jsonl] [--cache <N>]
 
 SUBCOMMANDS:
     run      simulate one workload (the default when no subcommand is given)
-    serve    run the HTTP simulation service (POST /simulate, GET /stats,
-             GET /metrics, GET /healthz) with a shared content-addressed
-             result cache
+    serve    run the HTTP simulation service (POST /simulate, POST /sweep,
+             GET /stats, GET /metrics, GET /healthz) with a shared
+             content-addressed result cache
     batch    run a manifest of jobs concurrently through the same engine
              and write one combined REPORT CSV
+    sweep    expand a design-space plan file (workloads x MAC budgets x
+             partition grids x aspect ratios x dataflows) and evaluate
+             every point in parallel through a content-addressed result
+             cache; rows stream out in plan order and a best/sweet-spot
+             summary per (workload, budget, dataflow) group goes to stderr
 
 OPTIONS:
     -c, --config <FILE>     hardware config file (Table I format); defaults
@@ -32,6 +41,7 @@ OPTIONS:
     -t, --topology <FILE>   topology CSV (Table II format)
     -n, --network <NAME>    built-in workload instead of --topology:
                             resnet50 | alexnet | yolo_tiny | language_models
+                            | a Table IV layer tag (TF0, GNMT2, NCF1, ...)
     -g, --grid <PRxPC>      scale-out partition grid (e.g. 4x2); default 1x1
     -d, --dataflow <DF>     override the dataflow: os | ws | is
     -b, --bandwidth <B>     DRAM bandwidth in bytes/cycle; enables the
@@ -144,20 +154,158 @@ fn load_topology(args: &Args) -> Result<Topology, String> {
         return parse_topology_csv(&name, &text).map_err(|e| format!("topology parse error: {e}"));
     }
     match args.network.as_deref() {
-        Some("resnet50") => Ok(networks::resnet50()),
-        Some("resnet18") => Ok(networks::resnet18()),
-        Some("alexnet") => Ok(networks::alexnet()),
-        Some("googlenet") => Ok(networks::googlenet()),
-        Some("mobilenet" | "mobilenet_v1") => Ok(networks::mobilenet_v1()),
-        Some("vgg16") => Ok(networks::vgg16()),
-        Some("yolo_tiny") => Ok(networks::yolo_tiny()),
-        Some("language_models") => Ok(networks::language_models()),
-        Some(other) => Err(format!(
-            "unknown built-in network `{other}` (try resnet50, resnet18, alexnet, \
-             googlenet, mobilenet_v1, vgg16, yolo_tiny, language_models)"
-        )),
+        Some(name) => networks::by_name(name).ok_or_else(|| {
+            format!(
+                "unknown built-in workload `{name}` (try resnet50, resnet18, alexnet, \
+                 googlenet, mobilenet_v1, vgg16, yolo_tiny, language_models, or a \
+                 Table IV layer tag like TF0)"
+            )
+        }),
         None => Err("no workload: pass --topology <file> or --network <name>".into()),
     }
+}
+
+/// Output encoding for `scale-sim sweep`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SweepFormat {
+    Csv,
+    JsonLines,
+}
+
+#[derive(Debug)]
+struct SweepArgs {
+    plan: PathBuf,
+    jobs: Option<usize>,
+    output: Option<PathBuf>,
+    format: SweepFormat,
+    cache: usize,
+}
+
+fn parse_sweep_args(argv: &[String]) -> Result<SweepArgs, String> {
+    let mut plan = None;
+    let mut jobs = None;
+    let mut output = None;
+    let mut format = SweepFormat::Csv;
+    let mut cache = 1024usize;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "-p" | "--plan" => plan = Some(PathBuf::from(value("--plan")?)),
+            "-j" | "--jobs" => {
+                let text = value("--jobs")?;
+                let n: usize = text.parse().map_err(|_| format!("bad jobs `{text}`"))?;
+                if n == 0 {
+                    return Err("jobs must be nonzero".into());
+                }
+                jobs = Some(n);
+            }
+            "-o" | "--output" => output = Some(PathBuf::from(value("--output")?)),
+            "--format" => {
+                let text = value("--format")?;
+                format = match text.as_str() {
+                    "csv" => SweepFormat::Csv,
+                    "jsonl" => SweepFormat::JsonLines,
+                    other => return Err(format!("format must be csv or jsonl, got `{other}`")),
+                };
+            }
+            "--cache" => {
+                let text = value("--cache")?;
+                let n: usize = text.parse().map_err(|_| format!("bad cache `{text}`"))?;
+                if n == 0 {
+                    return Err("cache must be nonzero".into());
+                }
+                cache = n;
+            }
+            other => return Err(format!("unknown sweep argument `{other}`")),
+        }
+    }
+    let plan = plan.ok_or("sweep requires --plan <FILE>")?;
+    Ok(SweepArgs {
+        plan,
+        jobs,
+        output,
+        format,
+        cache,
+    })
+}
+
+fn run_sweep_points<W: io::Write>(
+    engine: &SweepEngine,
+    plan: &SweepPlan,
+    jobs: usize,
+    format: SweepFormat,
+    writer: W,
+) -> Result<SweepOutcome, String> {
+    match format {
+        SweepFormat::Csv => engine.run_streaming(plan, jobs, &mut CsvSink::new(writer)),
+        SweepFormat::JsonLines => engine.run_streaming(plan, jobs, &mut JsonLinesSink::new(writer)),
+    }
+    .map_err(|e| format!("sweep failed: {e}"))
+}
+
+fn run_sweep_cli(argv: &[String]) -> Result<(), String> {
+    let args = parse_sweep_args(argv)?;
+    let text = fs::read_to_string(&args.plan)
+        .map_err(|e| format!("cannot read plan {}: {e}", args.plan.display()))?;
+    let plan = SweepPlan::parse(&text).map_err(|e| format!("plan parse error: {e}"))?;
+    let jobs = args.jobs.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    });
+    let engine = SweepEngine::new(args.cache);
+
+    let start = std::time::Instant::now();
+    let outcome = match &args.output {
+        Some(path) => {
+            let file = fs::File::create(path)
+                .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+            run_sweep_points(&engine, &plan, jobs, args.format, io::BufWriter::new(file))?
+        }
+        None => run_sweep_points(&engine, &plan, jobs, args.format, io::stdout().lock())?,
+    };
+    let wall = start.elapsed();
+
+    eprintln!(
+        "sweep `{}`: {} points ({} simulations, {} cache hits) on {} jobs in {:.2}s",
+        outcome.plan_name,
+        outcome.results.len(),
+        outcome.simulations,
+        outcome.cache_hits,
+        jobs,
+        wall.as_secs_f64(),
+    );
+    for group in outcome.summarize() {
+        let best = group.best;
+        let sweet = match group.sweet_spot {
+            Some(s) => format!(
+                ", sweet spot {} partitions ({} grid, {:.3} B/cycle)",
+                s.spec.partitions(),
+                s.spec.grid,
+                s.report.peak_required_bandwidth(),
+            ),
+            None => String::new(),
+        };
+        eprintln!(
+            "  {} @ {} MACs [{}]: best {} grid of {} arrays, {} effective cycles{}",
+            group.workload,
+            group.budget,
+            group.dataflow,
+            best.spec.grid,
+            best.spec.array,
+            best.report.total_effective_cycles(),
+            sweet,
+        );
+    }
+    if let Some(path) = &args.output {
+        eprintln!("wrote {}", path.display());
+    }
+    Ok(())
 }
 
 /// How a failed invocation should be reported.
@@ -306,6 +454,7 @@ fn main() -> ExitCode {
     let outcome = match argv.first().map(String::as_str) {
         Some("serve") => scalesim_server::cli::run_serve(&argv[1..]).map_err(CliError::Runtime),
         Some("batch") => scalesim_server::cli::run_batch_cli(&argv[1..]).map_err(CliError::Runtime),
+        Some("sweep") => run_sweep_cli(&argv[1..]).map_err(CliError::Runtime),
         Some("run") => run(&argv[1..]),
         _ => run(&argv),
     };
@@ -420,5 +569,50 @@ mod tests {
     fn missing_workload_is_an_error() {
         let a = parse_args(&[]).unwrap();
         assert!(load_topology(&a).is_err());
+    }
+
+    #[test]
+    fn layer_tag_workloads_resolve() {
+        let mut a = parse_args(&[]).unwrap();
+        a.network = Some("TF0".into());
+        let topo = load_topology(&a).unwrap();
+        assert_eq!(topo.len(), 1);
+    }
+
+    #[test]
+    fn parses_sweep_arguments() {
+        let a = parse_sweep_args(&argv(&[
+            "--plan",
+            "fig9.plan",
+            "--jobs",
+            "4",
+            "--output",
+            "out.csv",
+            "--format",
+            "jsonl",
+            "--cache",
+            "32",
+        ]))
+        .unwrap();
+        assert_eq!(a.plan, PathBuf::from("fig9.plan"));
+        assert_eq!(a.jobs, Some(4));
+        assert_eq!(a.output, Some(PathBuf::from("out.csv")));
+        assert_eq!(a.format, SweepFormat::JsonLines);
+        assert_eq!(a.cache, 32);
+    }
+
+    #[test]
+    fn sweep_defaults_and_errors() {
+        let a = parse_sweep_args(&argv(&["--plan", "p"])).unwrap();
+        assert_eq!(a.jobs, None);
+        assert_eq!(a.format, SweepFormat::Csv);
+        assert_eq!(a.cache, 1024);
+
+        assert!(parse_sweep_args(&[]).is_err(), "plan is required");
+        assert!(parse_sweep_args(&argv(&["--plan", "p", "--jobs", "0"])).is_err());
+        assert!(parse_sweep_args(&argv(&["--plan", "p", "--format", "xml"])).is_err());
+        assert!(parse_sweep_args(&argv(&["--plan", "p", "--cache", "0"])).is_err());
+        let err = parse_sweep_args(&argv(&["--frobnicate"])).unwrap_err();
+        assert!(err.contains("unknown sweep argument"));
     }
 }

@@ -220,7 +220,93 @@ fn help_mentions_subcommands() {
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("serve"));
     assert!(text.contains("batch"));
+    assert!(text.contains("sweep"));
     assert!(text.contains("/simulate"));
+}
+
+/// The sweep acceptance scenario at CLI scope: a plan that lists its MAC
+/// budget twice yields byte-identical output at any `--jobs` count, and
+/// the in-process cache serves every duplicate point (exactly 50% hits).
+#[test]
+fn sweep_is_deterministic_and_counts_cache_hits() {
+    let dir = temp_dir("sweep");
+    let plan = dir.join("tiny.plan");
+    fs::write(
+        &plan,
+        "name = e2e\nworkload = TF1\nbudget = 1024, 1024\n\
+         config.IfmapSramSz = 64\nconfig.FilterSramSz = 64\nconfig.OfmapSramSz = 32\n",
+    )
+    .unwrap();
+
+    let serial_csv = dir.join("serial.csv");
+    let serial = scale_sim(&[
+        "sweep",
+        "--plan",
+        plan.to_str().unwrap(),
+        "--jobs",
+        "1",
+        "--output",
+        serial_csv.to_str().unwrap(),
+    ]);
+    assert!(
+        serial.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&serial.stderr)
+    );
+    let summary = String::from_utf8(serial.stderr).unwrap();
+    assert!(
+        summary.contains("10 points (5 simulations, 5 cache hits)"),
+        "summary: {summary}"
+    );
+    assert!(summary.contains("sweet spot"), "summary: {summary}");
+
+    let parallel_csv = dir.join("parallel.csv");
+    let parallel = scale_sim(&[
+        "sweep",
+        "--plan",
+        plan.to_str().unwrap(),
+        "--jobs",
+        "8",
+        "--output",
+        parallel_csv.to_str().unwrap(),
+    ]);
+    assert!(parallel.status.success());
+    let serial_rows = fs::read_to_string(&serial_csv).unwrap();
+    let parallel_rows = fs::read_to_string(&parallel_csv).unwrap();
+    assert_eq!(
+        serial_rows, parallel_rows,
+        "sweep output must not depend on the worker count"
+    );
+    assert!(serial_rows.starts_with("workload,budget,partitions,"));
+    assert_eq!(serial_rows.lines().count(), 11, "header + 10 points");
+
+    // JSONL goes to stdout when no --output is given.
+    let jsonl = scale_sim(&[
+        "sweep",
+        "--plan",
+        plan.to_str().unwrap(),
+        "--format",
+        "jsonl",
+    ]);
+    assert!(jsonl.status.success());
+    let text = String::from_utf8(jsonl.stdout).unwrap();
+    assert_eq!(text.lines().count(), 10);
+    assert!(text.lines().all(|l| l.starts_with("{\"workload\":\"TF1\"")));
+}
+
+#[test]
+fn sweep_error_paths_are_one_line() {
+    let out = scale_sim(&["sweep"]);
+    assert_one_line_error(&out, "--plan");
+
+    let out = scale_sim(&["sweep", "--plan", "/nonexistent/x.plan"]);
+    assert_one_line_error(&out, "cannot read plan");
+
+    let dir = temp_dir("sweepbad");
+    let plan = dir.join("bad.plan");
+    fs::write(&plan, "frobnicate = yes\n").unwrap();
+    let out = scale_sim(&["sweep", "--plan", plan.to_str().unwrap()]);
+    assert_one_line_error(&out, "plan parse error");
 }
 
 #[test]

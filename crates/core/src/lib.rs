@@ -55,6 +55,7 @@
 //! assert_eq!(report.active_partitions, 4);
 //! ```
 
+pub mod cache;
 mod config;
 mod error;
 pub mod pipeline;
@@ -62,12 +63,16 @@ mod report;
 mod simulator;
 pub mod sweep;
 
+pub use crate::cache::{ContentKey, ShardedLru};
 pub use crate::config::{parse_config, SimConfig, SimConfigBuilder};
 pub use crate::error::ParseConfigError;
 pub use crate::pipeline::{balance_stages, run_pipeline, PipelineReport, StageReport};
 pub use crate::report::{LayerReport, NetworkReport};
 pub use crate::simulator::{telemetry_names, Simulator};
-pub use crate::sweep::{run_partition_sweep, sweet_spot, SweepPoint};
+pub use crate::sweep::{
+    run_partition_sweep, sweet_spot, sweet_spot_index, SweepEngine, SweepOutcome, SweepPlan,
+    SweepPoint,
+};
 
 // The vocabulary types users need with the facade.
 pub use scalesim_analytical::{PartitionGrid, ScaleOutConfig};

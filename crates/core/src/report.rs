@@ -142,6 +142,12 @@ impl NetworkReport {
         self.layers.iter().map(|l| l.sram.total()).sum()
     }
 
+    /// Total runtime including memory stalls where the stall model ran
+    /// (layers execute serially, so effective cycles add).
+    pub fn total_effective_cycles(&self) -> u64 {
+        self.layers.iter().map(LayerReport::effective_cycles).sum()
+    }
+
     /// Worst per-layer stall-free bandwidth requirement (bytes/cycle).
     pub fn peak_required_bandwidth(&self) -> f64 {
         self.layers
@@ -313,6 +319,9 @@ mod tests {
             bus_utilization: 0.5,
         });
         assert_eq!(layer.effective_cycles(), 140);
+        let report = NetworkReport::new("net", vec![layer, dummy_layer("b", 50)]);
+        assert_eq!(report.total_effective_cycles(), 190);
+        assert_eq!(report.total_cycles(), 150);
     }
 
     #[test]

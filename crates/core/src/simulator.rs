@@ -77,6 +77,29 @@ impl Simulator {
         self.grid
     }
 
+    /// The configuration `layer` actually runs with: under
+    /// [`Simulator::with_auto_dataflow`] the dataflow is re-selected per
+    /// layer by the analytical model, otherwise the configured one is kept.
+    ///
+    /// [`Simulator::run_layer`], [`Simulator::write_traces`] and
+    /// [`Simulator::write_dram_traces`] all route through this, so reports
+    /// and exported traces always describe the same schedule.
+    pub fn effective_config(&self, layer: &Layer) -> SimConfig {
+        if self.auto_dataflow {
+            let best = scalesim_analytical::best_dataflow(
+                layer.shape(),
+                self.config.array,
+                &scalesim_analytical::AnalyticalModel,
+            );
+            SimConfig {
+                dataflow: best.dataflow,
+                ..self.config
+            }
+        } else {
+            self.config
+        }
+    }
+
     /// Simulates one layer end to end: cycle-accurate compute schedule plus
     /// the double-buffered DRAM interface model, per partition, aggregated.
     ///
@@ -89,19 +112,7 @@ impl Simulator {
         let _span = scalesim_telemetry::span!("run_layer", layer = layer.name());
         let phases = PhaseNanos::default();
         let shape = layer.shape();
-        let config = if self.auto_dataflow {
-            let best = scalesim_analytical::best_dataflow(
-                shape,
-                self.config.array,
-                &scalesim_analytical::AnalyticalModel,
-            );
-            SimConfig {
-                dataflow: best.dataflow,
-                ..self.config
-            }
-        } else {
-            self.config
-        };
+        let config = self.effective_config(layer);
         let map = layer_map(layer, &config);
         let tiles = partition_tiles(shape, self.grid);
         let provisioned = self.grid.count();
@@ -150,13 +161,29 @@ impl Simulator {
         }
         // Report the stall result at the layer level: the slowest
         // partition gates the layer, and the configured (total) bandwidth
-        // is what the user asked about.
-        let stall = worst_stall.map(|ws| StallSummary {
-            bandwidth: config.dram_bandwidth.expect("stall implies bandwidth"),
-            compute_cycles: total_cycles,
-            stalled_cycles: ws.stalled_cycles.max(total_cycles),
-            stall_cycles: ws.stalled_cycles.max(total_cycles) - total_cycles,
-            bus_utilization: ws.bus_utilization,
+        // is what the user asked about. Bus utilization must be recomputed
+        // in the same scope — the worst partition's figure measures its
+        // traffic against its 1/P bandwidth share, not against the total
+        // interface the summary reports.
+        let stall = worst_stall.map(|ws| {
+            let bandwidth = config.dram_bandwidth.expect("stall implies bandwidth");
+            let stalled_cycles = ws.stalled_cycles.max(total_cycles);
+            let bus_utilization = if stalled_cycles == 0 {
+                0.0
+            } else {
+                // All partitions drain their traffic concurrently within the
+                // layer's stalled horizon; each fits its share, so the
+                // aggregate never exceeds 1 (the clamp guards the model's
+                // per-fold ceil rounding only).
+                (dram.total_bytes() as f64 / (bandwidth * stalled_cycles as f64)).min(1.0)
+            };
+            StallSummary {
+                bandwidth,
+                compute_cycles: total_cycles,
+                stalled_cycles,
+                stall_cycles: stalled_cycles - total_cycles,
+                bus_utilization,
+            }
         });
 
         let mac_ops = shape.macs();
@@ -184,7 +211,13 @@ impl Simulator {
             } else {
                 mapping_util_sum / results.len() as f64
             },
-            compute_utilization: mac_ops as f64 / pe_cycles as f64,
+            // A layer with no work (zero cycles) must report 0, not NaN —
+            // NaN is not JSON and silently turns into `null` downstream.
+            compute_utilization: if pe_cycles == 0 {
+                0.0
+            } else {
+                mac_ops as f64 / pe_cycles as f64
+            },
             energy,
             stall,
         };
@@ -209,7 +242,9 @@ impl Simulator {
     /// Writes the cycle-accurate SRAM traces of `layer` in the original
     /// tool's CSV format (`cycle, addr, …` rows): reads to `reads`, writes
     /// to `writes`. Traces are generated for a single monolithic array (the
-    /// configured shape); the partition grid is ignored.
+    /// configured shape); the partition grid is ignored. The dataflow is
+    /// resolved per layer exactly as in [`Simulator::run_layer`], so traces
+    /// agree with the report under [`Simulator::with_auto_dataflow`].
     ///
     /// # Errors
     ///
@@ -220,17 +255,19 @@ impl Simulator {
         reads: W,
         writes: W,
     ) -> io::Result<ComputeReport> {
-        let map = layer_map(layer, &self.config);
-        let dims = layer.shape().project(self.config.dataflow);
+        let config = self.effective_config(layer);
+        let map = layer_map(layer, &config);
+        let dims = layer.shape().project(config.dataflow);
         let mut sink = CsvTraceSink::new(reads, writes);
-        let report = simulate(&dims, self.config.array, &*map, &mut sink);
+        let report = simulate(&dims, config.array, &*map, &mut sink);
         sink.finish()?;
         Ok(report)
     }
 
     /// Writes the DRAM interface traces of `layer` (prefetch reads and
     /// streamed writes, `cycle, addr, …` rows — the "DRAM R/W" output of
-    /// Fig. 2), for a single monolithic array.
+    /// Fig. 2), for a single monolithic array, with the dataflow resolved
+    /// per layer exactly as in [`Simulator::run_layer`].
     ///
     /// # Errors
     ///
@@ -241,15 +278,16 @@ impl Simulator {
         reads: W,
         writes: W,
     ) -> io::Result<DramSummary> {
-        let map = layer_map(layer, &self.config);
-        let dims = layer.shape().project(self.config.dataflow);
+        let config = self.effective_config(layer);
+        let map = layer_map(layer, &config);
+        let dims = layer.shape().project(config.dataflow);
         let mut dram = DramModel::new(
-            self.config.ifmap_buffer(1),
-            self.config.filter_buffer(1),
-            self.config.ofmap_buffer(1),
+            config.ifmap_buffer(1),
+            config.filter_buffer(1),
+            config.ofmap_buffer(1),
         );
         let mut tracer = DramTraceWriter::new(reads, writes);
-        for d in fold_demands(&dims, self.config.array, &*map) {
+        for d in fold_demands(&dims, config.array, &*map) {
             dram.fold_traced(
                 d.fold.duration,
                 d.a,
@@ -699,6 +737,83 @@ mod tests {
             auto.total_cycles,
             fixed.total_cycles
         );
+    }
+
+    #[test]
+    fn degenerate_layer_reports_zero_utilization() {
+        // A layer with no output space yields no tiles, hence zero cycles;
+        // utilization must be 0.0, never NaN (regression: 0/0 divide).
+        let layer = Layer::Gemm {
+            name: "empty".into(),
+            shape: GemmShape { m: 0, k: 8, n: 8 },
+        };
+        let report = Simulator::new(small_config()).run_layer(&layer);
+        assert_eq!(report.total_cycles, 0);
+        assert_eq!(report.active_partitions, 0);
+        assert_eq!(report.compute_utilization, 0.0);
+        assert!(report.compute_utilization.is_finite());
+        assert_eq!(report.mapping_utilization, 0.0);
+    }
+
+    #[test]
+    fn trace_export_respects_auto_dataflow() {
+        // A fat-output GEMM with a tiny contraction: the analytical model
+        // picks a different dataflow than the configured OS default, and
+        // the exported traces must follow that per-layer choice.
+        let layer = Layer::gemm("fat", 64, 4, 96);
+        let sim = Simulator::new(small_config()).with_auto_dataflow();
+        let effective = sim.effective_config(&layer);
+        assert_ne!(
+            effective.dataflow,
+            sim.config().dataflow,
+            "test needs a shape where auto selection changes the dataflow"
+        );
+
+        let report = sim.run_layer(&layer);
+        let mut reads = Vec::new();
+        let mut writes = Vec::new();
+        let compute = sim.write_traces(&layer, &mut reads, &mut writes).unwrap();
+        assert_eq!(compute.total_cycles, report.total_cycles);
+        let max_cycle = String::from_utf8(writes)
+            .unwrap()
+            .lines()
+            .map(|l| l.split(',').next().unwrap().parse::<u64>().unwrap())
+            .max()
+            .unwrap();
+        assert_eq!(max_cycle + 1, report.total_cycles);
+
+        // Regression: the fixed-dataflow schedule is genuinely different,
+        // so the old behavior (tracing `config.dataflow`) would disagree.
+        let fixed = Simulator::new(small_config()).run_layer(&layer);
+        assert_ne!(fixed.total_cycles, report.total_cycles);
+    }
+
+    #[test]
+    fn partitioned_stall_bus_utilization_is_layer_scoped() {
+        // Regression: the layer summary used to report the *total*
+        // bandwidth next to the worst partition's utilization of its own
+        // 1/P share — mixed scopes. The reported utilization must equal
+        // total traffic over total interface capacity across the stalled
+        // horizon.
+        let layer = Layer::gemm("g", 256, 64, 256);
+        let cfg = SimConfig {
+            dram_bandwidth: Some(16.0),
+            ..small_config()
+        };
+        let report = Simulator::new(cfg)
+            .with_grid(PartitionGrid::new(2, 2))
+            .run_layer(&layer);
+        let stall = report.stall.expect("stall analysis must run");
+        assert_eq!(stall.bandwidth, 16.0);
+        let expected =
+            report.dram.total_bytes() as f64 / (stall.bandwidth * stall.stalled_cycles as f64);
+        assert!(
+            (stall.bus_utilization - expected.min(1.0)).abs() < 1e-9,
+            "bus_utilization {} != layer-level {}",
+            stall.bus_utilization,
+            expected
+        );
+        assert!(stall.bus_utilization > 0.0 && stall.bus_utilization <= 1.0);
     }
 
     #[test]

@@ -1,21 +1,63 @@
-//! Programmatic scaling sweeps — the Fig. 11/12 experiment as an API.
+//! The design-space sweep engine: parallel, cache-aware evaluation of
+//! (workload × budget × partition grid × aspect ratio × dataflow) points.
 //!
-//! Given a layer and a MAC budget, [`run_partition_sweep`] simulates every
-//! power-of-two partition count (square-ish grids of square-ish arrays,
-//! the paper's arrangement) and returns the full reports, so callers can
-//! plot runtime, bandwidth and energy against partition count — or just
-//! ask [`sweet_spot`] for the paper's "intersection of runtime and
-//! bandwidth curves".
+//! The paper's headline results (Sec. IV, Figs. 9–12) are design-space
+//! studies: thousands of cycle-accurate simulations over the cartesian
+//! product of array budgets, aspect ratios, partition grids and workloads.
+//! [`SweepPlan`] names such a product, and [`SweepEngine`] evaluates it
+//!
+//! * **in parallel** — a crossbeam scoped worker pool (`--jobs N`) pulls
+//!   points off a shared work list;
+//! * **memoized** — every point is content-addressed by the same canonical
+//!   job text the `scalesim-server` cache uses ([`canonical_job_text`]),
+//!   deduplicated through a [`ShardedLru`], so duplicate points inside a
+//!   plan and repeats across plans are never re-simulated;
+//! * **deterministically streamed** — results are emitted to a
+//!   [`SweepSink`] in plan order as they complete, regardless of worker
+//!   completion order, so parallel output is byte-identical to a serial
+//!   run.
+//!
+//! The classic [`run_partition_sweep`] (the Fig. 11/12 experiment as an
+//! API) is now a thin wrapper over this engine, and [`sweet_spot`] still
+//! answers the paper's "intersection of runtime and bandwidth curves".
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
-use scalesim_analytical::PartitionGrid;
+use scalesim_analytical::{aspect_ratio_shapes, PartitionGrid};
 use scalesim_systolic::ArrayShape;
-use scalesim_topology::Layer;
+use scalesim_telemetry::{Counter, Histogram, Registry};
+use scalesim_topology::{networks, topology_to_csv, Dataflow, Layer, Topology};
 
-use crate::config::SimConfig;
-use crate::report::LayerReport;
+use crate::cache::{ContentKey, ShardedLru};
+use crate::config::{parse_config, SimConfig};
+use crate::report::{LayerReport, NetworkReport};
 use crate::simulator::Simulator;
+
+/// Metric names the sweep engine records (into the registry it was created
+/// with — [`scalesim_telemetry::global`] by default). Part of the public
+/// API: servers and dashboards read these back by name.
+pub mod telemetry_names {
+    /// Counter: sweep points completed (any path).
+    pub const POINTS: &str = "scalesim_sweep_points_total";
+    /// Counter: points served without a fresh simulation (in-plan
+    /// duplicates and LRU hits from earlier plans).
+    pub const CACHE_HITS: &str = "scalesim_sweep_cache_hits_total";
+    /// Counter: simulations the sweep pool actually executed.
+    pub const SIMULATIONS: &str = "scalesim_sweep_simulations_total";
+    /// Histogram: wall time per freshly simulated point, seconds.
+    pub const POINT_SECONDS: &str = "scalesim_sweep_point_seconds";
+    /// Counter: results evicted from the sweep result cache.
+    pub const CACHE_EVICTIONS: &str = "scalesim_sweep_cache_evictions_total";
+    /// Gauge: results currently held by the sweep result cache.
+    pub const CACHE_RESIDENT: &str = "scalesim_sweep_cache_resident_entries";
+}
 
 /// Splits a power-of-two `n` into the most square `(rows, cols)` pair with
 /// `rows ≥ cols`.
@@ -27,6 +69,979 @@ pub fn squareish(n: u64) -> (u64, u64) {
     assert!(n.is_power_of_two(), "need a power of two, got {n}");
     let rows = 1u64 << n.trailing_zeros().div_ceil(2);
     (rows, n / rows)
+}
+
+/// The canonical text a simulation job's content key is derived from.
+///
+/// Every semantic field appears via the simulator's own round-tripping
+/// serializers, so any two requests that simulate identically serialize
+/// identically. This is the *shared* key space of the sweep engine and the
+/// `scalesim-server` result cache — both hash exactly this text.
+///
+/// `auto_dataflow` appends a marker line only when set, keeping keys of
+/// fixed-dataflow jobs stable across versions.
+pub fn canonical_job_text(
+    config: &SimConfig,
+    workload: &str,
+    grid: PartitionGrid,
+    topology_csv: &str,
+    auto_dataflow: bool,
+) -> String {
+    let mut text = format!(
+        "config:\n{}\nworkload: {}\ngrid: {}x{}\ntopology:\n{}",
+        config.to_config_string(),
+        workload,
+        grid.rows(),
+        grid.cols(),
+        topology_csv,
+    );
+    if auto_dataflow {
+        text.push_str("auto_dataflow: true\n");
+    }
+    text
+}
+
+/// The dataflow axis of a sweep: a fixed mapping or per-layer auto
+/// selection (the analytical model picks the fastest mapping per layer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataflowChoice {
+    /// Every layer runs the given dataflow.
+    Fixed(Dataflow),
+    /// The fastest dataflow is selected per layer (Sec. III-B model).
+    Auto,
+}
+
+impl fmt::Display for DataflowChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataflowChoice::Fixed(df) => write!(f, "{df}"),
+            DataflowChoice::Auto => write!(f, "auto"),
+        }
+    }
+}
+
+impl std::str::FromStr for DataflowChoice {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<DataflowChoice, String> {
+        if s.eq_ignore_ascii_case("auto") {
+            return Ok(DataflowChoice::Auto);
+        }
+        s.parse::<Dataflow>()
+            .map(DataflowChoice::Fixed)
+            .map_err(|_| format!("bad dataflow `{s}` (want os/ws/is/auto)"))
+    }
+}
+
+/// The partition-grid axis of a sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GridAxis {
+    /// Every power-of-two partition count that keeps the per-partition
+    /// array at or above the `min_dim × min_dim` floor, arranged
+    /// square-ish (the paper's arrangement).
+    PowersOfTwo,
+    /// An explicit list of grids.
+    Explicit(Vec<PartitionGrid>),
+}
+
+/// The array aspect-ratio axis of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AspectAxis {
+    /// One square-ish array per per-partition budget.
+    Squareish,
+    /// Every power-of-two aspect ratio from tall to wide (Fig. 9/10).
+    All,
+}
+
+/// One workload of a sweep: a display label plus the resolved topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepWorkload {
+    /// Label used in point rows and grouping (e.g. `"TF0"`).
+    pub label: String,
+    /// The topology simulated at every point of this workload.
+    pub topology: Topology,
+}
+
+/// A design-space sweep: the cartesian product of workloads, MAC budgets,
+/// partition grids, array aspect ratios and dataflows, over a base
+/// hardware configuration.
+///
+/// Build one programmatically or parse the plan-file format with
+/// [`SweepPlan::parse`]; expand it to points with [`SweepPlan::expand`];
+/// run it with [`SweepEngine::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPlan {
+    /// Plan name (reports and telemetry only).
+    pub name: String,
+    /// Base hardware configuration; the array (and possibly dataflow) is
+    /// replaced per point, SRAM sizes and bandwidth are inherited.
+    pub base: SimConfig,
+    /// Workloads to sweep.
+    pub workloads: Vec<SweepWorkload>,
+    /// Total MAC budgets (powers of two).
+    pub budgets: Vec<u64>,
+    /// Minimum array dimension (power of two), the paper's 8 by default.
+    pub min_dim: u64,
+    /// Partition-grid axis.
+    pub grids: GridAxis,
+    /// Array aspect-ratio axis.
+    pub aspects: AspectAxis,
+    /// Dataflow axis; empty means "the base configuration's dataflow".
+    pub dataflows: Vec<DataflowChoice>,
+}
+
+impl SweepPlan {
+    /// A plan with the paper's defaults: base [`SimConfig::default`],
+    /// `min_dim = 8`, power-of-two square-ish grids, square-ish arrays,
+    /// the base dataflow. Add workloads and budgets before running.
+    pub fn new(name: impl Into<String>) -> SweepPlan {
+        SweepPlan {
+            name: name.into(),
+            base: SimConfig::default(),
+            workloads: Vec::new(),
+            budgets: Vec::new(),
+            min_dim: 8,
+            grids: GridAxis::PowersOfTwo,
+            aspects: AspectAxis::Squareish,
+            dataflows: Vec::new(),
+        }
+    }
+
+    /// Adds a workload resolved by name via [`networks::by_name`]
+    /// (built-in networks or Table IV layer tags like `TF0`).
+    pub fn workload(mut self, name: &str) -> Result<SweepPlan, SweepError> {
+        let topology = networks::by_name(name)
+            .ok_or_else(|| SweepError::plan(format!("unknown workload `{name}`")))?;
+        self.workloads.push(SweepWorkload {
+            label: topology.name().to_owned(),
+            topology,
+        });
+        Ok(self)
+    }
+
+    /// Parses the plan-file format: `key = value` lines (`:` works too),
+    /// `#` comments. Keys:
+    ///
+    /// | key | value |
+    /// |---|---|
+    /// | `name` | plan name |
+    /// | `workload` | comma-separated workload names ([`networks::by_name`] vocabulary); repeatable |
+    /// | `budget` | comma-separated total MAC budgets, plain (`16384`) or exponent (`2^14`); repeatable |
+    /// | `min_dim` | minimum array dimension (default 8) |
+    /// | `grid` | `all` (power-of-two counts, square-ish) or comma-separated `PRxPC` list |
+    /// | `aspect` | `squareish` (default) or `all` (every power-of-two ratio) |
+    /// | `dataflow` | comma-separated `os`/`ws`/`is`/`auto` |
+    /// | `bandwidth` | DRAM bytes/cycle; enables the stall model |
+    /// | `config.<Key>` | base-config override in Table I vocabulary (e.g. `config.IfmapSramSz`) |
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Plan`] on unknown keys, unknown workloads or
+    /// malformed values.
+    pub fn parse(text: &str) -> Result<SweepPlan, SweepError> {
+        let mut plan = SweepPlan::new("sweep");
+        let mut overrides = String::new();
+        let mut bandwidth = None;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = match raw.split_once('#') {
+                Some((before, _)) => before.trim(),
+                None => raw.trim(),
+            };
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .or_else(|| line.split_once(':'))
+                .ok_or_else(|| {
+                    SweepError::plan(format!("line {}: expected `key = value`", lineno + 1))
+                })?;
+            let (key, value) = (key.trim(), value.trim());
+            let fail = |msg: String| SweepError::plan(format!("line {}: {msg}", lineno + 1));
+            match key {
+                "name" => plan.name = value.to_owned(),
+                "workload" => {
+                    for name in value.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                        plan = plan.workload(name).map_err(|e| fail(e.to_string()))?;
+                    }
+                }
+                "budget" => {
+                    for token in value.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                        plan.budgets.push(
+                            parse_budget(token)
+                                .ok_or_else(|| fail(format!("bad budget `{token}`")))?,
+                        );
+                    }
+                }
+                "min_dim" => {
+                    plan.min_dim = value
+                        .parse()
+                        .map_err(|_| fail(format!("bad min_dim `{value}`")))?;
+                }
+                "grid" => {
+                    if value.eq_ignore_ascii_case("all") {
+                        plan.grids = GridAxis::PowersOfTwo;
+                    } else {
+                        let mut grids = Vec::new();
+                        for token in value.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                            let (r, c) = token
+                                .split_once('x')
+                                .ok_or_else(|| fail(format!("grid `{token}` is not PRxPC")))?;
+                            let r: u64 = r
+                                .trim()
+                                .parse()
+                                .map_err(|_| fail(format!("bad grid rows `{r}`")))?;
+                            let c: u64 = c
+                                .trim()
+                                .parse()
+                                .map_err(|_| fail(format!("bad grid cols `{c}`")))?;
+                            if r == 0 || c == 0 {
+                                return Err(fail("grid dimensions must be nonzero".into()));
+                            }
+                            grids.push(PartitionGrid::new(r, c));
+                        }
+                        plan.grids = GridAxis::Explicit(grids);
+                    }
+                }
+                "aspect" => {
+                    plan.aspects = match value.to_ascii_lowercase().as_str() {
+                        "squareish" | "square" => AspectAxis::Squareish,
+                        "all" => AspectAxis::All,
+                        other => {
+                            return Err(fail(format!(
+                                "bad aspect `{other}` (want squareish or all)"
+                            )))
+                        }
+                    };
+                }
+                "dataflow" => {
+                    for token in value.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                        plan.dataflows.push(token.parse().map_err(fail)?);
+                    }
+                }
+                "bandwidth" => {
+                    let bw: f64 = value
+                        .parse()
+                        .map_err(|_| fail(format!("bad bandwidth `{value}`")))?;
+                    if !(bw.is_finite() && bw > 0.0) {
+                        return Err(fail("bandwidth must be positive".into()));
+                    }
+                    bandwidth = Some(bw);
+                }
+                _ => match key.strip_prefix("config.") {
+                    Some(cfg_key) => {
+                        overrides.push_str(&format!("{cfg_key} : {value}\n"));
+                    }
+                    None => return Err(fail(format!("unknown plan key `{key}`"))),
+                },
+            }
+        }
+        if !overrides.is_empty() {
+            plan.base = parse_config(&overrides)
+                .map_err(|e| SweepError::plan(format!("config override: {e}")))?;
+        }
+        if let Some(bw) = bandwidth {
+            plan.base.dram_bandwidth = Some(bw);
+        }
+        Ok(plan)
+    }
+
+    /// The dataflow axis with the empty-means-base default applied.
+    fn dataflow_axis(&self) -> Vec<DataflowChoice> {
+        if self.dataflows.is_empty() {
+            vec![DataflowChoice::Fixed(self.base.dataflow)]
+        } else {
+            self.dataflows.clone()
+        }
+    }
+
+    /// Expands the plan into its ordered list of points: workloads ×
+    /// budgets × grids × aspect ratios × dataflows, in that nesting order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Plan`] if the plan is empty or any budget /
+    /// grid combination is invalid (budgets and `min_dim` must be powers
+    /// of two; every grid must split its budget into a power-of-two
+    /// per-partition array of at least `min_dim × min_dim`).
+    pub fn expand(&self) -> Result<Vec<PointSpec>, SweepError> {
+        if self.workloads.is_empty() {
+            return Err(SweepError::plan("plan has no workloads"));
+        }
+        if self.budgets.is_empty() {
+            return Err(SweepError::plan("plan has no budgets"));
+        }
+        if !self.min_dim.is_power_of_two() {
+            return Err(SweepError::plan(format!(
+                "min_dim {} is not a power of two",
+                self.min_dim
+            )));
+        }
+        let floor = self.min_dim * self.min_dim;
+        let dataflows = self.dataflow_axis();
+        let mut points = Vec::new();
+        for workload in &self.workloads {
+            for &budget in &self.budgets {
+                if !budget.is_power_of_two() || budget < floor {
+                    return Err(SweepError::plan(format!(
+                        "budget {budget} must be a power of two of at least {floor} MACs"
+                    )));
+                }
+                let grids: Vec<PartitionGrid> = match &self.grids {
+                    GridAxis::PowersOfTwo => {
+                        let mut grids = Vec::new();
+                        let mut p = 1u64;
+                        while budget / p >= floor {
+                            let (gr, gc) = squareish(p);
+                            grids.push(PartitionGrid::new(gr, gc));
+                            p *= 2;
+                        }
+                        grids
+                    }
+                    GridAxis::Explicit(grids) => grids.clone(),
+                };
+                for grid in grids {
+                    let count = grid.count();
+                    if budget % count != 0 || !(budget / count).is_power_of_two() {
+                        return Err(SweepError::plan(format!(
+                            "grid {grid} does not split budget {budget} into a power of two"
+                        )));
+                    }
+                    let per_array = budget / count;
+                    if per_array < floor {
+                        return Err(SweepError::plan(format!(
+                            "grid {grid} leaves {per_array} MACs per array, below the \
+                             {}x{} floor",
+                            self.min_dim, self.min_dim
+                        )));
+                    }
+                    let arrays: Vec<ArrayShape> = match self.aspects {
+                        AspectAxis::Squareish => {
+                            let (ar, ac) = squareish(per_array);
+                            vec![ArrayShape::new(ar, ac)]
+                        }
+                        AspectAxis::All => aspect_ratio_shapes(per_array, self.min_dim),
+                    };
+                    for array in arrays {
+                        for &dataflow in &dataflows {
+                            points.push(PointSpec {
+                                index: points.len(),
+                                workload: workload.label.clone(),
+                                budget,
+                                grid,
+                                array,
+                                dataflow,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(points)
+    }
+}
+
+fn parse_budget(token: &str) -> Option<u64> {
+    if let Some((base, exp)) = token.split_once('^') {
+        let base: u64 = base.trim().parse().ok()?;
+        let exp: u32 = exp.trim().parse().ok()?;
+        base.checked_pow(exp)
+    } else {
+        token.parse().ok()
+    }
+}
+
+/// One expanded design point (before simulation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointSpec {
+    /// Position in plan order (stable across serial and parallel runs).
+    pub index: usize,
+    /// Workload label.
+    pub workload: String,
+    /// Total MAC budget across all partitions.
+    pub budget: u64,
+    /// Partition grid.
+    pub grid: PartitionGrid,
+    /// Per-partition array shape.
+    pub array: ArrayShape,
+    /// Dataflow at this point.
+    pub dataflow: DataflowChoice,
+}
+
+impl PointSpec {
+    /// Number of partitions at this point.
+    pub fn partitions(&self) -> u64 {
+        self.grid.count()
+    }
+
+    /// The effective hardware configuration of this point over `base`.
+    /// Under [`DataflowChoice::Auto`] the base dataflow is kept as the
+    /// fallback label; the simulator re-selects per layer.
+    pub fn config(&self, base: &SimConfig) -> SimConfig {
+        let mut config = SimConfig {
+            array: self.array,
+            ..*base
+        };
+        if let DataflowChoice::Fixed(df) = self.dataflow {
+            config.dataflow = df;
+        }
+        config
+    }
+}
+
+/// One simulated sweep result: the point and its full report.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// The design point.
+    pub spec: PointSpec,
+    /// The simulation report (shared with the result cache).
+    pub report: Arc<NetworkReport>,
+}
+
+/// The outcome of running a plan: results in plan order plus exact
+/// dedup accounting for *this* run.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// The plan's name.
+    pub plan_name: String,
+    /// One result per point, in plan order.
+    pub results: Vec<SweepResult>,
+    /// Simulations actually executed by this run.
+    pub simulations: u64,
+    /// Points served without a fresh simulation (in-plan duplicates plus
+    /// LRU hits from earlier plans on the same engine).
+    pub cache_hits: u64,
+}
+
+/// A per-group sweep summary: the fastest point and the paper's runtime/
+/// bandwidth sweet spot (Sec. IV-A) within one (workload, budget,
+/// dataflow) series.
+#[derive(Debug, Clone, Copy)]
+pub struct GroupSummary<'a> {
+    /// Workload label of the group.
+    pub workload: &'a str,
+    /// MAC budget of the group.
+    pub budget: u64,
+    /// Dataflow of the group.
+    pub dataflow: DataflowChoice,
+    /// The point with the lowest effective (stall-inclusive) runtime.
+    pub best: &'a SweepResult,
+    /// The runtime/bandwidth crossing over the group's partition series;
+    /// `None` when the group holds a single partition count.
+    pub sweet_spot: Option<&'a SweepResult>,
+}
+
+impl SweepOutcome {
+    /// Groups results by (workload, budget, dataflow) and summarizes each:
+    /// fastest point by effective cycles, plus the sweet spot across the
+    /// group's partition counts (points ordered by partition count).
+    pub fn summarize(&self) -> Vec<GroupSummary<'_>> {
+        let mut order: Vec<(&str, u64, DataflowChoice)> = Vec::new();
+        let mut groups: HashMap<(&str, u64, String), Vec<&SweepResult>> = HashMap::new();
+        for result in &self.results {
+            let key = (
+                result.spec.workload.as_str(),
+                result.spec.budget,
+                result.spec.dataflow.to_string(),
+            );
+            let members = groups.entry(key).or_default();
+            if members.is_empty() {
+                order.push((
+                    result.spec.workload.as_str(),
+                    result.spec.budget,
+                    result.spec.dataflow,
+                ));
+            }
+            members.push(result);
+        }
+        order
+            .into_iter()
+            .map(|(workload, budget, dataflow)| {
+                let mut members = groups
+                    .remove(&(workload, budget, dataflow.to_string()))
+                    .expect("group recorded in order");
+                let best = members
+                    .iter()
+                    .copied()
+                    .min_by_key(|r| (r.report.total_effective_cycles(), r.spec.index))
+                    .expect("nonempty group");
+                members.sort_by_key(|r| (r.spec.partitions(), r.spec.index));
+                let distinct_counts = {
+                    let mut counts: Vec<u64> =
+                        members.iter().map(|r| r.spec.partitions()).collect();
+                    counts.dedup();
+                    counts.len()
+                };
+                let sweet_spot = if distinct_counts > 1 {
+                    let cycles: Vec<u64> =
+                        members.iter().map(|r| r.report.total_cycles()).collect();
+                    let bw: Vec<f64> = members
+                        .iter()
+                        .map(|r| r.report.peak_required_bandwidth())
+                        .collect();
+                    sweet_spot_index(&cycles, &bw).map(|i| members[i])
+                } else {
+                    None
+                };
+                GroupSummary {
+                    workload,
+                    budget,
+                    dataflow,
+                    best,
+                    sweet_spot,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Where a sweep streams its rows. Called from the engine's emitter in
+/// strict plan order — implementations never see out-of-order points.
+pub trait SweepSink {
+    /// Called once before any point, with the total point count.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors abort the sweep.
+    fn begin(&mut self, plan: &SweepPlan, points: usize) -> io::Result<()> {
+        let _ = (plan, points);
+        Ok(())
+    }
+
+    /// Called once per point, in plan order, as results become available.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors abort the sweep.
+    fn point(&mut self, spec: &PointSpec, report: &NetworkReport) -> io::Result<()>;
+
+    /// Called once after the last point.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors abort the sweep.
+    fn end(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The CSV columns emitted by [`CsvSink`], terminated by a newline.
+pub const SWEEP_CSV_HEADER: &str = "workload,budget,partitions,grid,array,dataflow,cycles,\
+     effective_cycles,macs,overall_util,dram_bytes,peak_bw_bytes_per_cycle,energy\n";
+
+fn sweep_row_fields(spec: &PointSpec, report: &NetworkReport) -> (String, String) {
+    // (prefix identifying the point, suffix of measured values) — shared
+    // between the CSV and JSONL sinks so the two stay in sync.
+    let prefix = format!(
+        "{},{},{},{},{},{}",
+        spec.workload,
+        spec.budget,
+        spec.partitions(),
+        spec.grid,
+        spec.array,
+        spec.dataflow,
+    );
+    let suffix = format!(
+        "{},{},{},{:.4},{},{:.3},{:.1}",
+        report.total_cycles(),
+        report.total_effective_cycles(),
+        report.total_macs(),
+        report.overall_utilization(),
+        report.total_dram_bytes(),
+        report.peak_required_bandwidth(),
+        report.total_energy().total(),
+    );
+    (prefix, suffix)
+}
+
+/// Streams sweep rows as CSV ([`SWEEP_CSV_HEADER`] + one row per point).
+pub struct CsvSink<W: io::Write> {
+    writer: W,
+}
+
+impl<W: io::Write> CsvSink<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> CsvSink<W> {
+        CsvSink { writer }
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: io::Write> SweepSink for CsvSink<W> {
+    fn begin(&mut self, _plan: &SweepPlan, _points: usize) -> io::Result<()> {
+        self.writer.write_all(SWEEP_CSV_HEADER.as_bytes())
+    }
+
+    fn point(&mut self, spec: &PointSpec, report: &NetworkReport) -> io::Result<()> {
+        let (prefix, suffix) = sweep_row_fields(spec, report);
+        writeln!(self.writer, "{prefix},{suffix}")
+    }
+
+    fn end(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+/// Streams sweep rows as JSON Lines: one object per point, fixed key
+/// order, deterministic for identical results.
+pub struct JsonLinesSink<W: io::Write> {
+    writer: W,
+}
+
+impl<W: io::Write> JsonLinesSink<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> JsonLinesSink<W> {
+        JsonLinesSink { writer }
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl<W: io::Write> SweepSink for JsonLinesSink<W> {
+    fn point(&mut self, spec: &PointSpec, report: &NetworkReport) -> io::Result<()> {
+        writeln!(
+            self.writer,
+            "{{\"workload\":\"{}\",\"budget\":{},\"partitions\":{},\"grid\":\"{}\",\
+             \"array\":\"{}\",\"dataflow\":\"{}\",\"cycles\":{},\"effective_cycles\":{},\
+             \"macs\":{},\"overall_util\":{:.4},\"dram_bytes\":{},\
+             \"peak_bw_bytes_per_cycle\":{:.3},\"energy\":{:.1}}}",
+            escape_json(&spec.workload),
+            spec.budget,
+            spec.partitions(),
+            spec.grid,
+            spec.array,
+            spec.dataflow,
+            report.total_cycles(),
+            report.total_effective_cycles(),
+            report.total_macs(),
+            report.overall_utilization(),
+            report.total_dram_bytes(),
+            report.peak_required_bandwidth(),
+            report.total_energy().total(),
+        )
+    }
+
+    fn end(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+/// A sink that discards rows (for callers that only want the outcome).
+struct NullSink;
+
+impl SweepSink for NullSink {
+    fn point(&mut self, _spec: &PointSpec, _report: &NetworkReport) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Why a sweep failed.
+#[derive(Debug)]
+pub enum SweepError {
+    /// The plan itself is invalid.
+    Plan(String),
+    /// The sink raised an I/O error.
+    Io(io::Error),
+}
+
+impl SweepError {
+    fn plan(msg: impl Into<String>) -> SweepError {
+        SweepError::Plan(msg.into())
+    }
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::Plan(msg) => write!(f, "{msg}"),
+            SweepError::Io(e) => write!(f, "sweep output failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+impl From<io::Error> for SweepError {
+    fn from(e: io::Error) -> SweepError {
+        SweepError::Io(e)
+    }
+}
+
+/// A prepared point: its spec plus everything a worker needs.
+struct PreparedPoint {
+    spec: PointSpec,
+    distinct: usize,
+}
+
+/// One distinct simulation job (several points may share it).
+struct DistinctJob {
+    key: u128,
+    config: SimConfig,
+    grid: PartitionGrid,
+    auto: bool,
+    workload: usize,
+}
+
+/// Completion slots shared between workers and the in-order emitter.
+struct Slots {
+    filled: Mutex<Vec<Option<Arc<NetworkReport>>>>,
+    ready: Condvar,
+}
+
+impl Slots {
+    fn new(n: usize) -> Slots {
+        Slots {
+            filled: Mutex::new(vec![None; n]),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn fill(&self, i: usize, report: Arc<NetworkReport>) {
+        *self
+            .filled
+            .lock()
+            .unwrap()
+            .get_mut(i)
+            .expect("slot index in range") = Some(report);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self, i: usize) -> Arc<NetworkReport> {
+        let mut filled = self.filled.lock().unwrap();
+        loop {
+            if let Some(report) = &filled[i] {
+                return Arc::clone(report);
+            }
+            filled = self.ready.wait(filled).unwrap();
+        }
+    }
+}
+
+/// The parallel, memoizing sweep executor: a content-addressed result
+/// cache (shared across every plan run on the same engine) plus a scoped
+/// worker pool per run.
+///
+/// Determinism: duplicate points are simulated once and results are
+/// emitted in plan order, so the output stream is byte-identical to a
+/// `jobs = 1` run — and each point's report is byte-identical to a fresh
+/// single-shot [`Simulator`] run of the same configuration.
+pub struct SweepEngine {
+    cache: ShardedLru<Arc<NetworkReport>>,
+    points_total: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    simulations: Arc<Counter>,
+    point_seconds: Arc<Histogram>,
+}
+
+impl SweepEngine {
+    /// An engine caching up to `cache_capacity` distinct results, with
+    /// telemetry in the process-global registry.
+    ///
+    /// The capacity is approximate: it is spread over the [`ShardedLru`]'s
+    /// 16 shards (per-shard LRU eviction), so an unlucky key distribution
+    /// can evict before `cache_capacity` distinct results are resident.
+    /// Size generously — at least 16x the working set — when exact
+    /// retention matters.
+    pub fn new(cache_capacity: usize) -> SweepEngine {
+        SweepEngine::with_registry(cache_capacity, scalesim_telemetry::global())
+    }
+
+    /// An engine recording its metrics into `registry` (e.g. a server
+    /// engine's scoped registry).
+    pub fn with_registry(cache_capacity: usize, registry: &Registry) -> SweepEngine {
+        let evictions = registry.counter(
+            telemetry_names::CACHE_EVICTIONS,
+            "Results evicted from the sweep result cache.",
+        );
+        let resident = registry.gauge(
+            telemetry_names::CACHE_RESIDENT,
+            "Results currently held by the sweep result cache.",
+        );
+        SweepEngine {
+            cache: ShardedLru::new(cache_capacity, 16).with_metrics(evictions, resident),
+            points_total: registry.counter(
+                telemetry_names::POINTS,
+                "Sweep points completed (any path).",
+            ),
+            cache_hits: registry.counter(
+                telemetry_names::CACHE_HITS,
+                "Sweep points served without a fresh simulation.",
+            ),
+            simulations: registry.counter(
+                telemetry_names::SIMULATIONS,
+                "Simulations executed by the sweep pool.",
+            ),
+            point_seconds: registry.histogram(
+                telemetry_names::POINT_SECONDS,
+                "Wall time per freshly simulated sweep point.",
+                &Histogram::duration_buckets(),
+            ),
+        }
+    }
+
+    /// Number of distinct results currently cached.
+    pub fn cached_results(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Runs `plan` on `jobs` parallel workers, collecting results only.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Plan`] for invalid plans.
+    pub fn run(&self, plan: &SweepPlan, jobs: usize) -> Result<SweepOutcome, SweepError> {
+        self.run_streaming(plan, jobs, &mut NullSink)
+    }
+
+    /// Runs `plan` on `jobs` parallel workers, streaming every point to
+    /// `sink` in plan order as results complete.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Plan`] for invalid plans and
+    /// [`SweepError::Io`] when the sink fails (the run aborts early).
+    pub fn run_streaming(
+        &self,
+        plan: &SweepPlan,
+        jobs: usize,
+        sink: &mut dyn SweepSink,
+    ) -> Result<SweepOutcome, SweepError> {
+        let points = plan.expand()?;
+
+        // Canonical topology text per workload, for content keys.
+        let csvs: Vec<String> = plan
+            .workloads
+            .iter()
+            .map(|w| topology_to_csv(&w.topology))
+            .collect();
+        let workload_index: HashMap<&str, usize> = plan
+            .workloads
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (w.label.as_str(), i))
+            .collect();
+
+        // Deduplicate points into distinct jobs by content key.
+        let mut distinct_of_key: HashMap<u128, usize> = HashMap::new();
+        let mut distinct: Vec<DistinctJob> = Vec::new();
+        let mut prepared: Vec<PreparedPoint> = Vec::with_capacity(points.len());
+        for spec in points {
+            let workload = workload_index[spec.workload.as_str()];
+            let config = spec.config(&plan.base);
+            let auto = spec.dataflow == DataflowChoice::Auto;
+            let key = ContentKey::from_content(
+                canonical_job_text(&config, &spec.workload, spec.grid, &csvs[workload], auto)
+                    .as_bytes(),
+            )
+            .0;
+            let slot = *distinct_of_key.entry(key).or_insert_with(|| {
+                distinct.push(DistinctJob {
+                    key,
+                    config,
+                    grid: spec.grid,
+                    auto,
+                    workload,
+                });
+                distinct.len() - 1
+            });
+            prepared.push(PreparedPoint {
+                spec,
+                distinct: slot,
+            });
+        }
+
+        // Probe the cross-plan cache; whatever is left needs simulating.
+        let slots = Slots::new(distinct.len());
+        let mut pending: Vec<usize> = Vec::new();
+        for (i, job) in distinct.iter().enumerate() {
+            match self.cache.get(job.key) {
+                Some(report) => slots.fill(i, report),
+                None => pending.push(i),
+            }
+        }
+        let simulations = pending.len() as u64;
+        let cache_hits = prepared.len() as u64 - simulations;
+        self.cache_hits.add(cache_hits);
+
+        sink.begin(plan, prepared.len())?;
+        let workers = jobs.max(1).min(pending.len());
+        let next = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+        let mut results: Vec<SweepResult> = Vec::with_capacity(prepared.len());
+        let emit = crossbeam::thread::scope(|scope| -> io::Result<()> {
+            for _ in 0..workers {
+                let pending = &pending;
+                let distinct = &distinct;
+                let slots = &slots;
+                let next = &next;
+                let abort = &abort;
+                scope.spawn(move |_| loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&job_index) = pending.get(i) else {
+                        break;
+                    };
+                    let job = &distinct[job_index];
+                    let started = Instant::now();
+                    let mut sim = Simulator::new(job.config).with_grid(job.grid);
+                    if job.auto {
+                        sim = sim.with_auto_dataflow();
+                    }
+                    let report = Arc::new(sim.run_topology(&plan.workloads[job.workload].topology));
+                    self.point_seconds.observe_duration(started.elapsed());
+                    self.simulations.inc();
+                    self.cache.insert(job.key, Arc::clone(&report));
+                    slots.fill(job_index, report);
+                });
+            }
+            // The calling thread is the emitter: strict plan order.
+            for point in &prepared {
+                let report = slots.wait(point.distinct);
+                if let Err(e) = sink.point(&point.spec, &report) {
+                    abort.store(true, Ordering::Relaxed);
+                    return Err(e);
+                }
+                self.points_total.inc();
+                results.push(SweepResult {
+                    spec: point.spec.clone(),
+                    report,
+                });
+            }
+            Ok(())
+        })
+        .expect("sweep worker panicked");
+        emit?;
+        sink.end()?;
+
+        Ok(SweepOutcome {
+            plan_name: plan.name.clone(),
+            results,
+            simulations,
+            cache_hits,
+        })
+    }
 }
 
 /// One point of a partition sweep: the configuration and its full report.
@@ -53,6 +1068,8 @@ impl SweepPoint {
 /// point; the SRAM budget divides across partitions as usual).
 ///
 /// Points are returned in ascending partition count, starting monolithic.
+/// Evaluation runs through the parallel [`SweepEngine`]; each report is
+/// byte-identical to a direct [`Simulator::run_layer`] of the same point.
 ///
 /// # Panics
 ///
@@ -72,23 +1089,57 @@ pub fn run_partition_sweep(
         mac_budget >= min_dim * min_dim,
         "budget {mac_budget} cannot fit a {min_dim}x{min_dim} array"
     );
-    let mut points = Vec::new();
-    let mut partitions = 1u64;
-    while mac_budget / partitions >= min_dim * min_dim {
-        let (gr, gc) = squareish(partitions);
-        let (ar, ac) = squareish(mac_budget / partitions);
-        let grid = PartitionGrid::new(gr, gc);
-        let array = ArrayShape::new(ar, ac);
-        let config = SimConfig { array, ..*base };
-        let report = Simulator::new(config).with_grid(grid).run_layer(layer);
-        points.push(SweepPoint {
-            grid,
-            array,
-            report,
-        });
-        partitions *= 2;
+    let plan = SweepPlan {
+        name: format!("partition_sweep:{}", layer.name()),
+        base: *base,
+        workloads: vec![SweepWorkload {
+            label: layer.name().to_owned(),
+            topology: Topology::from_layers(layer.name(), vec![layer.clone()]),
+        }],
+        budgets: vec![mac_budget],
+        min_dim,
+        grids: GridAxis::PowersOfTwo,
+        aspects: AspectAxis::Squareish,
+        dataflows: vec![DataflowChoice::Fixed(base.dataflow)],
+    };
+    let jobs = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let outcome = SweepEngine::new(64)
+        .run(&plan, jobs)
+        .expect("partition sweep plan is valid by construction");
+    outcome
+        .results
+        .into_iter()
+        .map(|r| SweepPoint {
+            grid: r.spec.grid,
+            array: r.spec.array,
+            report: r.report.layers()[0].clone(),
+        })
+        .collect()
+}
+
+/// The paper's sweet spot over raw series: both curves are normalized to
+/// their maxima; returns the first index where the rising bandwidth curve
+/// meets or crosses the falling runtime curve. `None` only for empty
+/// input.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn sweet_spot_index(cycles: &[u64], bandwidth: &[f64]) -> Option<usize> {
+    assert_eq!(cycles.len(), bandwidth.len(), "series must align");
+    if cycles.is_empty() {
+        return None;
     }
-    points
+    let max_cycles = *cycles.iter().max().expect("nonempty") as f64;
+    let max_bw = bandwidth.iter().fold(0.0, |a: f64, &b| a.max(b));
+    if max_bw == 0.0 || max_cycles == 0.0 {
+        return Some(0);
+    }
+    (0..cycles.len())
+        .find(|&i| bandwidth[i] / max_bw >= cycles[i] as f64 / max_cycles)
+        .or(Some(cycles.len() - 1))
 }
 
 /// The paper's sweet spot: "the intersection of runtime and bandwidth
@@ -97,27 +1148,12 @@ pub fn run_partition_sweep(
 /// meets or crosses the falling runtime curve. Returns `None` only for an
 /// empty sweep.
 pub fn sweet_spot(points: &[SweepPoint]) -> Option<&SweepPoint> {
-    if points.is_empty() {
-        return None;
-    }
-    let max_cycles = points
-        .iter()
-        .map(|p| p.report.total_cycles)
-        .max()
-        .expect("nonempty") as f64;
-    let max_bw = points
+    let cycles: Vec<u64> = points.iter().map(|p| p.report.total_cycles).collect();
+    let bw: Vec<f64> = points
         .iter()
         .map(|p| p.report.required_bandwidth())
-        .fold(0.0, f64::max);
-    if max_bw == 0.0 || max_cycles == 0.0 {
-        return points.first();
-    }
-    points
-        .iter()
-        .find(|p| {
-            p.report.required_bandwidth() / max_bw >= p.report.total_cycles as f64 / max_cycles
-        })
-        .or_else(|| points.last())
+        .collect();
+    sweet_spot_index(&cycles, &bw).map(|i| &points[i])
 }
 
 #[cfg(test)]
@@ -154,6 +1190,26 @@ mod tests {
     }
 
     #[test]
+    fn partition_sweep_matches_single_shot_runs() {
+        // The parallel engine path must be indistinguishable from a direct
+        // serial Simulator loop — same reports, byte for byte.
+        let layer = networks::language_model("TF1").unwrap();
+        let base = SimConfig::builder().sram_kb(64, 64, 32).build();
+        let points = run_partition_sweep(&layer, &base, 1 << 10, 8);
+        for p in &points {
+            let config = SimConfig {
+                array: p.array,
+                ..base
+            };
+            let fresh = Simulator::new(config).with_grid(p.grid).run_layer(&layer);
+            assert_eq!(p.report, fresh);
+            let via_network = NetworkReport::new(layer.name(), vec![p.report.clone()]);
+            let fresh_network = NetworkReport::new(layer.name(), vec![fresh]);
+            assert_eq!(via_network.to_csv(), fresh_network.to_csv());
+        }
+    }
+
+    #[test]
     fn sweet_spot_is_an_interior_crossing() {
         let layer = networks::language_model("TF1").unwrap();
         let base = SimConfig::builder().sram_kb(64, 64, 32).build();
@@ -168,5 +1224,226 @@ mod tests {
     #[test]
     fn sweet_spot_of_empty_sweep_is_none() {
         assert!(sweet_spot(&[]).is_none());
+        assert!(sweet_spot_index(&[], &[]).is_none());
+    }
+
+    fn small_plan() -> SweepPlan {
+        let mut plan = SweepPlan::new("test").workload("TF1").unwrap();
+        plan.base = SimConfig::builder().sram_kb(64, 64, 32).build();
+        plan.budgets = vec![1 << 10];
+        plan
+    }
+
+    #[test]
+    fn expansion_orders_the_cartesian_product() {
+        let mut plan = small_plan();
+        plan.dataflows = vec![
+            DataflowChoice::Fixed(Dataflow::OutputStationary),
+            DataflowChoice::Auto,
+        ];
+        let points = plan.expand().unwrap();
+        // 5 partition counts x 1 aspect x 2 dataflows.
+        assert_eq!(points.len(), 10);
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(p.index, i);
+        }
+        // Dataflow is the innermost axis.
+        assert_eq!(points[0].dataflow.to_string(), "os");
+        assert_eq!(points[1].dataflow.to_string(), "auto");
+        assert_eq!(points[0].grid, points[1].grid);
+    }
+
+    #[test]
+    fn expansion_rejects_bad_plans() {
+        assert!(SweepPlan::new("empty").expand().is_err());
+        let mut plan = small_plan();
+        plan.budgets = vec![1000]; // not a power of two
+        assert!(plan.expand().is_err());
+        let mut plan = small_plan();
+        plan.grids = GridAxis::Explicit(vec![PartitionGrid::new(3, 1)]);
+        assert!(plan.expand().is_err()); // 1024 / 3 is not integral
+        let mut plan = small_plan();
+        plan.grids = GridAxis::Explicit(vec![PartitionGrid::new(32, 1)]);
+        assert!(plan.expand().is_err()); // 32 MACs per array < 8x8 floor
+    }
+
+    #[test]
+    fn engine_deduplicates_and_counts_hits_exactly() {
+        let plan = small_plan();
+        let engine = SweepEngine::with_registry(64, &Registry::new());
+        let first = engine.run(&plan, 4).unwrap();
+        assert_eq!(first.results.len(), 5);
+        assert_eq!(first.simulations, 5);
+        assert_eq!(first.cache_hits, 0);
+
+        // The same plan again: every point is an LRU hit.
+        let second = engine.run(&plan, 4).unwrap();
+        assert_eq!(second.simulations, 0);
+        assert_eq!(second.cache_hits, 5);
+        for (a, b) in first.results.iter().zip(&second.results) {
+            assert_eq!(a.report, b.report);
+        }
+
+        // A plan with in-plan duplicates: one budget listed twice.
+        let mut doubled = small_plan();
+        doubled.budgets = vec![1 << 10, 1 << 10];
+        let fresh_engine = SweepEngine::with_registry(64, &Registry::new());
+        let outcome = fresh_engine.run(&doubled, 4).unwrap();
+        assert_eq!(outcome.results.len(), 10);
+        assert_eq!(outcome.simulations, 5);
+        assert_eq!(outcome.cache_hits, 5);
+    }
+
+    #[test]
+    fn parallel_output_is_byte_identical_to_serial() {
+        let mut plan = small_plan();
+        plan.budgets = vec![1 << 10, 1 << 12];
+        let serial_engine = SweepEngine::with_registry(64, &Registry::new());
+        let mut serial = CsvSink::new(Vec::new());
+        serial_engine.run_streaming(&plan, 1, &mut serial).unwrap();
+        let parallel_engine = SweepEngine::with_registry(64, &Registry::new());
+        let mut parallel = CsvSink::new(Vec::new());
+        parallel_engine
+            .run_streaming(&plan, 8, &mut parallel)
+            .unwrap();
+        let serial = String::from_utf8(serial.into_inner()).unwrap();
+        let parallel = String::from_utf8(parallel.into_inner()).unwrap();
+        assert!(!serial.is_empty());
+        assert_eq!(serial, parallel);
+        assert!(serial.starts_with(SWEEP_CSV_HEADER));
+    }
+
+    #[test]
+    fn engine_records_sweep_telemetry() {
+        let registry = Registry::new();
+        let engine = SweepEngine::with_registry(64, &registry);
+        let plan = small_plan();
+        engine.run(&plan, 2).unwrap();
+        engine.run(&plan, 2).unwrap();
+        assert_eq!(
+            registry.counter_value(telemetry_names::POINTS, &[]),
+            Some(10)
+        );
+        assert_eq!(
+            registry.counter_value(telemetry_names::SIMULATIONS, &[]),
+            Some(5)
+        );
+        assert_eq!(
+            registry.counter_value(telemetry_names::CACHE_HITS, &[]),
+            Some(5)
+        );
+        let text = registry.render();
+        assert!(text.contains("scalesim_sweep_point_seconds_count 5"));
+        assert!(text.contains("scalesim_sweep_cache_resident_entries 5"));
+    }
+
+    #[test]
+    fn plan_file_round_trips_the_fig9_study() {
+        let text = "\
+            # Fig. 9 search space, TF0\n\
+            name = fig9_tf0\n\
+            workload = TF0\n\
+            budget = 2^10, 2^12\n\
+            min_dim = 8\n\
+            grid = all\n\
+            aspect = all\n\
+            dataflow = os\n\
+            config.IfmapSramSz = 64\n\
+            config.FilterSramSz = 64\n\
+            config.OfmapSramSz = 32\n";
+        let plan = SweepPlan::parse(text).unwrap();
+        assert_eq!(plan.name, "fig9_tf0");
+        assert_eq!(plan.workloads.len(), 1);
+        assert_eq!(plan.workloads[0].label, "TF0");
+        assert_eq!(plan.budgets, vec![1 << 10, 1 << 12]);
+        assert_eq!(plan.aspects, AspectAxis::All);
+        assert_eq!(
+            plan.dataflows,
+            vec![DataflowChoice::Fixed(Dataflow::OutputStationary)]
+        );
+        let points = plan.expand().unwrap();
+        // Budget 2^b with an 8x8 floor has P = 1..2^(b-6) partition counts,
+        // and a per-partition budget of 2^k admits k-5 aspect ratios:
+        // 2^10 -> 5+4+3+2+1 = 15 points, 2^12 -> 7+..+1 = 28 points.
+        assert_eq!(points.len(), 43);
+    }
+
+    #[test]
+    fn plan_file_rejects_unknown_keys_and_workloads() {
+        assert!(SweepPlan::parse("frobnicate = 1").is_err());
+        assert!(SweepPlan::parse("workload = not_a_network").is_err());
+        assert!(SweepPlan::parse("budget = banana").is_err());
+        assert!(SweepPlan::parse("dataflow = rs").is_err());
+        assert!(SweepPlan::parse("grid = 0x2").is_err());
+        assert!(SweepPlan::parse("no_equals_sign").is_err());
+    }
+
+    #[test]
+    fn explicit_grids_and_bandwidth_parse() {
+        let text = "workload = TF1\nbudget = 2^10\ngrid = 1x1, 2x2\nbandwidth = 32\n";
+        let plan = SweepPlan::parse(text).unwrap();
+        assert_eq!(plan.base.dram_bandwidth, Some(32.0));
+        let points = plan.expand().unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].partitions(), 1);
+        assert_eq!(points[1].partitions(), 4);
+        // Stall analysis runs at every point.
+        let outcome = SweepEngine::with_registry(8, &Registry::new())
+            .run(&plan, 2)
+            .unwrap();
+        assert!(outcome.results[0].report.layers()[0].stall.is_some());
+    }
+
+    #[test]
+    fn summarize_finds_best_and_sweet_spot_per_group() {
+        let mut plan = small_plan();
+        plan.budgets = vec![1 << 10, 1 << 12];
+        let outcome = SweepEngine::with_registry(64, &Registry::new())
+            .run(&plan, 4)
+            .unwrap();
+        let summary = outcome.summarize();
+        assert_eq!(summary.len(), 2);
+        for group in &summary {
+            assert_eq!(group.workload, "TF1");
+            let spot = group.sweet_spot.expect("multi-point group");
+            assert!(plan.budgets.contains(&group.budget));
+            // The best point has the minimum effective cycles of its group.
+            let min = outcome
+                .results
+                .iter()
+                .filter(|r| r.spec.budget == group.budget)
+                .map(|r| r.report.total_effective_cycles())
+                .min()
+                .unwrap();
+            assert_eq!(group.best.report.total_effective_cycles(), min);
+            assert_eq!(spot.spec.budget, group.budget);
+        }
+    }
+
+    #[test]
+    fn auto_dataflow_points_key_separately_from_fixed() {
+        // `auto` and the dataflow it happens to select must not collide in
+        // the cache: the canonical text carries an auto marker.
+        let config = SimConfig::default();
+        let fixed = canonical_job_text(&config, "w", PartitionGrid::new(1, 1), "csv", false);
+        let auto = canonical_job_text(&config, "w", PartitionGrid::new(1, 1), "csv", true);
+        assert_ne!(fixed, auto);
+        assert!(auto.ends_with("auto_dataflow: true\n"));
+        assert!(fixed.starts_with("config:\n"));
+    }
+
+    #[test]
+    fn jsonl_sink_emits_one_valid_object_per_point() {
+        let plan = small_plan();
+        let mut sink = JsonLinesSink::new(Vec::new());
+        SweepEngine::with_registry(8, &Registry::new())
+            .run_streaming(&plan, 2, &mut sink)
+            .unwrap();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(text.lines().count(), 5);
+        for line in text.lines() {
+            assert!(line.starts_with("{\"workload\":\"TF1\""));
+            assert!(line.ends_with('}'));
+        }
     }
 }

@@ -338,7 +338,17 @@ impl Engine {
     /// Runs a job to completion, deduplicating against the cache and any
     /// identical in-flight simulation. Blocks the calling thread.
     pub fn run(&self, job: &SimJob) -> Result<(Arc<SimResult>, Served), JobError> {
-        let normalized = job.normalize()?;
+        self.run_normalized(job.normalize()?)
+    }
+
+    /// Runs an already-normalized job through the pool, cache and
+    /// single-flight table. This is the entry point for callers that build
+    /// [`NormalizedJob`]s directly — e.g. the `POST /sweep` planner, which
+    /// expands one plan into many jobs and must share this engine's cache.
+    pub fn run_normalized(
+        &self,
+        normalized: NormalizedJob,
+    ) -> Result<(Arc<SimResult>, Served), JobError> {
         let key = normalized.key();
         let stats = &self.shared.stats;
         stats.accepted.inc();
@@ -441,9 +451,11 @@ fn worker_loop(shared: Arc<Shared>) {
         shared.stats.in_flight.add(1);
         let started = Instant::now();
         let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            Simulator::new(job.config)
-                .with_grid(job.grid)
-                .run_topology(&job.topology)
+            let mut sim = Simulator::new(job.config).with_grid(job.grid);
+            if job.auto_dataflow {
+                sim = sim.with_auto_dataflow();
+            }
+            sim.run_topology(&job.topology)
         }));
         let sim_wall = started.elapsed();
         let sim_wall_micros = sim_wall.as_micros() as u64;
@@ -632,6 +644,46 @@ mod tests {
         assert!(text.contains("scalesim_cache_evictions_total 0"));
         assert!(text.contains("scalesim_dedup_joiners_count 1"));
         engine.shutdown();
+    }
+
+    #[test]
+    fn auto_dataflow_jobs_simulate_per_layer_selection() {
+        let engine = Engine::new(2, 64);
+        let mut auto = small_job();
+        auto.dataflow = Some("auto".into());
+        let fixed = small_job();
+        let (auto_result, _) = engine.run(&auto).unwrap();
+        let (fixed_result, _) = engine.run(&fixed).unwrap();
+        // Distinct keys, both simulated (no accidental cache collision).
+        assert_ne!(auto_result.key, fixed_result.key);
+        assert_eq!(engine.stats().simulations.get(), 2);
+        engine.shutdown();
+    }
+
+    /// A layer with no work must serialize as real zeros, not `null`
+    /// (NaN utilization used to slip through `Json::Float` as `null`,
+    /// silently corrupting clients' sweeps).
+    #[test]
+    fn degenerate_layer_json_has_no_nulls() {
+        use scalesim::{GemmShape, Layer, SimConfig, Simulator, Topology};
+        let layer = Layer::Gemm {
+            name: "empty".into(),
+            shape: GemmShape { m: 0, k: 8, n: 8 },
+        };
+        let topology = Topology::from_layers("degenerate", vec![layer]);
+        let report = Simulator::new(SimConfig::default()).run_topology(&topology);
+        let result = SimResult {
+            key: JobKey(0),
+            report,
+            sim_wall_micros: 0,
+        };
+        let text = result.to_json().to_string();
+        assert!(
+            !text.contains("null"),
+            "degenerate report leaked null: {text}"
+        );
+        assert!(text.contains("\"compute_util\":0"));
+        assert!(text.contains("\"overall_utilization\":0"));
     }
 
     #[test]

@@ -3,10 +3,13 @@
 //!
 //! Routes:
 //!
-//! * `POST /simulate` — body is a [`SimJob`](crate::job::SimJob) JSON
+//! * `POST /simulate` — body is a [`SimJob`] JSON
 //!   object; responds with the result JSON. The `X-Scalesim-Cache` header
 //!   carries `miss` / `hit` / `joined`; the *body* is identical for equal
 //!   jobs regardless of how they were served.
+//! * `POST /sweep` — body is a design-space sweep plan (see
+//!   [`crate::sweep`]); every expanded point runs through the same engine
+//!   cache as `/simulate`, and the response lists points in plan order.
 //! * `GET /stats` — service counters (legacy JSON view of the metrics).
 //! * `GET /metrics` — Prometheus text exposition: the engine's registry
 //!   (request outcomes, queue wait, cache occupancy/evictions, dedup
@@ -219,6 +222,7 @@ fn handle_connection(stream: TcpStream, context: &Context) -> std::io::Result<()
 fn request_latency(context: &Context, path: &str) -> Arc<Histogram> {
     let route = match path {
         "/simulate" => "simulate",
+        "/sweep" => "sweep",
         "/stats" => "stats",
         "/healthz" => "healthz",
         "/metrics" => "metrics",
@@ -278,6 +282,16 @@ fn route(context: &Context, method: &str, path: &str, body: &str) -> Routed {
                     }
                     Err(JobError::Internal(msg)) => Routed::json(500, error_body(&msg).to_string()),
                 },
+            }
+        }
+        ("POST", "/sweep") => {
+            let plan = Json::parse(body)
+                .map_err(|e| JobError::bad_request(format!("invalid JSON: {e}")))
+                .and_then(|json| crate::sweep::run_sweep(engine, &json));
+            match plan {
+                Ok(response) => Routed::json(200, response.to_string()),
+                Err(JobError::BadRequest(msg)) => Routed::json(400, error_body(&msg).to_string()),
+                Err(JobError::Internal(msg)) => Routed::json(500, error_body(&msg).to_string()),
             }
         }
         ("GET" | "POST", _) => Routed::json(404, error_body("no such route").to_string()),

@@ -13,6 +13,8 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use scalesim::cache::ContentKey;
+use scalesim::sweep::canonical_job_text;
 use scalesim::{parse_config, PartitionGrid, SimConfig};
 use scalesim_topology::{networks, parse_topology_csv, topology_to_csv, Dataflow, Topology};
 
@@ -46,7 +48,8 @@ pub struct SimJob {
     /// Scale-out partition grid (rows, cols); `(1, 1)` = monolithic.
     pub grid: (u64, u64),
     /// Dataflow override in any accepted spelling (`os`, `WS`,
-    /// `weight_stationary`, ...).
+    /// `weight_stationary`, ...), or `auto` to let the analytical model
+    /// pick the fastest dataflow per layer.
     pub dataflow: Option<String>,
     /// DRAM bandwidth in bytes/cycle; enables the stall model.
     pub bandwidth: Option<f64>,
@@ -277,10 +280,15 @@ impl SimJob {
             .collect();
         let mut config = parse_config(&override_text)
             .map_err(|e| JobError::bad_request(format!("config override: {e}")))?;
+        let mut auto_dataflow = false;
         if let Some(df) = &self.dataflow {
-            config.dataflow = df
-                .parse::<Dataflow>()
-                .map_err(|_| JobError::bad_request(format!("bad dataflow `{df}`")))?;
+            if df.eq_ignore_ascii_case("auto") {
+                auto_dataflow = true;
+            } else {
+                config.dataflow = df
+                    .parse::<Dataflow>()
+                    .map_err(|_| JobError::bad_request(format!("bad dataflow `{df}`")))?;
+            }
         }
         if let Some(bw) = self.bandwidth {
             if !(bw.is_finite() && bw > 0.0) {
@@ -322,26 +330,21 @@ impl SimJob {
             config,
             topology,
             grid,
+            auto_dataflow,
         })
     }
 }
 
-/// Builds the topology for a built-in network name (the CLI's vocabulary).
+/// Builds the topology for a built-in workload name: the shared
+/// [`networks::by_name`] vocabulary (built-in networks plus the Table IV
+/// layer tags like `TF0`), with server-flavored errors.
 pub fn builtin_network(name: &str) -> Result<Topology, JobError> {
-    match name.to_ascii_lowercase().as_str() {
-        "resnet50" => Ok(networks::resnet50()),
-        "resnet18" => Ok(networks::resnet18()),
-        "alexnet" => Ok(networks::alexnet()),
-        "googlenet" => Ok(networks::googlenet()),
-        "mobilenet" | "mobilenet_v1" => Ok(networks::mobilenet_v1()),
-        "vgg16" => Ok(networks::vgg16()),
-        "yolo_tiny" => Ok(networks::yolo_tiny()),
-        "language_models" => Ok(networks::language_models()),
-        other => Err(JobError::bad_request(format!(
-            "unknown built-in network `{other}` (try resnet50, resnet18, alexnet, googlenet, \
-             mobilenet_v1, vgg16, yolo_tiny, language_models)"
-        ))),
-    }
+    networks::by_name(name).ok_or_else(|| {
+        JobError::bad_request(format!(
+            "unknown built-in workload `{name}` (try resnet50, resnet18, alexnet, googlenet, \
+             mobilenet_v1, vgg16, yolo_tiny, language_models, or a Table IV layer tag like TF0)"
+        ))
+    })
 }
 
 fn parse_grid(text: &str) -> Result<(u64, u64), JobError> {
@@ -371,20 +374,21 @@ pub struct NormalizedJob {
     pub topology: Topology,
     /// Partition grid.
     pub grid: PartitionGrid,
+    /// Select the fastest dataflow per layer instead of `config.dataflow`.
+    pub auto_dataflow: bool,
 }
 
 impl NormalizedJob {
-    /// The canonical text the job key is derived from. Every semantic field
-    /// appears via the simulator's own round-tripping serializers, so any
-    /// two requests that simulate identically serialize identically.
+    /// The canonical text the job key is derived from — the *same*
+    /// [`canonical_job_text`] the core sweep engine hashes, so the server
+    /// cache and `SweepEngine` share one content-addressed keyspace.
     pub fn canonical_text(&self) -> String {
-        format!(
-            "config:\n{}\nworkload: {}\ngrid: {}x{}\ntopology:\n{}",
-            self.config.to_config_string(),
+        canonical_job_text(
+            &self.config,
             self.topology.name(),
-            self.grid.rows(),
-            self.grid.cols(),
-            topology_to_csv(&self.topology),
+            self.grid,
+            &topology_to_csv(&self.topology),
+            self.auto_dataflow,
         )
     }
 
@@ -404,17 +408,11 @@ impl NormalizedJob {
 pub struct JobKey(pub u128);
 
 impl JobKey {
-    const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
-    const FNV_PRIME: u128 = 0x0000000001000000000000000000013B;
-
-    /// Hashes arbitrary content into a key.
+    /// Hashes arbitrary content into a key (via the shared
+    /// [`ContentKey`] FNV-1a/128, so server keys and sweep-engine keys
+    /// agree byte for byte).
     pub fn from_content(bytes: &[u8]) -> JobKey {
-        let mut state = Self::FNV_OFFSET;
-        for &b in bytes {
-            state ^= u128::from(b);
-            state = state.wrapping_mul(Self::FNV_PRIME);
-        }
-        JobKey(state)
+        JobKey(ContentKey::from_content(bytes).0)
     }
 }
 
@@ -485,6 +483,25 @@ mod tests {
         let mut b = SimJob::builtin("alexnet");
         b.dataflow = Some("Weight_Stationary".into());
         assert_eq!(a.normalize().unwrap().key(), b.normalize().unwrap().key());
+    }
+
+    #[test]
+    fn auto_dataflow_normalizes_and_keys_separately() {
+        let mut auto = SimJob::builtin("alexnet");
+        auto.dataflow = Some("Auto".into());
+        let norm = auto.normalize().unwrap();
+        assert!(norm.auto_dataflow);
+        // `auto` must not collide with the dataflow it would select.
+        let fixed = SimJob::builtin("alexnet").normalize().unwrap();
+        assert!(!fixed.auto_dataflow);
+        assert_ne!(norm.key(), fixed.key());
+    }
+
+    #[test]
+    fn layer_tag_workloads_resolve() {
+        let norm = SimJob::builtin("TF0").normalize().unwrap();
+        assert_eq!(norm.topology.name(), "TF0");
+        assert_eq!(norm.topology.len(), 1);
     }
 
     #[test]

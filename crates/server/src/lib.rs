@@ -17,10 +17,14 @@
 //!   deduplication (concurrent identical jobs run one simulation; the rest
 //!   join it) in front of a sharded LRU result cache ([`cache`]).
 //! * **Front ends** — an HTTP/1.1 service ([`http`]; `POST /simulate`,
-//!   `GET /stats`, `GET /metrics`, `GET /healthz`) and a manifest-driven
-//!   batch runner ([`batch`]) that emits one combined REPORT CSV. Both are
-//!   wired to the `scale-sim` binary's `serve` and `batch` subcommands via
-//!   [`cli`].
+//!   `POST /sweep`, `GET /stats`, `GET /metrics`, `GET /healthz`) and a
+//!   manifest-driven batch runner ([`batch`]) that emits one combined
+//!   REPORT CSV. Both are wired to the `scale-sim` binary's `serve` and
+//!   `batch` subcommands via [`cli`].
+//! * **Sweeps** ([`sweep`]) — `POST /sweep` expands a design-space plan
+//!   (the same plan model as `scalesim::sweep`) and runs every point
+//!   through the engine, sharing its cache and single-flight table with
+//!   ordinary `/simulate` traffic.
 //! * **Telemetry** — every service counter is a `scalesim-telemetry`
 //!   metric: the [`Stats`] snapshot served at `/stats` and the Prometheus
 //!   exposition at `/metrics` read the *same* counters, so the two views
@@ -42,6 +46,7 @@ pub mod engine;
 pub mod http;
 pub mod job;
 pub mod json;
+pub mod sweep;
 
 pub use batch::{parse_manifest, run_batch, BatchOutcome};
 pub use cache::ShardedLru;

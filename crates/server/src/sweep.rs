@@ -1,0 +1,531 @@
+//! `POST /sweep`: design-space sweeps over the engine's shared cache.
+//!
+//! The request body is a JSON rendering of a core
+//! [`SweepPlan`]. The handler expands the plan,
+//! turns every point into a [`NormalizedJob`] and pushes it through
+//! [`Engine::run_normalized`] from a small pool of submitter threads — so
+//! sweep points share the engine's result cache and single-flight dedup
+//! with ordinary `POST /simulate` traffic (they hash the same
+//! [`canonical_job_text`](scalesim::sweep::canonical_job_text)). The
+//! response lists points in plan order regardless of completion order, so
+//! the simulated figures for identical plans are byte-identical; only the
+//! per-point `served` markers (miss / hit / joined) and the summary's
+//! `simulations` / `cache_hits` counters reflect cache state.
+//!
+//! Plan JSON:
+//!
+//! ```json
+//! {
+//!   "name": "fig9_tf0",
+//!   "workloads": ["TF0"],
+//!   "budgets": [1024, 4096],
+//!   "min_dim": 8,
+//!   "grids": "all",            // or ["1x1", "2x2", ...]
+//!   "aspect": "all",           // or "squareish" (default)
+//!   "dataflows": ["os"],       // os/ws/is/auto; default: base dataflow
+//!   "config": {"IfmapSramSz": 64},
+//!   "bandwidth": 32
+//! }
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use scalesim::sweep::{
+    sweet_spot_index, telemetry_names, AspectAxis, DataflowChoice, GridAxis, PointSpec, SweepPlan,
+    SweepWorkload,
+};
+use scalesim::PartitionGrid;
+use scalesim_telemetry::Histogram;
+
+use crate::engine::{Engine, Served, SimResult};
+use crate::job::{builtin_network, JobError, NormalizedJob};
+use crate::json::Json;
+
+/// How many submitter threads feed the engine per sweep request. The
+/// engine's own worker pool bounds actual simulation parallelism; the
+/// submitters only need to keep it saturated.
+const SUBMITTERS: usize = 8;
+
+/// Parses the `POST /sweep` body into a core [`SweepPlan`].
+///
+/// # Errors
+///
+/// [`JobError::BadRequest`] on unknown fields, unknown workloads or
+/// malformed values.
+pub fn parse_sweep_plan(value: &Json) -> Result<SweepPlan, JobError> {
+    let obj = value
+        .as_object()
+        .ok_or_else(|| JobError::bad_request("sweep plan must be a JSON object"))?;
+    for (key, _) in obj {
+        match key.as_str() {
+            "name" | "workloads" | "budgets" | "min_dim" | "grids" | "aspect" | "dataflows"
+            | "config" | "bandwidth" => {}
+            other => {
+                return Err(JobError::bad_request(format!(
+                    "unknown sweep plan field `{other}`"
+                )))
+            }
+        }
+    }
+
+    let mut plan = SweepPlan::new(
+        value
+            .get("name")
+            .map(|n| {
+                n.as_str()
+                    .map(str::to_owned)
+                    .ok_or_else(|| JobError::bad_request("`name` must be a string"))
+            })
+            .transpose()?
+            .unwrap_or_else(|| "sweep".to_owned()),
+    );
+
+    let workloads = value
+        .get("workloads")
+        .and_then(Json::as_array)
+        .ok_or_else(|| JobError::bad_request("`workloads` must be an array of names"))?;
+    for w in workloads {
+        let name = w
+            .as_str()
+            .ok_or_else(|| JobError::bad_request("`workloads` entries must be strings"))?;
+        let topology = builtin_network(name)?;
+        plan.workloads.push(SweepWorkload {
+            label: topology.name().to_owned(),
+            topology,
+        });
+    }
+
+    let budgets = value
+        .get("budgets")
+        .and_then(Json::as_array)
+        .ok_or_else(|| JobError::bad_request("`budgets` must be an array of integers"))?;
+    for b in budgets {
+        plan.budgets.push(
+            b.as_u64()
+                .ok_or_else(|| JobError::bad_request("`budgets` entries must be integers"))?,
+        );
+    }
+
+    if let Some(min_dim) = value.get("min_dim") {
+        plan.min_dim = min_dim
+            .as_u64()
+            .ok_or_else(|| JobError::bad_request("`min_dim` must be an integer"))?;
+    }
+
+    if let Some(grids) = value.get("grids") {
+        plan.grids = match grids {
+            Json::Str(s) if s.eq_ignore_ascii_case("all") => GridAxis::PowersOfTwo,
+            Json::Arr(items) => {
+                let mut parsed = Vec::new();
+                for item in items {
+                    let text = item.as_str().ok_or_else(|| {
+                        JobError::bad_request("`grids` entries must be \"PRxPC\" strings")
+                    })?;
+                    let (r, c) = text.split_once('x').ok_or_else(|| {
+                        JobError::bad_request(format!("grid `{text}` is not PRxPC"))
+                    })?;
+                    let r: u64 = r
+                        .trim()
+                        .parse()
+                        .map_err(|_| JobError::bad_request(format!("bad grid rows `{r}`")))?;
+                    let c: u64 = c
+                        .trim()
+                        .parse()
+                        .map_err(|_| JobError::bad_request(format!("bad grid cols `{c}`")))?;
+                    if r == 0 || c == 0 {
+                        return Err(JobError::bad_request("grid dimensions must be nonzero"));
+                    }
+                    parsed.push(PartitionGrid::new(r, c));
+                }
+                GridAxis::Explicit(parsed)
+            }
+            _ => {
+                return Err(JobError::bad_request(
+                    "`grids` must be \"all\" or an array of \"PRxPC\" strings",
+                ))
+            }
+        };
+    }
+
+    if let Some(aspect) = value.get("aspect") {
+        plan.aspects = match aspect.as_str() {
+            Some(s) if s.eq_ignore_ascii_case("squareish") || s.eq_ignore_ascii_case("square") => {
+                AspectAxis::Squareish
+            }
+            Some(s) if s.eq_ignore_ascii_case("all") => AspectAxis::All,
+            _ => {
+                return Err(JobError::bad_request(
+                    "`aspect` must be \"squareish\" or \"all\"",
+                ))
+            }
+        };
+    }
+
+    if let Some(dataflows) = value.get("dataflows") {
+        let items = dataflows
+            .as_array()
+            .ok_or_else(|| JobError::bad_request("`dataflows` must be an array of strings"))?;
+        for df in items {
+            let text = df
+                .as_str()
+                .ok_or_else(|| JobError::bad_request("`dataflows` entries must be strings"))?;
+            plan.dataflows
+                .push(text.parse().map_err(JobError::bad_request)?);
+        }
+    }
+
+    if let Some(config) = value.get("config") {
+        let pairs = config
+            .as_object()
+            .ok_or_else(|| JobError::bad_request("`config` must be an object"))?;
+        let mut override_text = String::new();
+        for (k, v) in pairs {
+            let text = match v {
+                Json::Str(s) => s.clone(),
+                Json::Int(i) => i.to_string(),
+                Json::Float(f) => f.to_string(),
+                _ => {
+                    return Err(JobError::bad_request(format!(
+                        "config value for `{k}` must be a string or number"
+                    )))
+                }
+            };
+            override_text.push_str(&format!("{k} : {text}\n"));
+        }
+        plan.base = scalesim::parse_config(&override_text)
+            .map_err(|e| JobError::bad_request(format!("config override: {e}")))?;
+    }
+
+    if let Some(bw) = value.get("bandwidth") {
+        let bw = bw
+            .as_f64()
+            .ok_or_else(|| JobError::bad_request("`bandwidth` must be a number"))?;
+        if !(bw.is_finite() && bw > 0.0) {
+            return Err(JobError::bad_request("bandwidth must be positive"));
+        }
+        plan.base.dram_bandwidth = Some(bw);
+    }
+
+    Ok(plan)
+}
+
+/// Parses, expands and runs a sweep plan against `engine`, returning the
+/// full response body. Blocks until every point is served.
+///
+/// # Errors
+///
+/// [`JobError::BadRequest`] for invalid plans, [`JobError::Internal`] when
+/// a point's simulation fails.
+pub fn run_sweep(engine: &Engine, body: &Json) -> Result<Json, JobError> {
+    let plan = parse_sweep_plan(body)?;
+    let points = plan
+        .expand()
+        .map_err(|e| JobError::bad_request(e.to_string()))?;
+
+    let registry = engine.registry();
+    let points_total = registry.counter(
+        telemetry_names::POINTS,
+        "Sweep points completed (any path).",
+    );
+    let cache_hits_metric = registry.counter(
+        telemetry_names::CACHE_HITS,
+        "Sweep points served without a fresh simulation.",
+    );
+    let simulations_metric = registry.counter(
+        telemetry_names::SIMULATIONS,
+        "Simulations executed for sweep points.",
+    );
+    let point_seconds = registry.histogram(
+        telemetry_names::POINT_SECONDS,
+        "Wall time per freshly simulated sweep point.",
+        &Histogram::duration_buckets(),
+    );
+
+    let topology_of: HashMap<&str, usize> = plan
+        .workloads
+        .iter()
+        .enumerate()
+        .map(|(i, w)| (w.label.as_str(), i))
+        .collect();
+
+    type PointOutcome = Result<(Arc<SimResult>, Served), JobError>;
+    let outcomes: Mutex<Vec<Option<PointOutcome>>> = Mutex::new(vec![None; points.len()]);
+    let next = AtomicUsize::new(0);
+    let submitters = SUBMITTERS.min(points.len()).max(1);
+    std::thread::scope(|scope| {
+        for _ in 0..submitters {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(spec) = points.get(i) else { break };
+                let workload = topology_of[spec.workload.as_str()];
+                let job = NormalizedJob {
+                    config: spec.config(&plan.base),
+                    topology: plan.workloads[workload].topology.clone(),
+                    grid: spec.grid,
+                    auto_dataflow: spec.dataflow == DataflowChoice::Auto,
+                };
+                let started = Instant::now();
+                let outcome = engine.run_normalized(job);
+                if matches!(outcome, Ok((_, Served::Fresh))) {
+                    point_seconds.observe_duration(started.elapsed());
+                }
+                outcomes.lock().unwrap()[i] = Some(outcome);
+            });
+        }
+    });
+
+    let outcomes = outcomes.into_inner().unwrap();
+    let mut served_points: Vec<(PointSpec, Arc<SimResult>, Served)> =
+        Vec::with_capacity(points.len());
+    for (spec, outcome) in points.into_iter().zip(outcomes) {
+        let (result, served) = outcome.expect("every point was claimed by a submitter")?;
+        served_points.push((spec, result, served));
+    }
+
+    let simulations = served_points
+        .iter()
+        .filter(|(_, _, served)| *served == Served::Fresh)
+        .count() as u64;
+    let cache_hits = served_points.len() as u64 - simulations;
+    points_total.add(served_points.len() as u64);
+    simulations_metric.add(simulations);
+    cache_hits_metric.add(cache_hits);
+
+    let rows: Vec<Json> = served_points
+        .iter()
+        .map(|(spec, result, served)| point_json(spec, result, *served))
+        .collect();
+    Ok(Json::obj(vec![
+        ("plan", Json::str(plan.name.clone())),
+        ("points", Json::Arr(rows)),
+        (
+            "summary",
+            Json::obj(vec![
+                ("points", Json::Int((served_points.len() as u64).into())),
+                ("simulations", Json::Int(simulations.into())),
+                ("cache_hits", Json::Int(cache_hits.into())),
+                ("groups", Json::Arr(group_summaries(&served_points))),
+            ]),
+        ),
+    ]))
+}
+
+fn point_json(spec: &PointSpec, result: &SimResult, served: Served) -> Json {
+    let report = &result.report;
+    Json::obj(vec![
+        ("workload", Json::str(spec.workload.clone())),
+        ("budget", Json::Int(spec.budget.into())),
+        ("partitions", Json::Int(spec.partitions().into())),
+        ("grid", Json::str(spec.grid.to_string())),
+        ("array", Json::str(spec.array.to_string())),
+        ("dataflow", Json::str(spec.dataflow.to_string())),
+        ("cycles", Json::Int(report.total_cycles().into())),
+        (
+            "effective_cycles",
+            Json::Int(report.total_effective_cycles().into()),
+        ),
+        ("macs", Json::Int(report.total_macs().into())),
+        (
+            "overall_utilization",
+            Json::Float(report.overall_utilization()),
+        ),
+        ("dram_bytes", Json::Int(report.total_dram_bytes().into())),
+        (
+            "peak_bw_bytes_per_cycle",
+            Json::Float(report.peak_required_bandwidth()),
+        ),
+        ("energy", Json::Float(report.total_energy().total())),
+        ("key", Json::str(result.key.to_string())),
+        ("served", Json::str(served.tag())),
+    ])
+}
+
+/// One summary object per (workload, budget, dataflow) group: the fastest
+/// point and the runtime/bandwidth sweet spot over the group's partition
+/// series (mirrors [`scalesim::sweep::SweepOutcome::summarize`]).
+fn group_summaries(points: &[(PointSpec, Arc<SimResult>, Served)]) -> Vec<Json> {
+    let mut order: Vec<(String, u64, String)> = Vec::new();
+    let mut groups: HashMap<(String, u64, String), Vec<usize>> = HashMap::new();
+    for (i, (spec, _, _)) in points.iter().enumerate() {
+        let key = (
+            spec.workload.clone(),
+            spec.budget,
+            spec.dataflow.to_string(),
+        );
+        let members = groups.entry(key.clone()).or_default();
+        if members.is_empty() {
+            order.push(key);
+        }
+        members.push(i);
+    }
+    order
+        .into_iter()
+        .map(|key| {
+            let mut members = groups.remove(&key).expect("group recorded in order");
+            let (workload, budget, dataflow) = key;
+            let best = members
+                .iter()
+                .copied()
+                .min_by_key(|&i| (points[i].1.report.total_effective_cycles(), i))
+                .expect("nonempty group");
+            members.sort_by_key(|&i| (points[i].0.partitions(), i));
+            let cycles: Vec<u64> = members
+                .iter()
+                .map(|&i| points[i].1.report.total_cycles())
+                .collect();
+            let bw: Vec<f64> = members
+                .iter()
+                .map(|&i| points[i].1.report.peak_required_bandwidth())
+                .collect();
+            let mut partition_counts: Vec<u64> =
+                members.iter().map(|&i| points[i].0.partitions()).collect();
+            partition_counts.dedup();
+            let sweet = if partition_counts.len() > 1 {
+                sweet_spot_index(&cycles, &bw).map(|s| members[s])
+            } else {
+                None
+            };
+            let point_ref = |i: usize| {
+                let (spec, result, _) = &points[i];
+                Json::obj(vec![
+                    ("index", Json::Int((i as u64).into())),
+                    ("grid", Json::str(spec.grid.to_string())),
+                    ("array", Json::str(spec.array.to_string())),
+                    ("partitions", Json::Int(spec.partitions().into())),
+                    (
+                        "effective_cycles",
+                        Json::Int(result.report.total_effective_cycles().into()),
+                    ),
+                ])
+            };
+            Json::obj(vec![
+                ("workload", Json::str(workload)),
+                ("budget", Json::Int(budget.into())),
+                ("dataflow", Json::str(dataflow)),
+                ("best", point_ref(best)),
+                ("sweet_spot", sweet.map(point_ref).unwrap_or(Json::Null)),
+            ])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan_json(extra: &str) -> Json {
+        Json::parse(&format!(
+            r#"{{"name":"t","workloads":["TF1"],"budgets":[1024],
+                 "config":{{"IfmapSramSz":64,"FilterSramSz":64,"OfmapSramSz":32}}{extra}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn plan_parses_and_expands() {
+        let plan = parse_sweep_plan(&plan_json("")).unwrap();
+        assert_eq!(plan.name, "t");
+        assert_eq!(plan.workloads[0].label, "TF1");
+        assert_eq!(plan.expand().unwrap().len(), 5);
+    }
+
+    #[test]
+    fn plan_rejects_bad_requests() {
+        assert!(parse_sweep_plan(&Json::parse(r#"{"budgets":[1]}"#).unwrap()).is_err());
+        assert!(parse_sweep_plan(
+            &Json::parse(r#"{"workloads":["nope"],"budgets":[1024]}"#).unwrap()
+        )
+        .is_err());
+        assert!(parse_sweep_plan(&plan_json(r#","bogus":1"#)).is_err());
+        assert!(parse_sweep_plan(&plan_json(r#","grids":"some""#)).is_err());
+        assert!(parse_sweep_plan(&plan_json(r#","dataflows":["rs"]"#)).is_err());
+        assert!(parse_sweep_plan(&plan_json(r#","bandwidth":-1"#)).is_err());
+    }
+
+    #[test]
+    fn sweep_runs_through_the_engine_cache() {
+        let engine = Engine::new(4, 64);
+        let body = plan_json("");
+        let first = run_sweep(&engine, &body).unwrap();
+        let summary = first.get("summary").unwrap();
+        assert_eq!(summary.get("points").and_then(Json::as_u64), Some(5));
+        assert_eq!(summary.get("simulations").and_then(Json::as_u64), Some(5));
+        assert_eq!(summary.get("cache_hits").and_then(Json::as_u64), Some(0));
+
+        // Re-running the identical plan is served entirely from cache and
+        // the points (minus the `served` marker) are identical.
+        let second = run_sweep(&engine, &body).unwrap();
+        let summary = second.get("summary").unwrap();
+        assert_eq!(summary.get("simulations").and_then(Json::as_u64), Some(0));
+        assert_eq!(summary.get("cache_hits").and_then(Json::as_u64), Some(5));
+        // Point rows are byte-identical modulo the served marker (the
+        // summary's simulations/cache_hits legitimately differ per run).
+        let strip = |v: &Json| {
+            v.get("points")
+                .unwrap()
+                .to_string()
+                .replace("\"served\":\"miss\"", "")
+                .replace("\"served\":\"hit\"", "")
+        };
+        assert_eq!(strip(&first), strip(&second));
+
+        // Sweep metrics land in the engine registry.
+        let registry = engine.registry();
+        assert_eq!(
+            registry.counter_value(telemetry_names::POINTS, &[]),
+            Some(10)
+        );
+        assert_eq!(
+            registry.counter_value(telemetry_names::SIMULATIONS, &[]),
+            Some(5)
+        );
+        assert_eq!(
+            registry.counter_value(telemetry_names::CACHE_HITS, &[]),
+            Some(5)
+        );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn sweep_points_match_simulate_responses() {
+        // A sweep point and an equivalent /simulate job share one cache
+        // entry: the job arriving second must be a hit, not a fresh run.
+        let engine = Engine::new(2, 64);
+        run_sweep(&engine, &plan_json("")).unwrap();
+        let sims_after_sweep = engine.stats().simulations.get();
+
+        let mut job = crate::job::SimJob::builtin("TF1");
+        job.config = vec![
+            ("IfmapSramSz".into(), "64".into()),
+            ("FilterSramSz".into(), "64".into()),
+            ("OfmapSramSz".into(), "32".into()),
+            ("ArrayHeight".into(), "32".into()),
+            ("ArrayWidth".into(), "32".into()),
+        ];
+        let (_, served) = engine.run(&job).unwrap();
+        assert_eq!(served, Served::Cache);
+        assert_eq!(engine.stats().simulations.get(), sims_after_sweep);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn groups_carry_best_and_sweet_spot() {
+        let engine = Engine::new(4, 64);
+        let body = plan_json("");
+        let response = run_sweep(&engine, &body).unwrap();
+        let groups = response
+            .get("summary")
+            .and_then(|s| s.get("groups"))
+            .and_then(Json::as_array)
+            .unwrap();
+        assert_eq!(groups.len(), 1);
+        let group = &groups[0];
+        assert_eq!(group.get("workload").and_then(Json::as_str), Some("TF1"));
+        assert!(group.get("best").unwrap().get("grid").is_some());
+        assert!(group.get("sweet_spot").unwrap().get("partitions").is_some());
+        engine.shutdown();
+    }
+}

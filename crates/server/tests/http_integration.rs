@@ -126,7 +126,7 @@ fn error_paths_return_clean_json() {
     )
     .unwrap();
     assert_eq!(bad_net.status, 400);
-    assert!(bad_net.body.contains("unknown built-in network"));
+    assert!(bad_net.body.contains("unknown built-in workload"));
 
     let bad_layer = request(
         handle.addr(),
@@ -220,6 +220,57 @@ fn metrics_reflect_completed_simulations() {
     // Global simulator registry: the layer this test simulated.
     assert!(text.contains("scalesim_layer_cycles_total{layer=\"M1\"}"));
     assert!(text.contains("# TYPE scalesim_sim_phase_micros_total counter"));
+
+    handle.stop();
+}
+
+/// `POST /sweep` over the wire: a small Fig. 11-style plan comes back in
+/// plan order with a summary, repeated plans are served from the engine
+/// cache, and sweep counters surface in `/metrics`.
+#[test]
+fn sweep_route_runs_plans_and_reuses_the_cache() {
+    let handle = start_server(4);
+    let plan = r#"{
+        "name": "itest",
+        "workloads": ["TF1"],
+        "budgets": [1024],
+        "config": {"IfmapSramSz": 64, "FilterSramSz": 64, "OfmapSramSz": 32}
+    }"#;
+
+    let first = request(handle.addr(), "POST", "/sweep", Some(plan)).unwrap();
+    assert_eq!(first.status, 200, "body: {}", first.body);
+    let body = Json::parse(&first.body).unwrap();
+    assert_eq!(body.get("plan").and_then(Json::as_str), Some("itest"));
+    let points = body.get("points").and_then(Json::as_array).unwrap();
+    assert_eq!(points.len(), 5);
+    // Plan order: ascending partition count, monolithic first.
+    assert_eq!(points[0].get("partitions").and_then(Json::as_u64), Some(1));
+    assert_eq!(points[4].get("partitions").and_then(Json::as_u64), Some(16));
+    let summary = body.get("summary").unwrap();
+    assert_eq!(summary.get("simulations").and_then(Json::as_u64), Some(5));
+    assert_eq!(summary.get("cache_hits").and_then(Json::as_u64), Some(0));
+
+    // Identical plan again: zero fresh simulations.
+    let second = request(handle.addr(), "POST", "/sweep", Some(plan)).unwrap();
+    assert_eq!(second.status, 200);
+    let body = Json::parse(&second.body).unwrap();
+    let summary = body.get("summary").unwrap();
+    assert_eq!(summary.get("simulations").and_then(Json::as_u64), Some(0));
+    assert_eq!(summary.get("cache_hits").and_then(Json::as_u64), Some(5));
+
+    // Sweep metrics appear alongside the engine's, labeled by route.
+    let metrics = get(&handle, "/metrics");
+    assert!(metrics.body.contains("scalesim_sweep_points_total 10"));
+    assert!(metrics.body.contains("scalesim_sweep_simulations_total 5"));
+    assert!(metrics.body.contains("scalesim_sweep_cache_hits_total 5"));
+    assert!(metrics
+        .body
+        .contains("scalesim_sweep_point_seconds_count 5"));
+
+    // Bad plans fail clean.
+    let bad = request(handle.addr(), "POST", "/sweep", Some(r#"{"budgets":[2]}"#)).unwrap();
+    assert_eq!(bad.status, 400);
+    assert!(Json::parse(&bad.body).unwrap().get("error").is_some());
 
     handle.stop();
 }

@@ -11,7 +11,7 @@
 //!   text-format renderer ([`Registry::render`]). A process-wide
 //!   [`global()`] registry carries simulator-side metrics; servers render
 //!   it alongside their own per-engine registries.
-//! * **Spans** ([`span`], the [`span!`] macro) — RAII wall-time guards
+//! * **Spans** ([`span`](mod@span), the [`span!`] macro) — RAII wall-time guards
 //!   that accumulate per-span-name totals into the global registry and
 //!   emit debug log events on enter/exit.
 //! * **Structured logging** ([`log`]) — leveled `key=value` or JSON line

@@ -3,7 +3,7 @@
 //! A [`Span`] is an RAII guard created by the [`span!`](crate::span!)
 //! macro: it notes a monotonic start time on entry and, on drop, adds its
 //! wall time to a pair of per-span-name counters in the
-//! [`global`](crate::global) registry
+//! [`global`] registry
 //! (`scalesim_span_micros_total{span=...}` /
 //! `scalesim_span_calls_total{span=...}`) and emits a debug log event with
 //! the span's fields. Fields carry request context (layer name, network)

@@ -32,6 +32,33 @@ pub use yolo_tiny::yolo_tiny;
 
 use crate::Topology;
 
+/// Resolves a workload name to a topology.
+///
+/// Accepts the built-in network names (case-insensitive: `resnet50`,
+/// `resnet18`, `alexnet`, `googlenet`, `mobilenet`/`mobilenet_v1`,
+/// `vgg16`, `yolo_tiny`, `language_models`) and the Table IV
+/// language-model layer tags (`TF0`, `GNMT3`, ... — see
+/// [`LANGUAGE_MODEL_NAMES`]), which resolve to single-layer topologies.
+/// Returns `None` for unknown names — this is the shared vocabulary of the
+/// CLI, the server and the sweep planner.
+pub fn by_name(name: &str) -> Option<Topology> {
+    match name.to_ascii_lowercase().as_str() {
+        "resnet50" => Some(resnet50()),
+        "resnet18" => Some(resnet18()),
+        "alexnet" => Some(alexnet()),
+        "googlenet" => Some(googlenet()),
+        "mobilenet" | "mobilenet_v1" => Some(mobilenet_v1()),
+        "vgg16" => Some(vgg16()),
+        "yolo_tiny" => Some(yolo_tiny()),
+        "language_models" => Some(language_models()),
+        _ => {
+            let tag = name.to_ascii_uppercase();
+            let layer = language_model(&tag)?;
+            Some(Topology::from_layers(tag, vec![layer]))
+        }
+    }
+}
+
 /// Every built-in topology, for sweep-style tests and examples.
 pub fn all() -> Vec<Topology> {
     vec![
@@ -61,6 +88,19 @@ mod tests {
                 assert!(layer.macs() > 0);
             }
         }
+    }
+
+    #[test]
+    fn by_name_resolves_networks_and_layer_tags() {
+        assert_eq!(by_name("resnet50").unwrap().name(), "resnet50");
+        assert_eq!(by_name("ResNet50").unwrap().name(), "resnet50");
+        let tf0 = by_name("TF0").unwrap();
+        assert_eq!(tf0.name(), "TF0");
+        assert_eq!(tf0.len(), 1);
+        assert_eq!(tf0.layers()[0].name(), "TF0");
+        // Tags are matched case-insensitively too.
+        assert_eq!(by_name("tf0").unwrap().name(), "TF0");
+        assert!(by_name("no_such_workload").is_none());
     }
 
     #[test]

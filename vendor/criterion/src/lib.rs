@@ -1,11 +1,14 @@
 //! Offline stand-in for `criterion`, covering the macro and method surface
 //! used by `crates/bench`: `criterion_group!`/`criterion_main!`,
 //! `Criterion::bench_function`, `benchmark_group` (+ `sample_size`,
-//! `bench_function`, `finish`), `Bencher::iter` and `black_box`.
+//! `bench_function`, `finish`), `Bencher::iter`/`iter_batched` (with
+//! [`BatchSize`]) and `black_box`.
 //!
 //! Instead of criterion's statistical machinery this runs each benchmark a
 //! handful of times and prints a mean wall-clock figure — enough to compare
 //! runs by eye and to keep `cargo bench` compiling and running offline.
+//! Positional command-line arguments (`cargo bench -- <filter>`) select
+//! benchmarks by substring match, as in real criterion.
 
 #![warn(missing_docs)]
 
@@ -42,19 +45,80 @@ impl Bencher {
         }
         self.mean_ns = Some(start.elapsed().as_nanos() as f64 / iters as f64);
     }
+
+    /// Like [`Bencher::iter`], but with a per-iteration `setup` whose cost
+    /// is excluded from the timing (fresh input every call).
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut body: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let warm_input = setup();
+        let warm_start = Instant::now();
+        black_box(body(warm_input));
+        let warm = warm_start.elapsed();
+
+        let iters = if warm.is_zero() {
+            MAX_ITERS
+        } else {
+            (BUDGET.as_nanos() / warm.as_nanos().max(1)).clamp(1, MAX_ITERS as u128) as u64
+        };
+        let mut timed = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(body(input));
+            timed += start.elapsed();
+        }
+        self.mean_ns = Some(timed.as_nanos() as f64 / iters as f64);
+    }
+}
+
+/// How real criterion batches inputs for `iter_batched`. The stub times
+/// every call individually, so the variants only exist for compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Inputs are cheap to hold; criterion would batch many per sample.
+    SmallInput,
+    /// Inputs are expensive to hold; criterion would batch few per sample.
+    LargeInput,
+    /// One setup per timed call.
+    PerIteration,
 }
 
 /// The benchmark driver handed to `criterion_group!` targets.
-#[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    /// Reads name filters from the command line, like real criterion:
+    /// positional arguments passed after `cargo bench ... --` select
+    /// benchmarks by substring match (flags are ignored).
+    fn default() -> Criterion {
+        Criterion {
+            filters: std::env::args()
+                .skip(1)
+                .filter(|arg| !arg.starts_with('-'))
+                .collect(),
+        }
+    }
+}
 
 impl Criterion {
-    /// Runs one named benchmark.
+    fn selected(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f.as_str()))
+    }
+
+    /// Runs one named benchmark (skipped silently when filters exclude it).
     pub fn bench_function<F>(&mut self, name: impl Into<String>, mut body: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
         let name = name.into();
+        if !self.selected(&name) {
+            return self;
+        }
         let mut bencher = Bencher { mean_ns: None };
         body(&mut bencher);
         match bencher.mean_ns {
@@ -126,11 +190,53 @@ mod tests {
 
     #[test]
     fn bench_function_measures_and_returns() {
-        let mut c = Criterion::default();
+        // Hermetic: the test harness's own arguments must not filter.
+        let mut c = Criterion {
+            filters: Vec::new(),
+        };
         c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
         let mut group = c.benchmark_group("group");
         group.sample_size(10);
         group.bench_function("noop2", |b| b.iter(|| black_box(2 + 2)));
         group.finish();
+    }
+
+    #[test]
+    fn filters_select_benchmarks_by_substring() {
+        let mut c = Criterion {
+            filters: vec!["warm".to_owned()],
+        };
+        let mut warm_ran = false;
+        let mut cold_ran = false;
+        c.bench_function("group/warm_rerun", |b| {
+            warm_ran = true;
+            b.iter(|| black_box(1))
+        });
+        c.bench_function("group/cold_jobs_1", |b| {
+            cold_ran = true;
+            b.iter(|| black_box(2))
+        });
+        assert!(warm_ran, "matching benchmarks run");
+        assert!(!cold_ran, "non-matching benchmarks are skipped");
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_call() {
+        let mut setups = 0u64;
+        let mut calls = 0u64;
+        let mut bencher = Bencher { mean_ns: None };
+        bencher.iter_batched(
+            || {
+                setups += 1;
+                setups
+            },
+            |input| {
+                calls += 1;
+                black_box(input)
+            },
+            BatchSize::PerIteration,
+        );
+        assert_eq!(setups, calls, "every timed call gets a fresh input");
+        assert!(bencher.mean_ns.is_some());
     }
 }
