@@ -4,7 +4,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use scalesim_memory::{ConvAddressMap, DramModel, OperandBufferSpec, RegionOffsets};
-use scalesim_systolic::{fold_demands, ArrayShape, Dataflow};
+use scalesim_systolic::{fold_demand_runs, fold_demands, ArrayShape, Dataflow};
 use scalesim_topology::ConvLayer;
 
 fn bench_demand_and_dram(c: &mut Criterion) {
@@ -23,6 +23,17 @@ fn bench_demand_and_dram(c: &mut Criterion) {
                 let mut dram = DramModel::new(spec, spec, ospec);
                 for d in fold_demands(black_box(&dims), array, &map) {
                     dram.fold(d.fold.duration, d.a, d.b, d.o_spill, d.o_writes);
+                }
+                black_box(dram.finish())
+            })
+        });
+        // The run-compressed hot path the simulator actually uses: same
+        // miss classification, O(runs) instead of O(elements).
+        group.bench_function(format!("conv_{}_runs", df.mnemonic()), |b| {
+            b.iter(|| {
+                let mut dram = DramModel::new(spec, spec, ospec);
+                for d in fold_demand_runs(black_box(&dims), array, &map) {
+                    dram.fold_runs(d.fold.duration, &d.a, &d.b, &d.o_spill, &d.o_writes);
                 }
                 black_box(dram.finish())
             })

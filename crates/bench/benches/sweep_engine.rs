@@ -7,10 +7,23 @@
 //! serial one, while `sweep_is_deterministic_and_counts_cache_hits` (CLI
 //! e2e) and `parallel_output_is_byte_identical_to_serial` (core) pin down
 //! that the extra workers never change a byte of output.
+//!
+//! Cold iterations clear the process-global layer-result cache first —
+//! otherwise the second "cold" sample would answer every layer from
+//! memory and measure nothing.
+//!
+//! Besides the criterion groups, `main` takes one wall-clock measurement
+//! of each cache tier (cold / layer-warm / point-warm) and writes it to
+//! `BENCH_sweep.json` at the repo root together with the demand-stream
+//! compression ratio and the layer-cache hit rate, so perf regressions
+//! show up in review as a diff of committed numbers.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Instant;
+
+use criterion::{criterion_group, BatchSize, Criterion};
 
 use scalesim::sweep::{SweepEngine, SweepPlan};
+use scalesim::{layer_cache, telemetry_names};
 
 /// The Fig. 9 search-space study for TF0 at a 2^10 MAC budget: every
 /// power-of-two partition count crossed with every aspect ratio down to
@@ -46,10 +59,14 @@ fn bench_sweep_engine(c: &mut Criterion) {
     let mut group = c.benchmark_group("sweep_engine_fig9_tf0");
     group.sample_size(10);
 
-    // Cold cache: a fresh engine per iteration, so every point simulates.
+    // Cold cache: a fresh engine per iteration and an emptied layer-result
+    // cache, so every point simulates from scratch.
     group.bench_function("cold_jobs_1", |b| {
         b.iter_batched(
-            || SweepEngine::new(cache_capacity),
+            || {
+                layer_cache::clear();
+                SweepEngine::new(cache_capacity)
+            },
             |engine| {
                 let outcome = engine.run(&plan, 1).expect("sweep runs");
                 assert_eq!(outcome.simulations as usize, points);
@@ -63,7 +80,10 @@ fn bench_sweep_engine(c: &mut Criterion) {
     if jobs > 1 {
         group.bench_function(format!("cold_jobs_{jobs}"), |b| {
             b.iter_batched(
-                || SweepEngine::new(cache_capacity),
+                || {
+                    layer_cache::clear();
+                    SweepEngine::new(cache_capacity)
+                },
                 |engine| {
                     let outcome = engine.run(&plan, jobs).expect("sweep runs");
                     assert_eq!(outcome.simulations as usize, points);
@@ -89,5 +109,67 @@ fn bench_sweep_engine(c: &mut Criterion) {
     group.finish();
 }
 
+/// One timed pass per cache tier, written as machine-readable JSON.
+fn write_bench_json() {
+    let registry = scalesim_telemetry::global();
+    let counter = |name: &str| registry.counter_value(name, &[]).unwrap_or(0);
+    let plan = fig9_tf0_plan();
+    let points = plan.expand().expect("plan expands").len();
+    let jobs = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4);
+
+    // Tier 0 — cold: nothing cached anywhere; every layer walks the
+    // run-compressed demand streams. Also the window we measure the
+    // element/run compression ratio over.
+    layer_cache::clear();
+    let engine = SweepEngine::new(256);
+    let elements_before = counter(telemetry_names::DEMAND_ELEMENTS);
+    let runs_before = counter(telemetry_names::DEMAND_RUNS);
+    let started = Instant::now();
+    engine.run(&plan, jobs).expect("cold sweep runs");
+    let cold_seconds = started.elapsed().as_secs_f64();
+    let demand_elements = counter(telemetry_names::DEMAND_ELEMENTS) - elements_before;
+    let demand_runs = counter(telemetry_names::DEMAND_RUNS) - runs_before;
+
+    // Tier 1 — layer-warm: a fresh engine (empty point cache) over a warm
+    // layer cache; every simulation is a layer-cache hit.
+    let engine = SweepEngine::new(256);
+    let hits_before = counter(telemetry_names::LAYER_CACHE_HITS);
+    let misses_before = counter(telemetry_names::LAYER_CACHE_MISSES);
+    let started = Instant::now();
+    engine.run(&plan, jobs).expect("layer-warm sweep runs");
+    let layer_warm_seconds = started.elapsed().as_secs_f64();
+    let hits = counter(telemetry_names::LAYER_CACHE_HITS) - hits_before;
+    let misses = counter(telemetry_names::LAYER_CACHE_MISSES) - misses_before;
+
+    // Tier 2 — point-warm: the same engine again; the sweep's own result
+    // cache answers and `run_layer` is never reached.
+    let started = Instant::now();
+    let outcome = engine.run(&plan, jobs).expect("point-warm sweep runs");
+    let point_warm_seconds = started.elapsed().as_secs_f64();
+    assert_eq!(outcome.simulations, 0, "point-warm rerun must be all hits");
+
+    let compression = demand_elements as f64 / (demand_runs.max(1)) as f64;
+    let hit_rate = hits as f64 / ((hits + misses).max(1)) as f64;
+    let json = format!(
+        "{{\n  \"plan\": \"fig9-tf0\",\n  \"points\": {points},\n  \"jobs\": {jobs},\n  \
+         \"cold_seconds\": {cold_seconds:.6},\n  \
+         \"layer_warm_seconds\": {layer_warm_seconds:.6},\n  \
+         \"point_warm_seconds\": {point_warm_seconds:.6},\n  \
+         \"demand_elements\": {demand_elements},\n  \
+         \"demand_runs\": {demand_runs},\n  \
+         \"demand_compression_ratio\": {compression:.2},\n  \
+         \"layer_cache_hit_rate\": {hit_rate:.4}\n}}\n",
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
+    std::fs::write(path, &json).expect("write BENCH_sweep.json");
+    println!("wrote {path}:\n{json}");
+}
+
 criterion_group!(benches, bench_sweep_engine);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    write_bench_json();
+}

@@ -10,8 +10,8 @@
 //! Run: `cargo run --release -p scalesim-bench --bin ext_sram_sweep`
 
 use scalesim::{ArrayShape, Dataflow, SimConfig, Simulator};
-use scalesim_memory::{ConvAddressMap, GemmAddressMap, RegionOffsets, ReuseProfile};
-use scalesim_systolic::fold_demands;
+use scalesim_memory::{AddrRuns, ConvAddressMap, GemmAddressMap, RegionOffsets, ReuseProfile};
+use scalesim_systolic::fold_demand_runs;
 use scalesim_topology::{networks, Layer};
 
 fn sweep(layer: &Layer) {
@@ -44,17 +44,22 @@ fn reuse_curve(layer: &Layer) {
     let array = ArrayShape::square(32);
     let dims = layer.shape().project(Dataflow::OutputStationary);
     let offsets = RegionOffsets::default();
-    let demands: Vec<u64> = match layer {
+    let mut demands = AddrRuns::new();
+    match layer {
         Layer::Conv(conv) => {
             let map = ConvAddressMap::new(conv, offsets);
-            fold_demands(&dims, array, &map).flat_map(|d| d.a).collect()
+            for d in fold_demand_runs(&dims, array, &map) {
+                demands.extend_runs(&d.a);
+            }
         }
         Layer::Gemm { shape, .. } => {
             let map = GemmAddressMap::from_shape(*shape, offsets);
-            fold_demands(&dims, array, &map).flat_map(|d| d.a).collect()
+            for d in fold_demand_runs(&dims, array, &map) {
+                demands.extend_runs(&d.a);
+            }
         }
-    };
-    let profile = ReuseProfile::from_demands(demands);
+    }
+    let profile = ReuseProfile::from_runs(&demands);
     for exp in [10u32, 12, 14, 16, 18, 20] {
         let cap = 1usize << exp;
         println!(

@@ -182,6 +182,25 @@ impl<V: Clone> ShardedLru<V> {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Drops every entry (all shards), releasing the slabs. The resident
+    /// gauge is decremented by the number of removed entries; dropped
+    /// entries do not count as evictions (this is a reset, not pressure).
+    pub fn clear(&self) {
+        let mut removed = 0i64;
+        for shard in self.shards.iter() {
+            let mut shard = shard.lock().unwrap();
+            removed += shard.index.len() as i64;
+            shard.index.clear();
+            shard.slab.clear();
+            shard.free.clear();
+            shard.head = NIL;
+            shard.tail = NIL;
+        }
+        if let Some(resident) = &self.resident {
+            resident.sub(removed);
+        }
+    }
 }
 
 impl<V> Shard<V> {
@@ -318,6 +337,26 @@ mod tests {
         assert_eq!(evictions.get(), 1);
         assert_eq!(lru.get(1), None);
         assert_eq!(resident.get() as usize, lru.len());
+    }
+
+    #[test]
+    fn clear_empties_all_shards_and_fixes_the_gauge() {
+        let evictions = Arc::new(Counter::new());
+        let resident = Arc::new(Gauge::new());
+        let lru =
+            ShardedLru::new(16, 4).with_metrics(Arc::clone(&evictions), Arc::clone(&resident));
+        for k in 0..10u128 {
+            lru.insert(k, k);
+        }
+        assert_eq!(resident.get(), 10);
+        lru.clear();
+        assert!(lru.is_empty());
+        assert_eq!(resident.get(), 0);
+        assert_eq!(evictions.get(), 0, "clear is not an eviction");
+        // Reusable after clear.
+        lru.insert(3, 33);
+        assert_eq!(lru.get(3), Some(33));
+        assert_eq!(resident.get(), 1);
     }
 
     #[test]

@@ -58,6 +58,7 @@
 pub mod cache;
 mod config;
 mod error;
+pub mod layer_cache;
 pub mod pipeline;
 mod report;
 mod simulator;

@@ -3,6 +3,7 @@
 
 use std::io::{self, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use scalesim_analytical::PartitionGrid;
@@ -11,10 +12,13 @@ use scalesim_memory::{
     AddressMap, ConvAddressMap, DramModel, DramSummary, DramTraceWriter, GemmAddressMap,
     StallModel, StallSummary, SubGemmMap,
 };
-use scalesim_systolic::{analyze, fold_demands, simulate, ComputeReport, CsvTraceSink, SramCounts};
+use scalesim_systolic::{
+    analyze, fold_demand_runs, fold_demands, simulate, ComputeReport, CsvTraceSink, SramCounts,
+};
 use scalesim_topology::{GemmShape, Layer, Topology};
 
 use crate::config::SimConfig;
+use crate::layer_cache;
 use crate::report::{LayerReport, NetworkReport};
 
 /// The SCALE-Sim simulator: a hardware configuration bound to an optional
@@ -113,12 +117,42 @@ impl Simulator {
         let phases = PhaseNanos::default();
         let shape = layer.shape();
         let config = self.effective_config(layer);
+
+        // Sub-problem memoization: the result is a pure function of
+        // (geometry, effective config, grid, energy constants) — the name
+        // is a label. Whole networks repeat shapes, and sweeps re-run the
+        // unchanged layers of neighbouring design points, so this removes
+        // entire simulations from the cold path.
+        let cache_key = layer_cache::key(&config, self.grid, &self.energy_model, layer);
+        let registry = scalesim_telemetry::global();
+        if let Some(cached) = layer_cache::lookup(cache_key) {
+            registry
+                .counter(
+                    telemetry_names::LAYER_CACHE_HITS,
+                    "Layer simulations answered from the layer-result cache.",
+                )
+                .inc();
+            let mut report = (*cached).clone();
+            report.name = layer.name().to_owned();
+            // A hit is still a simulated layer as far as observers are
+            // concerned: cycle/energy/traffic totals must keep adding up.
+            record_layer_telemetry(&report, started.elapsed(), &phases);
+            return report;
+        }
+        registry
+            .counter(
+                telemetry_names::LAYER_CACHE_MISSES,
+                "Layer simulations that ran the full cold path.",
+            )
+            .inc();
+
         let map = layer_map(layer, &config);
         let tiles = partition_tiles(shape, self.grid);
         let provisioned = self.grid.count();
 
         // Each partition gets an even share of the interface bandwidth.
         let per_partition_bw = config.dram_bandwidth.map(|bw| bw / provisioned as f64);
+        let volume = DemandVolume::default();
         let results = run_partitions(
             &tiles,
             &*map,
@@ -127,16 +161,20 @@ impl Simulator {
             provisioned,
             per_partition_bw,
             &phases,
+            &volume,
         );
+        record_demand_telemetry(&volume);
 
-        // Aggregate across partitions.
-        let mut per_partition_cycles = Vec::with_capacity(results.len());
+        // Aggregate across partitions, consuming the per-partition results
+        // in place rather than cloning summaries out of them.
+        let active_partitions = results.len();
+        let mut per_partition_cycles = Vec::with_capacity(active_partitions);
         let mut sram = SramCounts::default();
         let mut dram = DramSummary::default();
         let mut mapping_util_sum = 0.0;
         let mut total_cycles = 0u64;
         let mut worst_stall: Option<StallSummary> = None;
-        for (compute, part_dram, part_stall) in &results {
+        for (compute, part_dram, part_stall) in results {
             per_partition_cycles.push(compute.total_cycles);
             total_cycles = total_cycles.max(compute.total_cycles);
             sram.a_reads += compute.sram.a_reads;
@@ -145,9 +183,9 @@ impl Simulator {
             sram.o_writes += compute.sram.o_writes;
             mapping_util_sum += compute.mapping_utilization;
             if dram.folds == 0 && dram.total_accesses() == 0 {
-                dram = part_dram.clone();
+                dram = part_dram;
             } else {
-                dram.merge_concurrent(part_dram);
+                dram.merge_concurrent(&part_dram);
             }
             if let Some(ps) = part_stall {
                 let slower = match &worst_stall {
@@ -155,7 +193,7 @@ impl Simulator {
                     None => true,
                 };
                 if slower {
-                    worst_stall = Some(*ps);
+                    worst_stall = Some(ps);
                 }
             }
         }
@@ -201,15 +239,15 @@ impl Simulator {
             grid: self.grid,
             array: config.array,
             total_cycles,
-            active_partitions: results.len() as u64,
+            active_partitions: active_partitions as u64,
             per_partition_cycles,
             mac_ops,
             sram,
             dram,
-            mapping_utilization: if results.is_empty() {
+            mapping_utilization: if active_partitions == 0 {
                 0.0
             } else {
-                mapping_util_sum / results.len() as f64
+                mapping_util_sum / active_partitions as f64
             },
             // A layer with no work (zero cycles) must report 0, not NaN —
             // NaN is not JSON and silently turns into `null` downstream.
@@ -221,6 +259,7 @@ impl Simulator {
             energy,
             stall,
         };
+        layer_cache::store(cache_key, Arc::new(report.clone()));
         record_layer_telemetry(&report, started.elapsed(), &phases);
         report
     }
@@ -323,6 +362,22 @@ pub mod telemetry_names {
     pub const ENERGY: &str = "scalesim_sim_energy_total";
     /// Counter: whole topologies simulated.
     pub const NETWORK_RUNS: &str = "scalesim_network_runs_total";
+    /// Counter: layer simulations answered from the layer-result cache.
+    pub const LAYER_CACHE_HITS: &str = "scalesim_layer_cache_hits_total";
+    /// Counter: layer simulations that ran the full cold path.
+    pub const LAYER_CACHE_MISSES: &str = "scalesim_layer_cache_misses_total";
+    /// Counter: layer-result cache LRU evictions.
+    pub const LAYER_CACHE_EVICTIONS: &str = "scalesim_layer_cache_evictions_total";
+    /// Gauge: layer-result cache live entries.
+    pub const LAYER_CACHE_RESIDENT: &str = "scalesim_layer_cache_resident_entries";
+    /// Counter: demand-stream elements fed to the DRAM model (what the
+    /// element-granular representation would have walked).
+    pub const DEMAND_ELEMENTS: &str = "scalesim_demand_elements_total";
+    /// Counter: run-length records the DRAM model actually walked.
+    pub const DEMAND_RUNS: &str = "scalesim_demand_runs_total";
+    /// Gauge: cumulative elements-per-run compression ratio, rounded down
+    /// to an integer (gauges are integral).
+    pub const DEMAND_COMPRESSION: &str = "scalesim_demand_compression_ratio";
 }
 
 /// Per-phase wall-time accumulators, shared across partition threads.
@@ -355,6 +410,44 @@ impl PhaseNanos {
             ("energy", self.energy.load(Ordering::Relaxed) / 1_000),
         ]
     }
+}
+
+/// Demand-stream volume accumulators, shared across partition threads:
+/// how many elements the DRAM interface model was asked about, and how
+/// many run-length records it walked to answer.
+#[derive(Debug, Default)]
+struct DemandVolume {
+    elements: AtomicU64,
+    runs: AtomicU64,
+}
+
+impl DemandVolume {
+    fn add(&self, elements: u64, runs: u64) {
+        self.elements.fetch_add(elements, Ordering::Relaxed);
+        self.runs.fetch_add(runs, Ordering::Relaxed);
+    }
+}
+
+/// Publishes one layer's demand-stream volume and the cumulative
+/// compression ratio to the global metric registry.
+fn record_demand_telemetry(volume: &DemandVolume) {
+    let registry = scalesim_telemetry::global();
+    let elements = registry.counter(
+        telemetry_names::DEMAND_ELEMENTS,
+        "Demand-stream elements fed to the DRAM model.",
+    );
+    elements.add(volume.elements.load(Ordering::Relaxed));
+    let runs = registry.counter(
+        telemetry_names::DEMAND_RUNS,
+        "Run-length records the DRAM model walked.",
+    );
+    runs.add(volume.runs.load(Ordering::Relaxed));
+    registry
+        .gauge(
+            telemetry_names::DEMAND_COMPRESSION,
+            "Cumulative elements-per-run compression ratio (integer).",
+        )
+        .set((elements.get() / runs.get().max(1)) as i64);
 }
 
 /// Publishes one finished layer's results to the global metric registry.
@@ -457,7 +550,8 @@ fn partition_tiles(shape: GemmShape, grid: PartitionGrid) -> Vec<Tile> {
 
 /// Simulates each tile (compute schedule + DRAM model), in parallel across
 /// OS threads when there are several. Phase wall time (compute schedule vs
-/// DRAM interface walk) accumulates into `phases` from every thread.
+/// DRAM interface walk) accumulates into `phases` from every thread, and
+/// demand-stream volume (elements vs runs) into `volume`.
 #[allow(clippy::too_many_arguments)]
 fn run_partitions(
     tiles: &[Tile],
@@ -467,6 +561,7 @@ fn run_partitions(
     provisioned: u64,
     bandwidth_share: Option<f64>,
     phases: &PhaseNanos,
+    volume: &DemandVolume,
 ) -> Vec<(ComputeReport, DramSummary, Option<StallSummary>)> {
     let run_tile = |tile: &Tile| -> (ComputeReport, DramSummary, Option<StallSummary>) {
         let sub_map = SubGemmMap::new(map, tile.m_off, tile.n_off);
@@ -482,18 +577,23 @@ fn run_partitions(
         );
         let mut stall = bandwidth_share.map(StallModel::new);
         let dram_started = Instant::now();
-        for demand in fold_demands(&dims, config.array, &sub_map) {
-            let traffic = dram.fold(
+        let mut elements = 0u64;
+        let mut runs = 0u64;
+        for demand in fold_demand_runs(&dims, config.array, &sub_map) {
+            elements += demand.element_count();
+            runs += demand.run_count();
+            let traffic = dram.fold_runs(
                 demand.fold.duration,
-                demand.a,
-                demand.b,
-                demand.o_spill,
-                demand.o_writes,
+                &demand.a,
+                &demand.b,
+                &demand.o_spill,
+                &demand.o_writes,
             );
             if let Some(stall) = stall.as_mut() {
                 stall.fold(traffic.duration, traffic.read_bytes, traffic.write_bytes);
             }
         }
+        volume.add(elements, runs);
         phases.add_dram(dram_started.elapsed());
         (compute, dram.finish(), stall.map(StallModel::finish))
     };
@@ -839,6 +939,28 @@ mod tests {
                 .counter_value(telemetry_names::PHASE_MICROS, &[("phase", phase)])
                 .is_some());
         }
+    }
+
+    #[test]
+    fn layer_cache_hit_reproduces_the_cold_report() {
+        let registry = scalesim_telemetry::global();
+        let sim = Simulator::new(small_config());
+        // A shape no other test simulates with this config, so the first
+        // run is the one that populates the cache.
+        let cold = sim.run_layer(&Layer::gemm("cache_probe_cold", 97, 43, 81));
+        let hits_before = registry
+            .counter_value(telemetry_names::LAYER_CACHE_HITS, &[])
+            .unwrap_or(0);
+        let warm = sim.run_layer(&Layer::gemm("cache_probe_warm", 97, 43, 81));
+        let hits_after = registry
+            .counter_value(telemetry_names::LAYER_CACHE_HITS, &[])
+            .unwrap_or(0);
+        assert!(hits_after > hits_before, "second run must hit the cache");
+        // The memoized result is the cold result with the name patched.
+        assert_eq!(warm.name, "cache_probe_warm");
+        let mut renamed = warm;
+        renamed.name = cold.name.clone();
+        assert_eq!(renamed, cold);
     }
 
     #[test]

@@ -21,6 +21,8 @@ use serde::{Deserialize, Serialize};
 
 use scalesim_topology::ConvLayer;
 
+use crate::runs::AddrRuns;
+
 /// Base offsets for the three operand regions, mirroring the
 /// `IfmapOffset` / `FilterOffset` / `OfmapOffset` parameters of Table I.
 ///
@@ -72,6 +74,19 @@ pub trait AddressMap {
 
     /// Number of distinct output addresses.
     fn o_unique(&self) -> u64;
+
+    /// Appends the addresses of `A[m][k0..k0+len]` to `out` as maximal
+    /// contiguous runs, in `k` order — the run-compressed equivalent of
+    /// calling [`AddressMap::a`] for each `k`.
+    ///
+    /// The default implementation is element-wise (correct for any map);
+    /// the concrete maps override it with closed-form runs: a GEMM row is
+    /// one run, a convolution window row is one run per filter row.
+    fn a_span(&self, m: u64, k0: u64, len: u64, out: &mut AddrRuns) {
+        for k in k0..k0 + len {
+            out.push(self.a(m, k), 1);
+        }
+    }
 }
 
 /// Row-major addressing for a dense GEMM (language-model layers).
@@ -122,6 +137,11 @@ impl AddressMap for GemmAddressMap {
 
     fn o_unique(&self) -> u64 {
         self.m * self.n
+    }
+
+    fn a_span(&self, m: u64, k0: u64, len: u64, out: &mut AddrRuns) {
+        debug_assert!(m < self.m && k0 + len <= self.k);
+        out.push(self.offsets.ifmap + m * self.k + k0, len);
     }
 }
 
@@ -199,6 +219,26 @@ impl AddressMap for ConvAddressMap {
     fn o_unique(&self) -> u64 {
         self.ofmap_pixels * self.num_filters
     }
+
+    fn a_span(&self, m: u64, k0: u64, len: u64, out: &mut AddrRuns) {
+        // Within one filter row (fixed kh) the address is linear in k:
+        // a = ifmap + (ih·W + ow·s)·C + (k − kh·row_elems), so a span only
+        // breaks at filter-row boundaries.
+        let oh = m / self.ofmap_w;
+        let ow = m % self.ofmap_w;
+        let row_elems = self.filter_w * self.channels;
+        let end = k0 + len;
+        let mut k = k0;
+        while k < end {
+            let kh = k / row_elems;
+            let row_end = (kh + 1) * row_elems;
+            let take = row_end.min(end) - k;
+            let ih = oh * self.stride_h + kh;
+            let row_base = (ih * self.ifmap_w + ow * self.stride_w) * self.channels;
+            out.push(self.offsets.ifmap + row_base + (k - kh * row_elems), take);
+            k += take;
+        }
+    }
 }
 
 /// A window into another map: shifts GEMM coordinates by an output-space
@@ -254,6 +294,10 @@ impl<M: AddressMap + ?Sized> AddressMap for SubGemmMap<'_, M> {
 
     fn o_unique(&self) -> u64 {
         self.inner.o_unique()
+    }
+
+    fn a_span(&self, m: u64, k0: u64, len: u64, out: &mut AddrRuns) {
+        self.inner.a_span(m + self.m_off, k0, len, out);
     }
 }
 
@@ -392,6 +436,43 @@ mod tests {
         assert!(b_min >= RegionOffsets::default().filter);
         assert!(b_max < RegionOffsets::default().ofmap);
         assert!(map.o(0, 0) >= RegionOffsets::default().ofmap);
+    }
+
+    #[test]
+    fn a_span_matches_elementwise_enumeration() {
+        // GEMM: any (m, k0, len) slice is one run equal to the element walk.
+        let gemm = GemmAddressMap::new(6, 9, 4, RegionOffsets::default());
+        for m in 0..6 {
+            for k0 in 0..9 {
+                for len in 0..=(9 - k0) {
+                    let mut runs = AddrRuns::new();
+                    gemm.a_span(m, k0, len, &mut runs);
+                    let expect: Vec<u64> = (k0..k0 + len).map(|k| gemm.a(m, k)).collect();
+                    assert_eq!(runs.iter_elements().collect::<Vec<u64>>(), expect);
+                }
+            }
+        }
+        // Conv (both strides): spans split at filter-row boundaries but the
+        // element sequence is identical.
+        for stride in [1, 2] {
+            let (layer, map) = conv_map(stride);
+            let window = layer.window_size();
+            for m in 0..layer.ofmap_pixels() {
+                for k0 in [0, 1, window / 2, window - 1] {
+                    let len = window - k0;
+                    let mut runs = AddrRuns::new();
+                    map.a_span(m, k0, len, &mut runs);
+                    let expect: Vec<u64> = (k0..k0 + len).map(|k| map.a(m, k)).collect();
+                    assert_eq!(runs.iter_elements().collect::<Vec<u64>>(), expect);
+                }
+            }
+        }
+        // SubGemmMap delegates with the row offset applied.
+        let sub = SubGemmMap::new(&gemm, 2, 1);
+        let mut runs = AddrRuns::new();
+        sub.a_span(1, 2, 5, &mut runs);
+        let expect: Vec<u64> = (2..7).map(|k| gemm.a(3, k)).collect();
+        assert_eq!(runs.iter_elements().collect::<Vec<u64>>(), expect);
     }
 
     #[test]

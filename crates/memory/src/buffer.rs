@@ -11,6 +11,7 @@
 use std::collections::VecDeque;
 
 use crate::fast_hash::AddrSet;
+use crate::runs::{AddrRun, AddrRuns, IntervalSet};
 
 /// Per-epoch classification of a demand stream.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -157,6 +158,180 @@ impl DoubleBuffer {
     }
 }
 
+/// The run-granular equivalent of [`DoubleBuffer`]: a FIFO working set of
+/// address *intervals*.
+///
+/// Produces exactly the same hit/miss/eviction counts and the same final
+/// resident set as feeding the uncompressed element stream through a
+/// [`DoubleBuffer`] — FIFO hits cause no state change, so a maximal
+/// resident span batches into one hit count, and a maximal missing span
+/// batches into one insert + one tail eviction sweep. Work is O(runs ×
+/// log spans) instead of O(elements).
+///
+/// ```
+/// use scalesim_memory::{AddrRuns, RunBuffer};
+///
+/// let mut buf = RunBuffer::new(2);
+/// let first = buf.epoch(&[1u64, 2].into_iter().collect::<AddrRuns>());
+/// assert_eq!(first.misses, 2);
+/// let second = buf.epoch(&[2u64, 3].into_iter().collect::<AddrRuns>());
+/// assert_eq!((second.hits, second.misses, second.evictions), (1, 1, 1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RunBuffer {
+    capacity: u64,
+    resident: IntervalSet,
+    /// FIFO of inserted segments. Invariant: segments are disjoint and
+    /// their union is exactly the resident set (evictions consume from the
+    /// front as residency shrinks).
+    queue: VecDeque<AddrRun>,
+}
+
+impl RunBuffer {
+    /// Creates a buffer holding at most `capacity_elems` elements.
+    ///
+    /// A capacity of zero models "no buffer": every demand misses.
+    pub fn new(capacity_elems: u64) -> Self {
+        RunBuffer {
+            capacity: capacity_elems,
+            resident: IntervalSet::new(),
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// An effectively infinite buffer (everything fetched exactly once).
+    pub fn unbounded() -> Self {
+        RunBuffer::new(u64::MAX)
+    }
+
+    /// The configured capacity in elements.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Elements currently resident.
+    pub fn resident_count(&self) -> u64 {
+        self.resident.len()
+    }
+
+    /// Whether `addr` is currently resident.
+    pub fn contains(&self, addr: u64) -> bool {
+        self.resident.contains(addr)
+    }
+
+    /// Runs one epoch (one fold's worth) of run-compressed demand through
+    /// the buffer. Semantics match [`DoubleBuffer::epoch`] on the
+    /// equivalent element stream.
+    pub fn epoch(&mut self, demand: &AddrRuns) -> EpochStats {
+        let mut stats = EpochStats::default();
+        for run in demand.runs() {
+            self.epoch_run(*run, &mut stats, None);
+        }
+        stats
+    }
+
+    /// Like [`RunBuffer::epoch`], but appends the missed address runs (in
+    /// fetch order) to `misses`.
+    pub fn epoch_with_misses(&mut self, demand: &AddrRuns, misses: &mut AddrRuns) -> EpochStats {
+        let mut stats = EpochStats::default();
+        for run in demand.runs() {
+            self.epoch_run(*run, &mut stats, Some(misses));
+        }
+        stats
+    }
+
+    fn epoch_run(
+        &mut self,
+        run: AddrRun,
+        stats: &mut EpochStats,
+        mut misses: Option<&mut AddrRuns>,
+    ) {
+        let end = run.end();
+        let mut pos = run.start;
+        // Walk the run in alternating resident/missing spans. Residency is
+        // re-queried per span because an insert can evict addresses later
+        // in this same run.
+        while pos < end {
+            if let Some((_, span_end)) = self.resident.span_at(pos) {
+                let hit_end = span_end.min(end);
+                stats.hits += hit_end - pos;
+                pos = hit_end;
+            } else {
+                let miss_end = self
+                    .resident
+                    .first_start_at_or_after(pos)
+                    .map_or(end, |s| s.min(end));
+                stats.misses += miss_end - pos;
+                if let Some(misses) = misses.as_deref_mut() {
+                    misses.push(pos, miss_end - pos);
+                }
+                if self.capacity > 0 {
+                    stats.evictions += self.insert_segment(pos, miss_end - pos);
+                }
+                pos = miss_end;
+            }
+        }
+    }
+
+    /// Installs the runs into the working set *without* miss accounting —
+    /// the run-granular [`DoubleBuffer::install`] (write-allocation).
+    /// Returns the number of evictions.
+    pub fn install(&mut self, runs: &AddrRuns) -> u64 {
+        if self.capacity == 0 {
+            return 0;
+        }
+        let mut evictions = 0;
+        for run in runs.runs() {
+            let end = run.end();
+            let mut pos = run.start;
+            while pos < end {
+                if let Some((_, span_end)) = self.resident.span_at(pos) {
+                    pos = span_end.min(end);
+                } else {
+                    let miss_end = self
+                        .resident
+                        .first_start_at_or_after(pos)
+                        .map_or(end, |s| s.min(end));
+                    evictions += self.insert_segment(pos, miss_end - pos);
+                    pos = miss_end;
+                }
+            }
+        }
+        evictions
+    }
+
+    /// Inserts a segment known to be non-resident, then evicts FIFO-oldest
+    /// data down to capacity. Returns evictions. Batch semantics equal the
+    /// element loop: inserting L elements into a buffer holding R evicts
+    /// `max(0, R + L - capacity)` oldest elements either way.
+    fn insert_segment(&mut self, start: u64, len: u64) -> u64 {
+        self.resident.insert(start, start + len);
+        self.queue.push_back(AddrRun { start, len });
+        let mut evicted = 0;
+        while self.resident.len() > self.capacity {
+            let excess = self.resident.len() - self.capacity;
+            let front = self.queue.front_mut().expect("queue tracks residency");
+            let take = front.len.min(excess);
+            self.resident
+                .remove_covered(front.start, front.start + take);
+            evicted += take;
+            if take == front.len {
+                self.queue.pop_front();
+            } else {
+                front.start += take;
+                front.len -= take;
+            }
+        }
+        evicted
+    }
+
+    /// Drops all resident data (e.g. between layers).
+    pub fn clear(&mut self) {
+        self.resident.clear();
+        self.queue.clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,5 +428,110 @@ mod tests {
         let stats = buf.epoch(0..10_000);
         assert_eq!(stats.evictions, 0);
         assert_eq!(buf.resident_count(), 10_000);
+    }
+
+    fn runs_of(elems: &[u64]) -> AddrRuns {
+        elems.iter().copied().collect()
+    }
+
+    #[test]
+    fn run_buffer_matches_double_buffer_basics() {
+        let mut db = DoubleBuffer::new(3);
+        let mut rb = RunBuffer::new(3);
+        for epoch in [&[1u64, 2, 3][..], &[4], &[2, 3, 4], &[10, 11, 12, 13]] {
+            let ds = db.epoch(epoch.iter().copied());
+            let rs = rb.epoch(&runs_of(epoch));
+            assert_eq!(ds, rs, "epoch {epoch:?}");
+            assert_eq!(db.resident_count() as u64, rb.resident_count());
+            for addr in 0..20 {
+                assert_eq!(db.contains(addr), rb.contains(addr), "addr {addr}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_buffer_zero_capacity_always_misses() {
+        let mut buf = RunBuffer::new(0);
+        let stats = buf.epoch(&runs_of(&[1, 2, 3]));
+        assert_eq!(stats.misses, 3);
+        assert_eq!(buf.resident_count(), 0);
+        assert_eq!(buf.install(&runs_of(&[7])), 0);
+        assert!(!buf.contains(7));
+    }
+
+    #[test]
+    fn run_buffer_self_evicts_oversized_segment() {
+        // A single 8-element run through a 4-entry buffer keeps its tail,
+        // exactly as the element-wise FIFO does.
+        let mut db = DoubleBuffer::new(4);
+        let mut rb = RunBuffer::new(4);
+        let elems: Vec<u64> = (0..8).collect();
+        assert_eq!(db.epoch(elems.iter().copied()), rb.epoch(&runs_of(&elems)));
+        for addr in 0..8 {
+            assert_eq!(db.contains(addr), rb.contains(addr));
+        }
+        assert!(rb.contains(7) && !rb.contains(3));
+    }
+
+    #[test]
+    fn run_buffer_install_matches_element_install() {
+        let mut db = DoubleBuffer::new(2);
+        let mut rb = RunBuffer::new(2);
+        let installs = [1u64, 2, 3, 3];
+        let mut db_ev = 0;
+        for &addr in &installs {
+            db_ev += db.install(addr);
+        }
+        let mut rb_ev = 0;
+        for &addr in &installs {
+            rb_ev += rb.install(&runs_of(&[addr]));
+        }
+        assert_eq!(db_ev, rb_ev);
+        for addr in 0..5 {
+            assert_eq!(db.contains(addr), rb.contains(addr));
+        }
+        assert_eq!(rb.epoch(&runs_of(&[2, 3])).hits, 2);
+    }
+
+    #[test]
+    fn run_buffer_epoch_with_misses_orders_like_element_path() {
+        let mut db = DoubleBuffer::new(4);
+        let mut rb = RunBuffer::new(4);
+        db.epoch([10u64, 11].iter().copied());
+        rb.epoch(&runs_of(&[10, 11]));
+        // 10, 11 hit; 12, 13 then 5 miss (two separate runs).
+        let (ds, dm) = db.epoch_with_misses([10u64, 11, 12, 13, 5].iter().copied());
+        let mut rm = AddrRuns::new();
+        let rs = rb.epoch_with_misses(&runs_of(&[10, 11, 12, 13, 5]), &mut rm);
+        assert_eq!(ds, rs);
+        assert_eq!(dm, rm.iter_elements().collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn run_buffer_thrash_matches_double_buffer() {
+        // Alternating working sets through a small buffer: a stress of the
+        // eviction bookkeeping across many epochs.
+        let mut db = DoubleBuffer::new(16);
+        let mut rb = RunBuffer::new(16);
+        for round in 0..20u64 {
+            let base = (round % 3) * 10;
+            let elems: Vec<u64> = (base..base + 12).chain(100..104).collect();
+            let ds = db.epoch(elems.iter().copied());
+            let rs = rb.epoch(&runs_of(&elems));
+            assert_eq!(ds, rs, "round {round}");
+            assert_eq!(db.resident_count() as u64, rb.resident_count());
+            for addr in 0..110 {
+                assert_eq!(db.contains(addr), rb.contains(addr));
+            }
+        }
+    }
+
+    #[test]
+    fn run_buffer_clear_empties_the_working_set() {
+        let mut buf = RunBuffer::new(10);
+        buf.epoch(&runs_of(&[0, 1, 2]));
+        buf.clear();
+        assert_eq!(buf.resident_count(), 0);
+        assert_eq!(buf.epoch(&runs_of(&[0, 1, 2])).misses, 3);
     }
 }

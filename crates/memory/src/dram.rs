@@ -16,7 +16,8 @@
 use serde::{Deserialize, Serialize};
 
 use crate::bandwidth::BandwidthProfile;
-use crate::buffer::DoubleBuffer;
+use crate::buffer::RunBuffer;
+use crate::runs::AddrRuns;
 
 /// Sizing of one operand SRAM.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -147,9 +148,9 @@ impl DramSummary {
 /// ```
 #[derive(Debug)]
 pub struct DramModel {
-    a_buf: DoubleBuffer,
-    b_buf: DoubleBuffer,
-    o_buf: DoubleBuffer,
+    a_buf: RunBuffer,
+    b_buf: RunBuffer,
+    o_buf: RunBuffer,
     word_bytes: u64,
     prev_duration: Option<u64>,
     summary: DramSummary,
@@ -161,9 +162,9 @@ impl DramModel {
     /// should agree in practice).
     pub fn new(a: OperandBufferSpec, b: OperandBufferSpec, o: OperandBufferSpec) -> Self {
         DramModel {
-            a_buf: DoubleBuffer::new(a.capacity_elems()),
-            b_buf: DoubleBuffer::new(b.capacity_elems()),
-            o_buf: DoubleBuffer::new(o.capacity_elems()),
+            a_buf: RunBuffer::new(a.capacity_elems() as u64),
+            b_buf: RunBuffer::new(b.capacity_elems() as u64),
+            o_buf: RunBuffer::new(o.capacity_elems() as u64),
             word_bytes: a.word_bytes,
             prev_duration: None,
             summary: DramSummary {
@@ -173,7 +174,7 @@ impl DramModel {
         }
     }
 
-    /// Processes one fold.
+    /// Processes one fold given element-granular demand vectors.
     ///
     /// * `duration` — the fold's compute cycles (Eq. 3 of the paper).
     /// * `a_demand` / `b_demand` — the fold's unique operand addresses in
@@ -186,6 +187,11 @@ impl DramModel {
     ///   partials). They stream to DRAM as produced — the original tool's
     ///   behaviour — and are write-allocated into the OFMAP buffer so later
     ///   spill reads can hit.
+    ///
+    /// This is a compatibility wrapper over [`DramModel::fold_runs`]: the
+    /// vectors are run-length compressed order-preservingly (only
+    /// consecutive ascending-adjacent addresses coalesce), so the counts
+    /// are identical to feeding the elements one by one.
     pub fn fold(
         &mut self,
         duration: u64,
@@ -194,22 +200,37 @@ impl DramModel {
         o_spill: Vec<u64>,
         o_writes: Vec<u64>,
     ) -> FoldTraffic {
+        let a: AddrRuns = a_demand.into_iter().collect();
+        let b: AddrRuns = b_demand.into_iter().collect();
+        let o_spill: AddrRuns = o_spill.into_iter().collect();
+        let o_writes: AddrRuns = o_writes.into_iter().collect();
+        self.fold_runs(duration, &a, &b, &o_spill, &o_writes)
+    }
+
+    /// Processes one fold of run-compressed demand — the hot path. See
+    /// [`DramModel::fold`] for the operand semantics; all buffer traffic
+    /// here is computed per-run instead of per-element.
+    pub fn fold_runs(
+        &mut self,
+        duration: u64,
+        a_demand: &AddrRuns,
+        b_demand: &AddrRuns,
+        o_spill: &AddrRuns,
+        o_writes: &AddrRuns,
+    ) -> FoldTraffic {
         let a_stats = self.a_buf.epoch(a_demand);
         let b_stats = self.b_buf.epoch(b_demand);
         // Partial sums live in the OFMAP buffer; a spill address that is not
         // resident must be fetched back from DRAM (it was written out
         // earlier when produced).
         let o_stats = self.o_buf.epoch(o_spill);
-        let o_write_count = o_writes.len() as u64;
-        for addr in o_writes {
-            self.o_buf.install(addr);
-        }
+        self.o_buf.install(o_writes);
         self.account(
             duration,
             a_stats.misses,
             b_stats.misses,
             o_stats.misses,
-            o_write_count,
+            o_writes.element_count(),
         )
     }
 
@@ -230,16 +251,21 @@ impl DramModel {
         o_writes: Vec<u64>,
         tracer: &mut crate::dram_trace::DramTraceWriter<W>,
     ) -> std::io::Result<FoldTraffic> {
-        let (a_stats, mut read_misses) = self.a_buf.epoch_with_misses(a_demand);
-        let (b_stats, b_misses) = self.b_buf.epoch_with_misses(b_demand);
-        let (o_stats, o_misses) = self.o_buf.epoch_with_misses(o_spill);
-        read_misses.extend(b_misses);
-        read_misses.extend(o_misses);
+        let a: AddrRuns = a_demand.into_iter().collect();
+        let b: AddrRuns = b_demand.into_iter().collect();
+        let o_spill: AddrRuns = o_spill.into_iter().collect();
+        // Miss runs come out in fetch order; expanding them reproduces the
+        // element-granular miss sequence exactly (within a missing span the
+        // element order is ascending, and spans appear in demand order).
+        let mut miss_runs = AddrRuns::new();
+        let a_stats = self.a_buf.epoch_with_misses(&a, &mut miss_runs);
+        let b_stats = self.b_buf.epoch_with_misses(&b, &mut miss_runs);
+        let o_stats = self.o_buf.epoch_with_misses(&o_spill, &mut miss_runs);
+        let read_misses: Vec<u64> = miss_runs.iter_elements().collect();
         tracer.fold(duration, &read_misses, &o_writes)?;
         let o_write_count = o_writes.len() as u64;
-        for addr in o_writes {
-            self.o_buf.install(addr);
-        }
+        let o_write_runs: AddrRuns = o_writes.into_iter().collect();
+        self.o_buf.install(&o_write_runs);
         Ok(self.account(
             duration,
             a_stats.misses,

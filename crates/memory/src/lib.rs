@@ -25,13 +25,15 @@ pub mod dram;
 pub mod dram_trace;
 pub mod fast_hash;
 pub mod reuse;
+pub mod runs;
 pub mod stall;
 
 pub use address::{AddressMap, ConvAddressMap, GemmAddressMap, RegionOffsets, SubGemmMap};
 pub use bandwidth::BandwidthProfile;
-pub use buffer::{DoubleBuffer, EpochStats};
+pub use buffer::{DoubleBuffer, EpochStats, RunBuffer};
 pub use dram::{DramModel, DramSummary, FoldTraffic, OperandBufferSpec};
 pub use dram_trace::DramTraceWriter;
 pub use fast_hash::{AddrBuildHasher, AddrMap, AddrSet};
 pub use reuse::ReuseProfile;
+pub use runs::{AddrRun, AddrRuns, IntervalSet};
 pub use stall::{StallModel, StallSummary};

@@ -9,7 +9,10 @@
 //! profiles LRU stack distances, which upper-bounds the FIFO buffer's hit
 //! rate and pinpoints the working-set knees exactly.
 
+use std::collections::BTreeMap;
+
 use crate::fast_hash::AddrMap;
+use crate::runs::{AddrRuns, IntervalSet};
 
 /// Histogram of LRU stack distances for a demand stream.
 ///
@@ -57,6 +60,94 @@ impl ReuseProfile {
                 }
             }
             fenwick.set(pos);
+        }
+        ReuseProfile {
+            histogram,
+            cold,
+            total,
+        }
+    }
+
+    /// Builds the profile from a run-compressed demand stream without
+    /// expanding it: O(R · log R) in the number of runs and last-touch
+    /// segments instead of O(N log N) elements.
+    ///
+    /// Each run must be internally ascending and duplicate-free (true of
+    /// every [`AddrRuns`] run by construction — a run *is* a contiguous
+    /// ascending interval). The result is identical to
+    /// [`ReuseProfile::from_demands`] over the expanded element stream.
+    ///
+    /// The key observation: for every element of a maximal segment whose
+    /// previous touch lies in the same earlier run, the LRU stack distance
+    /// is *constant* — walking the segment left to right, each step gains
+    /// one "touched earlier in the current run" address and loses exactly
+    /// one "still-live above" address of the previous toucher.
+    pub fn from_runs(runs: &AddrRuns) -> Self {
+        let n = runs.run_count();
+        // fenwick[t] = number of still-live addresses whose most recent
+        // touch was run t (decremented eagerly as later runs re-touch them).
+        let mut fenwick = Fenwick::with_len(n);
+        let mut live: Vec<IntervalSet> = Vec::with_capacity(n);
+        // Disjoint last-touch segments: start -> (end, most recent run).
+        let mut last_touch: BTreeMap<u64, (u64, usize)> = BTreeMap::new();
+        let mut histogram: Vec<u64> = Vec::new();
+        let mut cold = 0u64;
+        let mut total = 0u64;
+        for (i, run) in runs.runs().iter().enumerate() {
+            let (s, e) = (run.start, run.end());
+            total += run.len;
+            // Last-touch segments overlapping [s, e), ascending. They are
+            // disjoint with ascending ends, so the overlap is a contiguous
+            // suffix of the entries starting below `e`.
+            let mut overlapping: Vec<(u64, u64, usize)> = last_touch
+                .range(..e)
+                .rev()
+                .take_while(|&(_, &(en, _))| en > s)
+                .map(|(&st, &(en, j))| (st, en, j))
+                .collect();
+            overlapping.reverse();
+            let mut pos = s;
+            for &(seg_start, seg_end, j) in &overlapping {
+                let a1 = seg_start.max(s);
+                let a2 = seg_end.min(e);
+                cold += a1 - pos; // uncovered gap: first touches
+                pos = a2;
+                let seg = a2 - a1;
+                // Constant stack distance for the whole segment (evaluated
+                // at its last element a2-1): addresses touched earlier in
+                // this run, plus run j's still-live tail above the segment,
+                // plus everything still live in runs strictly between.
+                let distance =
+                    (a2 - 1 - s) + live[j].len_at_or_above(a2) + fenwick.range_sum(j + 1, i);
+                let distance = distance as usize;
+                if histogram.len() <= distance {
+                    histogram.resize(distance + 1, 0);
+                }
+                histogram[distance] += seg;
+                // These addresses are now last-touched by run i.
+                live[j].remove_covered(a1, a2);
+                fenwick.add(j, -(seg as i64));
+            }
+            cold += e - pos; // tail gap
+                             // Rewrite the last-touch map for [s, e).
+            for &(st, _, _) in &overlapping {
+                last_touch.remove(&st);
+            }
+            if let Some(&(st, _, j)) = overlapping.first() {
+                if st < s {
+                    last_touch.insert(st, (s, j));
+                }
+            }
+            if let Some(&(_, en, j)) = overlapping.last() {
+                if en > e {
+                    last_touch.insert(e, (en, j));
+                }
+            }
+            last_touch.insert(s, (e, i));
+            let mut now_live = IntervalSet::new();
+            now_live.insert(s, e);
+            live.push(now_live);
+            fenwick.add(i, run.len as i64);
         }
         ReuseProfile {
             histogram,
@@ -150,6 +241,13 @@ impl Fenwick {
             return 0;
         }
         (self.prefix(hi) - self.prefix(lo)) as usize
+    }
+
+    /// Sum of (nonnegative) counts in `[lo, hi)` — the same walk as
+    /// [`Fenwick::range_count`], named for the run-granular profile where
+    /// nodes hold live-element counts rather than 0/1 flags.
+    fn range_sum(&self, lo: usize, hi: usize) -> u64 {
+        self.range_count(lo, hi) as u64
     }
 }
 
@@ -253,5 +351,57 @@ mod tests {
         assert_eq!(profile.total_accesses(), 0);
         assert_eq!(profile.misses_at(10), 0);
         assert_eq!(profile.hit_rate_at(10), 0.0);
+    }
+
+    fn runs_from_intervals(intervals: &[(u64, u64)]) -> AddrRuns {
+        let mut runs = AddrRuns::new();
+        // Push through a non-coalescing path is unnecessary: adjacent
+        // pushes coalescing is exactly the stream the generators produce.
+        for &(start, len) in intervals {
+            runs.push(start, len);
+        }
+        runs
+    }
+
+    fn assert_runs_match_demands(intervals: &[(u64, u64)]) {
+        let runs = runs_from_intervals(intervals);
+        let by_runs = ReuseProfile::from_runs(&runs);
+        let by_elems = ReuseProfile::from_demands(runs.iter_elements());
+        assert_eq!(by_runs, by_elems, "intervals {intervals:?}");
+    }
+
+    #[test]
+    fn from_runs_matches_from_demands_on_worked_examples() {
+        // The two hand-verified examples from the derivation.
+        assert_runs_match_demands(&[(0, 5), (5, 3), (0, 8)]);
+        assert_runs_match_demands(&[(10, 10), (0, 5), (0, 30)]);
+        // Disjoint streaming: all cold.
+        assert_runs_match_demands(&[(0, 8), (100, 8), (200, 8)]);
+        // Exact repeat.
+        assert_runs_match_demands(&[(0, 16), (0, 16), (0, 16)]);
+        // Partial overlaps crossing several last-touch segments.
+        assert_runs_match_demands(&[(0, 10), (20, 10), (5, 20), (0, 40), (15, 3), (2, 30)]);
+        // Single-element runs (degenerate to the element algorithm).
+        assert_runs_match_demands(&[(3, 1), (1, 1), (3, 1), (2, 1), (1, 1)]);
+        // Re-touch that splits a previous run's live interval in half.
+        assert_runs_match_demands(&[(0, 30), (10, 5), (0, 30), (12, 1), (0, 13)]);
+    }
+
+    #[test]
+    fn from_runs_matches_from_demands_pseudorandom() {
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        for trial in 0..50 {
+            let count = next() % 12 + 1;
+            let intervals: Vec<(u64, u64)> =
+                (0..count).map(|_| (next() % 60, next() % 25 + 1)).collect();
+            let runs = runs_from_intervals(&intervals);
+            let by_runs = ReuseProfile::from_runs(&runs);
+            let by_elems = ReuseProfile::from_demands(runs.iter_elements());
+            assert_eq!(by_runs, by_elems, "trial {trial}: {intervals:?}");
+        }
     }
 }

@@ -1,0 +1,427 @@
+//! Run-length-compressed address streams.
+//!
+//! The conv/GEMM address maps emit overwhelmingly *contiguous* addresses:
+//! a GEMM row `A[m][k0..k0+len]` is one run, a conv window row is one run
+//! per filter row. Materializing every element as a `Vec<u64>` (the
+//! original [`fold_demands`](../../scalesim_systolic/fn.fold_demands.html)
+//! representation) makes every downstream model O(elements); representing
+//! the same stream as ordered `(start, len)` intervals makes them O(runs).
+//!
+//! Two types live here:
+//!
+//! * [`AddrRuns`] — an *ordered* sequence of ascending contiguous runs.
+//!   Order is semantic: the SRAM models use FIFO replacement, so the
+//!   element sequence (first-use order) must be preserved exactly. The
+//!   only compression applied is coalescing a pushed run with the previous
+//!   one when they are exactly adjacent — which never changes the
+//!   concatenated element sequence.
+//! * [`IntervalSet`] — a disjoint, coalesced set of address intervals,
+//!   used for run-granular residency tracking ([`crate::RunBuffer`]) and
+//!   first-use deduplication in the demand generators.
+
+use std::collections::BTreeMap;
+
+/// One maximal contiguous address run: `start, start+1, …, start+len-1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AddrRun {
+    /// First address of the run.
+    pub start: u64,
+    /// Number of consecutive addresses.
+    pub len: u64,
+}
+
+impl AddrRun {
+    /// One past the last address of the run.
+    pub fn end(&self) -> u64 {
+        self.start + self.len
+    }
+}
+
+/// An ordered sequence of address runs — the run-length-compressed form of
+/// a demand stream.
+///
+/// Equivalent to the `Vec<u64>` it compresses: iterating
+/// [`AddrRuns::iter_elements`] yields exactly the original element
+/// sequence. Duplicate or descending addresses are representable (as
+/// separate runs); only exactly-adjacent ascending pushes coalesce.
+///
+/// ```
+/// use scalesim_memory::AddrRuns;
+///
+/// let runs: AddrRuns = [5u64, 6, 7, 20, 21, 7].into_iter().collect();
+/// assert_eq!(runs.run_count(), 3); // [5,3] [20,2] [7,1]
+/// assert_eq!(runs.element_count(), 6);
+/// let back: Vec<u64> = runs.iter_elements().collect();
+/// assert_eq!(back, vec![5, 6, 7, 20, 21, 7]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AddrRuns {
+    runs: Vec<AddrRun>,
+    elements: u64,
+}
+
+impl AddrRuns {
+    /// An empty stream.
+    pub fn new() -> AddrRuns {
+        AddrRuns::default()
+    }
+
+    /// An empty stream with room for `runs` runs.
+    pub fn with_capacity(runs: usize) -> AddrRuns {
+        AddrRuns {
+            runs: Vec::with_capacity(runs),
+            elements: 0,
+        }
+    }
+
+    /// Appends the run `[start, start+len)`, coalescing with the previous
+    /// run when exactly adjacent. A zero-length push is a no-op.
+    pub fn push(&mut self, start: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        self.elements += len;
+        if let Some(last) = self.runs.last_mut() {
+            if last.end() == start {
+                last.len += len;
+                return;
+            }
+        }
+        self.runs.push(AddrRun { start, len });
+    }
+
+    /// Appends every run of `other`, preserving order.
+    pub fn extend_runs(&mut self, other: &AddrRuns) {
+        for run in other.runs() {
+            self.push(run.start, run.len);
+        }
+    }
+
+    /// The runs in stream order.
+    pub fn runs(&self) -> &[AddrRun] {
+        &self.runs
+    }
+
+    /// Total element count (sum of run lengths).
+    pub fn element_count(&self) -> u64 {
+        self.elements
+    }
+
+    /// Number of runs.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Empties the stream, keeping allocations.
+    pub fn clear(&mut self) {
+        self.runs.clear();
+        self.elements = 0;
+    }
+
+    /// The uncompressed element sequence.
+    pub fn iter_elements(&self) -> impl Iterator<Item = u64> + '_ {
+        self.runs.iter().flat_map(|r| r.start..r.end())
+    }
+}
+
+impl FromIterator<u64> for AddrRuns {
+    /// Order-preserving compression of an element stream: only consecutive
+    /// ascending-adjacent elements coalesce, so the element sequence round
+    /// trips exactly.
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> AddrRuns {
+        let mut runs = AddrRuns::new();
+        for addr in iter {
+            runs.push(addr, 1);
+        }
+        runs
+    }
+}
+
+/// A disjoint, coalesced set of half-open address intervals `[start, end)`.
+///
+/// Supports the queries the run-granular models need: membership span
+/// lookup, next-covered-start, union insert, covered-range removal, and
+/// gap enumeration — each O(log n) in the number of disjoint spans (plus
+/// output size).
+#[derive(Debug, Clone, Default)]
+pub struct IntervalSet {
+    /// start -> end, disjoint and non-adjacent (always coalesced).
+    spans: BTreeMap<u64, u64>,
+    len: u64,
+}
+
+impl IntervalSet {
+    /// An empty set.
+    pub fn new() -> IntervalSet {
+        IntervalSet::default()
+    }
+
+    /// Total number of covered addresses.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether no addresses are covered.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `addr` is covered.
+    pub fn contains(&self, addr: u64) -> bool {
+        self.span_at(addr).is_some()
+    }
+
+    /// The `(start, end)` of the span covering `pos`, if any.
+    pub fn span_at(&self, pos: u64) -> Option<(u64, u64)> {
+        let (&start, &end) = self.spans.range(..=pos).next_back()?;
+        (end > pos).then_some((start, end))
+    }
+
+    /// The start of the first span at or after `pos`, if any.
+    pub fn first_start_at_or_after(&self, pos: u64) -> Option<u64> {
+        self.spans.range(pos..).next().map(|(&s, _)| s)
+    }
+
+    /// Number of covered addresses `>= pos`.
+    pub fn len_at_or_above(&self, pos: u64) -> u64 {
+        let mut total = 0;
+        if let Some((_, end)) = self.span_at(pos) {
+            total += end - pos;
+        }
+        for (&s, &e) in self.spans.range(pos..) {
+            if s >= pos {
+                total += e - s;
+            }
+        }
+        total
+    }
+
+    /// Unions `[start, end)` into the set, merging overlapping or adjacent
+    /// spans.
+    pub fn insert(&mut self, start: u64, end: u64) {
+        if start >= end {
+            return;
+        }
+        let mut new_start = start;
+        let mut new_end = end;
+        if let Some((&ps, &pe)) = self.spans.range(..=start).next_back() {
+            if pe >= start {
+                if pe >= end {
+                    return; // already fully covered
+                }
+                new_start = ps;
+                new_end = new_end.max(pe);
+                self.len -= pe - ps;
+                self.spans.remove(&ps);
+            }
+        }
+        // Absorb every span starting within the (grown) range, including
+        // one starting exactly at new_end (adjacent).
+        while let Some((&s, &e)) = self.spans.range(new_start..=new_end).next() {
+            self.len -= e - s;
+            new_end = new_end.max(e);
+            self.spans.remove(&s);
+        }
+        self.spans.insert(new_start, new_end);
+        self.len += new_end - new_start;
+    }
+
+    /// Removes `[start, end)`, which must lie entirely within one span.
+    pub fn remove_covered(&mut self, start: u64, end: u64) {
+        if start >= end {
+            return;
+        }
+        let (span_start, span_end) = self
+            .span_at(start)
+            .expect("remove_covered: range not resident");
+        debug_assert!(end <= span_end, "remove_covered: range spans a gap");
+        self.spans.remove(&span_start);
+        if span_start < start {
+            self.spans.insert(span_start, start);
+        }
+        if end < span_end {
+            self.spans.insert(end, span_end);
+        }
+        self.len -= end - start;
+    }
+
+    /// Calls `gap(s, e)` for each maximal subrange of `[start, end)` *not*
+    /// covered by the set, in ascending order.
+    pub fn for_gaps(&self, start: u64, end: u64, mut gap: impl FnMut(u64, u64)) {
+        let mut pos = start;
+        if let Some((_, span_end)) = self.span_at(pos) {
+            pos = span_end.min(end);
+        }
+        while pos < end {
+            match self.first_start_at_or_after(pos) {
+                Some(next) if next < end => {
+                    gap(pos, next);
+                    pos = self.spans[&next].min(end);
+                }
+                _ => {
+                    gap(pos, end);
+                    pos = end;
+                }
+            }
+        }
+    }
+
+    /// Empties the set.
+    pub fn clear(&mut self) {
+        self.spans.clear();
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_coalesces_only_adjacent_ascending() {
+        let mut runs = AddrRuns::new();
+        runs.push(10, 5);
+        runs.push(15, 5); // adjacent: coalesce
+        runs.push(30, 1);
+        runs.push(29, 1); // descending: new run
+        runs.push(30, 1); // adjacent to the previous push: coalesces
+        assert_eq!(runs.run_count(), 3);
+        assert_eq!(runs.element_count(), 13);
+        assert_eq!(runs.runs()[0], AddrRun { start: 10, len: 10 });
+        let elems: Vec<u64> = runs.iter_elements().collect();
+        assert_eq!(
+            elems,
+            vec![10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 30, 29, 30]
+        );
+    }
+
+    #[test]
+    fn from_iter_round_trips_any_sequence() {
+        let seq = vec![7u64, 8, 9, 3, 4, 4, 5, 100, 2, 1, 0];
+        let runs: AddrRuns = seq.iter().copied().collect();
+        let back: Vec<u64> = runs.iter_elements().collect();
+        assert_eq!(back, seq);
+        assert_eq!(runs.element_count(), seq.len() as u64);
+    }
+
+    #[test]
+    fn zero_length_push_is_noop() {
+        let mut runs = AddrRuns::new();
+        runs.push(5, 0);
+        assert!(runs.is_empty());
+        assert_eq!(runs.element_count(), 0);
+    }
+
+    #[test]
+    fn interval_set_insert_merges_overlaps_and_adjacency() {
+        let mut set = IntervalSet::new();
+        set.insert(10, 20);
+        set.insert(30, 40);
+        assert_eq!(set.len(), 20);
+        set.insert(20, 30); // bridges the two (adjacent on both sides)
+        assert_eq!(set.len(), 30);
+        assert_eq!(set.span_at(15), Some((10, 40)));
+        set.insert(5, 50); // superset
+        assert_eq!(set.len(), 45);
+        assert_eq!(set.span_at(5), Some((5, 50)));
+        set.insert(7, 9); // fully covered: no-op
+        assert_eq!(set.len(), 45);
+    }
+
+    #[test]
+    fn interval_set_remove_covered_splits_spans() {
+        let mut set = IntervalSet::new();
+        set.insert(0, 100);
+        set.remove_covered(20, 30);
+        assert_eq!(set.len(), 90);
+        assert!(set.contains(19));
+        assert!(!set.contains(20));
+        assert!(!set.contains(29));
+        assert!(set.contains(30));
+        assert_eq!(set.span_at(0), Some((0, 20)));
+        assert_eq!(set.span_at(30), Some((30, 100)));
+        // Remove a full span.
+        set.remove_covered(0, 20);
+        assert!(!set.contains(0));
+        assert_eq!(set.len(), 70);
+    }
+
+    #[test]
+    fn interval_set_gap_walk() {
+        let mut set = IntervalSet::new();
+        set.insert(10, 20);
+        set.insert(30, 40);
+        let mut gaps = Vec::new();
+        set.for_gaps(5, 45, |s, e| gaps.push((s, e)));
+        assert_eq!(gaps, vec![(5, 10), (20, 30), (40, 45)]);
+        // Fully covered range: no gaps.
+        gaps.clear();
+        set.for_gaps(12, 18, |s, e| gaps.push((s, e)));
+        assert!(gaps.is_empty());
+        // Fully uncovered range: one gap.
+        gaps.clear();
+        set.for_gaps(100, 110, |s, e| gaps.push((s, e)));
+        assert_eq!(gaps, vec![(100, 110)]);
+    }
+
+    #[test]
+    fn interval_set_queries() {
+        let mut set = IntervalSet::new();
+        set.insert(10, 20);
+        set.insert(40, 50);
+        assert_eq!(set.first_start_at_or_after(0), Some(10));
+        assert_eq!(set.first_start_at_or_after(10), Some(10));
+        assert_eq!(set.first_start_at_or_after(11), Some(40));
+        assert_eq!(set.first_start_at_or_after(50), None);
+        assert_eq!(set.len_at_or_above(0), 20);
+        assert_eq!(set.len_at_or_above(15), 15);
+        assert_eq!(set.len_at_or_above(45), 5);
+        assert_eq!(set.len_at_or_above(50), 0);
+    }
+
+    #[test]
+    fn interval_set_matches_naive_model() {
+        // Deterministic pseudo-random op sequence cross-checked against a
+        // HashSet-of-elements model.
+        use std::collections::HashSet;
+        let mut set = IntervalSet::new();
+        let mut model: HashSet<u64> = HashSet::new();
+        let mut state = 0x243f6a8885a308d3u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        for _ in 0..500 {
+            let s = next() % 200;
+            let len = next() % 20 + 1;
+            let e = s + len;
+            if next() % 3 == 0 {
+                // Remove a covered subrange, if one exists inside a span.
+                if let Some((a, b)) = set.span_at(s) {
+                    let e2 = e.min(b);
+                    if s < e2 {
+                        set.remove_covered(s, e2);
+                        for x in s..e2 {
+                            model.remove(&x);
+                        }
+                    }
+                    let _ = a;
+                }
+            } else {
+                set.insert(s, e);
+                for x in s..e {
+                    model.insert(x);
+                }
+            }
+            assert_eq!(set.len(), model.len() as u64);
+            for probe in 0..220 {
+                assert_eq!(set.contains(probe), model.contains(&probe));
+            }
+        }
+    }
+}

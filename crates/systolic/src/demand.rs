@@ -7,7 +7,7 @@
 //! suite proves the two views consistent (every address a fold demands here
 //! appears in its trace window, and vice versa).
 
-use scalesim_memory::{AddrSet, AddressMap};
+use scalesim_memory::{AddrRuns, AddrSet, AddressMap, IntervalSet};
 use scalesim_topology::{Dataflow, MappedDims};
 
 use crate::fold::{Fold, FoldPlan};
@@ -179,6 +179,234 @@ fn demand_for_fold<M: AddressMap + ?Sized>(dims: &MappedDims, fold: &Fold, map: 
     }
 }
 
+/// One fold's memory demand in run-length-compressed form — the hot-path
+/// equivalent of [`FoldDemand`]. Produced by [`fold_demand_runs`].
+///
+/// The **A** stream carries *real* IFMAP addresses (convolution window
+/// overlap — the reuse the DRAM model measures — lives in the real address
+/// structure), deduplicated to first-use order exactly like the legacy
+/// enumeration.
+///
+/// The **B** and **O** streams carry *canonical labels* rather than real
+/// addresses: per fold, coordinate `(k, n)` or `(m, n)` maps to a dense
+/// label chosen so each loop nest emits maximal runs. The address-map
+/// contract guarantees B and O coordinates map to distinct real addresses,
+/// so the relabeling is a bijection applied consistently across the layer
+/// — and FIFO buffer hit/miss/eviction counts depend only on the equality
+/// pattern of the stream, not on the address values. The resulting
+/// [`DramSummary`](scalesim_memory::DramSummary) is therefore identical to
+/// the legacy element path (the workspace equivalence property suite pins
+/// this). Real-address consumers (trace export) keep using
+/// [`fold_demands`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FoldDemandRuns {
+    /// The fold this demand belongs to.
+    pub fold: Fold,
+    /// Unique operand-A (IFMAP) address runs, real addresses, first-use
+    /// order.
+    pub a: AddrRuns,
+    /// Operand-B (filter) demand runs, canonical labels.
+    pub b: AddrRuns,
+    /// Partial-sum re-read runs (WS/IS row folds beyond the first),
+    /// canonical labels shared with `o_writes`.
+    pub o_spill: AddrRuns,
+    /// Output write runs, canonical labels.
+    pub o_writes: AddrRuns,
+}
+
+impl FoldDemandRuns {
+    /// Total demanded elements across all four streams.
+    pub fn element_count(&self) -> u64 {
+        self.a.element_count()
+            + self.b.element_count()
+            + self.o_spill.element_count()
+            + self.o_writes.element_count()
+    }
+
+    /// Total runs across all four streams.
+    pub fn run_count(&self) -> u64 {
+        (self.a.run_count()
+            + self.b.run_count()
+            + self.o_spill.run_count()
+            + self.o_writes.run_count()) as u64
+    }
+}
+
+/// Iterator over run-compressed per-fold demands. Created by
+/// [`fold_demand_runs`].
+#[derive(Debug)]
+pub struct FoldDemandsRuns<'a, M: ?Sized> {
+    dims: MappedDims,
+    map: &'a M,
+    plan: FoldPlan,
+    /// Per-fold first-use dedup for the A stream, reused across folds.
+    a_seen: IntervalSet,
+    /// Scratch for raw `a_span` output before dedup.
+    a_scratch: AddrRuns,
+}
+
+/// Enumerates each fold's demand as address runs — the run-compressed
+/// counterpart of [`fold_demands`], feeding
+/// [`DramModel::fold_runs`](scalesim_memory::DramModel::fold_runs).
+///
+/// ```
+/// use scalesim_systolic::{fold_demand_runs, ArrayShape};
+/// use scalesim_memory::{GemmAddressMap, RegionOffsets};
+/// use scalesim_topology::{Dataflow, GemmShape};
+///
+/// let shape = GemmShape::new(8, 4, 8);
+/// let dims = shape.project(Dataflow::OutputStationary);
+/// let map = GemmAddressMap::from_shape(shape, RegionOffsets::default());
+/// let folds: Vec<_> = fold_demand_runs(&dims, ArrayShape::square(4), &map).collect();
+/// assert_eq!(folds.len(), 4);
+/// assert_eq!(folds[0].a.element_count(), 4 * 4); // 4 rows x T=4 elements
+/// assert_eq!(folds[0].a.run_count(), 1); // ... adjacent rows fuse to one run
+/// ```
+pub fn fold_demand_runs<'a, M: AddressMap + ?Sized>(
+    dims: &MappedDims,
+    array: ArrayShape,
+    map: &'a M,
+) -> FoldDemandsRuns<'a, M> {
+    FoldDemandsRuns {
+        dims: *dims,
+        map,
+        plan: FoldPlan::new(dims, array),
+        a_seen: IntervalSet::new(),
+        a_scratch: AddrRuns::new(),
+    }
+}
+
+impl<'a, M: AddressMap + ?Sized> Iterator for FoldDemandsRuns<'a, M> {
+    type Item = FoldDemandRuns;
+
+    fn next(&mut self) -> Option<FoldDemandRuns> {
+        let fold = self.plan.next()?;
+        Some(demand_runs_for_fold(
+            &self.dims,
+            &fold,
+            self.map,
+            &mut self.a_seen,
+            &mut self.a_scratch,
+        ))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.plan.size_hint()
+    }
+}
+
+impl<'a, M: AddressMap + ?Sized> ExactSizeIterator for FoldDemandsRuns<'a, M> {}
+
+/// Appends `A[m][k0..k0+len]` to `out`, deduplicated against `seen`
+/// (first-use order): each maximal novel sub-range of each span run is
+/// emitted in ascending `k` order — exactly the order the element-wise
+/// `push_unique` loop produces.
+fn push_a_dedup<M: AddressMap + ?Sized>(
+    map: &M,
+    m: u64,
+    k0: u64,
+    len: u64,
+    seen: &mut IntervalSet,
+    scratch: &mut AddrRuns,
+    out: &mut AddrRuns,
+) {
+    scratch.clear();
+    map.a_span(m, k0, len, scratch);
+    for run in scratch.runs() {
+        seen.for_gaps(run.start, run.end(), |s, e| out.push(s, e - s));
+        seen.insert(run.start, run.end());
+    }
+}
+
+fn demand_runs_for_fold<M: AddressMap + ?Sized>(
+    dims: &MappedDims,
+    fold: &Fold,
+    map: &M,
+    a_seen: &mut IntervalSet,
+    a_scratch: &mut AddrRuns,
+) -> FoldDemandRuns {
+    let t = dims.temporal;
+    let ru = fold.rows_used;
+    let cu = fold.cols_used;
+    let mut a = AddrRuns::new();
+    let mut b = AddrRuns::new();
+    let mut o_spill = AddrRuns::new();
+    let mut o_writes = AddrRuns::new();
+    a_seen.clear();
+
+    match dims.dataflow {
+        Dataflow::OutputStationary => {
+            // A: real addresses, row-major over (i, k) — one span per row.
+            for i in 0..ru {
+                push_a_dedup(map, fold.row_base + i, 0, t, a_seen, a_scratch, &mut a);
+            }
+            // B: loop (j, k) over B[k][col_base+j]; label (k, n) -> n·T + k
+            // makes each j a run of T and the whole fold one run.
+            b.push((fold.col_base) * t, cu * t);
+            // O: loop (i, j) over O[row_base+i][col_base+j]; label
+            // (m, n) -> m·SC + n makes each row a run of cu.
+            let sc = dims.spatial_cols;
+            for i in 0..ru {
+                o_writes.push((fold.row_base + i) * sc + fold.col_base, cu);
+            }
+        }
+        Dataflow::WeightStationary => {
+            let k_base = fold.row_base;
+            let n_base = fold.col_base;
+            // B: loop (i, j) over B[k_base+i][n_base+j]; label
+            // (k, n) -> k·SC + n.
+            let sc = dims.spatial_cols;
+            for i in 0..ru {
+                b.push((k_base + i) * sc + n_base, cu);
+            }
+            // A: real addresses, loop (mt, i) -> A[mt][k_base+i].
+            for mt in 0..t {
+                push_a_dedup(map, mt, k_base, ru, a_seen, a_scratch, &mut a);
+            }
+            // O: loop (mt, j) over O[mt][n_base+j]; label (m, n) -> m·SC + n.
+            let spill = fold.fr > 0;
+            for mt in 0..t {
+                let start = mt * sc + n_base;
+                if spill {
+                    o_spill.push(start, cu);
+                }
+                o_writes.push(start, cu);
+            }
+        }
+        Dataflow::InputStationary => {
+            let k_base = fold.row_base;
+            let m_base = fold.col_base;
+            // A: real addresses, loop (j, i) -> A[m_base+j][k_base+i].
+            for j in 0..cu {
+                push_a_dedup(map, m_base + j, k_base, ru, a_seen, a_scratch, &mut a);
+            }
+            // B: loop (nt, i) over B[k_base+i][nt]; label (k, n) -> n·SR + k.
+            let sr = dims.spatial_rows;
+            for nt in 0..t {
+                b.push(nt * sr + k_base, ru);
+            }
+            // O: loop (nt, j) over O[m_base+j][nt]; label (m, n) -> n·SC + m.
+            let sc = dims.spatial_cols;
+            let spill = fold.fr > 0;
+            for nt in 0..t {
+                let start = nt * sc + m_base;
+                if spill {
+                    o_spill.push(start, cu);
+                }
+                o_writes.push(start, cu);
+            }
+        }
+    }
+
+    FoldDemandRuns {
+        fold: *fold,
+        a,
+        b,
+        o_spill,
+        o_writes,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,6 +508,87 @@ mod tests {
             assert_eq!(d.b.len() as u64, d.fold.cols_used * dims.temporal);
             assert_eq!(d.o_writes.len() as u64, d.fold.rows_used * d.fold.cols_used);
             assert!(d.o_spill.is_empty());
+        }
+    }
+
+    /// Checks the run-compressed generator against the legacy enumeration:
+    /// A element sequences must be identical; B/O streams must have equal
+    /// per-fold sizes and be related by one layer-wide bijection per
+    /// operand.
+    fn check_runs_match_legacy<M: AddressMap>(dims: &MappedDims, array: ArrayShape, map: &M) {
+        use std::collections::HashMap;
+        let legacy: Vec<FoldDemand> = fold_demands(dims, array, map).collect();
+        let runs: Vec<FoldDemandRuns> = fold_demand_runs(dims, array, map).collect();
+        assert_eq!(legacy.len(), runs.len());
+        let mut b_fwd: HashMap<u64, u64> = HashMap::new();
+        let mut b_rev: HashMap<u64, u64> = HashMap::new();
+        let mut o_fwd: HashMap<u64, u64> = HashMap::new();
+        let mut o_rev: HashMap<u64, u64> = HashMap::new();
+        let check_bijection = |fwd: &mut HashMap<u64, u64>,
+                               rev: &mut HashMap<u64, u64>,
+                               real: &[u64],
+                               label: Vec<u64>| {
+            assert_eq!(real.len(), label.len());
+            for (&r, &l) in real.iter().zip(&label) {
+                assert_eq!(*fwd.entry(r).or_insert(l), l, "label not a function");
+                assert_eq!(*rev.entry(l).or_insert(r), r, "label not injective");
+            }
+        };
+        for (d, dr) in legacy.iter().zip(&runs) {
+            assert_eq!(d.fold, dr.fold);
+            // A: exact element equality (real addresses, first-use order).
+            assert_eq!(
+                d.a,
+                dr.a.iter_elements().collect::<Vec<u64>>(),
+                "A stream diverged in fold {:?}",
+                d.fold
+            );
+            check_bijection(&mut b_fwd, &mut b_rev, &d.b, dr.b.iter_elements().collect());
+            check_bijection(
+                &mut o_fwd,
+                &mut o_rev,
+                &d.o_spill,
+                dr.o_spill.iter_elements().collect(),
+            );
+            check_bijection(
+                &mut o_fwd,
+                &mut o_rev,
+                &d.o_writes,
+                dr.o_writes.iter_elements().collect(),
+            );
+        }
+    }
+
+    #[test]
+    fn run_demands_match_legacy_for_gemm_all_dataflows() {
+        let shape = GemmShape::new(10, 7, 9);
+        let map = GemmAddressMap::from_shape(shape, RegionOffsets::default());
+        for df in Dataflow::ALL {
+            let dims = shape.project(df);
+            check_runs_match_legacy(&dims, ArrayShape::new(4, 4), &map);
+        }
+    }
+
+    #[test]
+    fn run_demands_match_legacy_for_conv_all_dataflows() {
+        for stride in [1, 2] {
+            let layer = ConvLayer::new("t", 8, 8, 3, 3, 2, 5, stride).unwrap();
+            let map = ConvAddressMap::new(&layer, RegionOffsets::default());
+            for df in Dataflow::ALL {
+                let dims = layer.shape().project(df);
+                check_runs_match_legacy(&dims, ArrayShape::new(8, 4), &map);
+            }
+        }
+    }
+
+    #[test]
+    fn run_compression_is_effective_on_gemm() {
+        // The whole point: far fewer runs than elements.
+        let shape = GemmShape::new(64, 64, 64);
+        let dims = shape.project(Dataflow::OutputStationary);
+        let map = GemmAddressMap::from_shape(shape, RegionOffsets::default());
+        for d in fold_demand_runs(&dims, ArrayShape::square(16), &map) {
+            assert!(d.run_count() * 8 <= d.element_count());
         }
     }
 }

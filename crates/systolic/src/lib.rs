@@ -53,7 +53,9 @@ mod trace;
 mod ws;
 
 pub use crate::array::ArrayShape;
-pub use crate::demand::{fold_demands, FoldDemand, FoldDemands};
+pub use crate::demand::{
+    fold_demand_runs, fold_demands, FoldDemand, FoldDemandRuns, FoldDemands, FoldDemandsRuns,
+};
 pub use crate::engine::{analyze, simulate, ComputeReport};
 pub use crate::fold::{fold_duration, Fold, FoldPlan};
 pub use crate::timeline::{occupancy_histogram, OccupancyHistogram};

@@ -15,7 +15,6 @@
 //! column), **not** sorted by cycle. Sinks that need cycle order (like the
 //! CSV writer) buffer one fold and sort; counting sinks do not care.
 
-use std::collections::BTreeMap;
 use std::io::{self, Write};
 
 use serde::{Deserialize, Serialize};
@@ -199,14 +198,19 @@ impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<A, B> {
 /// filter, SRAM writes for OFMAP; partial-sum re-reads go to the read
 /// stream of the OFMAP file prefixed by a `r` marker column).
 ///
-/// Events are buffered per fold and flushed sorted by cycle on `fold_end`,
-/// restoring the cycle order the original tool's files have.
+/// Events are buffered per fold in flat vectors and flushed with one
+/// stable sort on `fold_end`, restoring the cycle order the original
+/// tool's files have. (A flat sort-once buffer replaces an earlier
+/// per-event `BTreeMap`: same output bytes — stable sort keeps the
+/// within-cycle emission order — without per-event tree rebalancing.)
 #[derive(Debug)]
 pub struct CsvTraceSink<W: Write> {
     reads: W,
     writes: W,
-    read_rows: BTreeMap<u64, (Vec<u64>, Vec<u64>)>,
-    write_rows: BTreeMap<u64, Vec<u64>>,
+    /// `(cycle, stream, addr)`: stream 0 = operand A, stream 1 = operand B
+    /// and partial-sum re-reads (which share the B half of a row).
+    read_events: Vec<(u64, u8, u64)>,
+    write_events: Vec<(u64, u64)>,
     error: Option<io::Error>,
 }
 
@@ -218,8 +222,8 @@ impl<W: Write> CsvTraceSink<W> {
         CsvTraceSink {
             reads,
             writes,
-            read_rows: BTreeMap::new(),
-            write_rows: BTreeMap::new(),
+            read_events: Vec::new(),
+            write_events: Vec::new(),
             error: None,
         }
     }
@@ -236,22 +240,38 @@ impl<W: Write> CsvTraceSink<W> {
 
     fn flush_rows(&mut self) {
         if self.error.is_some() {
+            self.read_events.clear();
+            self.write_events.clear();
             return;
         }
-        for (cycle, (a, b)) in std::mem::take(&mut self.read_rows) {
-            let mut row = format!("{cycle}");
-            for addr in a.iter().chain(b.iter()) {
+        // Stable sorts: rows come out in cycle order with the A addresses
+        // before the B/partial-sum addresses, each in emission order —
+        // byte-identical to grouping into per-cycle (a, b) vectors.
+        self.read_events
+            .sort_by_key(|&(cycle, stream, _)| (cycle, stream));
+        self.write_events.sort_by_key(|&(cycle, _)| cycle);
+        let mut row = String::new();
+        let mut read_events = std::mem::take(&mut self.read_events);
+        for group in read_events.chunk_by(|a, b| a.0 == b.0) {
+            row.clear();
+            row.push_str(&format!("{}", group[0].0));
+            for &(_, _, addr) in group {
                 row.push_str(&format!(",{addr}"));
             }
             row.push('\n');
             if let Err(e) = self.reads.write_all(row.as_bytes()) {
                 self.error = Some(e);
+                self.write_events.clear();
                 return;
             }
         }
-        for (cycle, addrs) in std::mem::take(&mut self.write_rows) {
-            let mut row = format!("{cycle}");
-            for addr in addrs {
+        read_events.clear();
+        self.read_events = read_events;
+        let mut write_events = std::mem::take(&mut self.write_events);
+        for group in write_events.chunk_by(|a, b| a.0 == b.0) {
+            row.clear();
+            row.push_str(&format!("{}", group[0].0));
+            for &(_, addr) in group {
                 row.push_str(&format!(",{addr}"));
             }
             row.push('\n');
@@ -260,25 +280,27 @@ impl<W: Write> CsvTraceSink<W> {
                 return;
             }
         }
+        write_events.clear();
+        self.write_events = write_events;
     }
 }
 
 impl<W: Write> TraceSink for CsvTraceSink<W> {
     fn read_a(&mut self, cycle: u64, addr: u64) {
-        self.read_rows.entry(cycle).or_default().0.push(addr);
+        self.read_events.push((cycle, 0, addr));
     }
 
     fn read_b(&mut self, cycle: u64, addr: u64) {
-        self.read_rows.entry(cycle).or_default().1.push(addr);
+        self.read_events.push((cycle, 1, addr));
     }
 
     fn read_o(&mut self, cycle: u64, addr: u64) {
         // Partial-sum re-reads appear in the read trace alongside operands.
-        self.read_rows.entry(cycle).or_default().1.push(addr);
+        self.read_events.push((cycle, 1, addr));
     }
 
     fn write_o(&mut self, cycle: u64, addr: u64) {
-        self.write_rows.entry(cycle).or_default().push(addr);
+        self.write_events.push((cycle, addr));
     }
 
     fn fold_end(&mut self, _fold: &Fold) {
@@ -348,6 +370,28 @@ mod tests {
         let (reads, writes) = sink.finish().unwrap();
         assert_eq!(String::from_utf8(reads).unwrap(), "1,10,11\n2,20\n");
         assert_eq!(String::from_utf8(writes).unwrap(), "3,30\n");
+    }
+
+    #[test]
+    fn csv_sink_interleaves_streams_in_stable_order() {
+        let mut sink = CsvTraceSink::new(Vec::new(), Vec::new());
+        sink.fold_begin(&fold());
+        // Same cycle across streams: A addresses first, then B and
+        // partial-sum re-reads in emission order.
+        sink.read_b(4, 40);
+        sink.read_o(4, 41);
+        sink.read_a(4, 42);
+        sink.read_a(4, 43);
+        sink.write_o(4, 90);
+        sink.write_o(4, 91);
+        sink.fold_end(&fold());
+        // A second fold flushes separately (rows append after).
+        sink.fold_begin(&fold());
+        sink.read_a(2, 20);
+        sink.fold_end(&fold());
+        let (reads, writes) = sink.finish().unwrap();
+        assert_eq!(String::from_utf8(reads).unwrap(), "4,42,43,40,41\n2,20\n");
+        assert_eq!(String::from_utf8(writes).unwrap(), "4,90,91\n");
     }
 
     #[test]
