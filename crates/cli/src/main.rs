@@ -18,7 +18,10 @@ scale-sim — systolic-array DNN accelerator simulator (SCALE-Sim in Rust)
 USAGE:
     scale-sim [run] [OPTIONS]
     scale-sim serve [--port <P>] [--host <ADDR>] [--workers <N>] [--cache <N>]
+                    [--queue-depth <N>] [--max-connections <N>]
+                    [--deadline-ms <MS>] [--grace-ms <MS>]
     scale-sim batch --manifest <FILE> [--jobs <N>] [--output <FILE>] [--cache <N>]
+                    [--retries <N>]
     scale-sim sweep --plan <FILE> [--jobs <N>] [--output <FILE>]
                     [--format csv|jsonl] [--cache <N>]
 
@@ -26,9 +29,13 @@ SUBCOMMANDS:
     run      simulate one workload (the default when no subcommand is given)
     serve    run the HTTP simulation service (POST /simulate, POST /sweep,
              GET /stats, GET /metrics, GET /healthz) with a shared
-             content-addressed result cache
+             content-addressed result cache; jobs past --queue-depth shed
+             with 503 + Retry-After, requests honor X-Scalesim-Deadline-Ms
+             (--deadline-ms default, 504 on expiry), and SIGINT/SIGTERM
+             drain in-flight work for up to --grace-ms before exiting
     batch    run a manifest of jobs concurrently through the same engine
-             and write one combined REPORT CSV
+             and write one combined REPORT CSV; jobs shed by an overloaded
+             engine retry up to --retries times with backoff + jitter
     sweep    expand a design-space plan file (workloads x MAC budgets x
              partition grids x aspect ratios x dataflows) and evaluate
              every point in parallel through a content-addressed result

@@ -1,0 +1,99 @@
+//! End-to-end graceful shutdown of `scale-sim serve`: a real process, a
+//! real SIGTERM, a clean exit-code-0 drain.
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use scalesim_server::http::client::request;
+
+/// Reaps the child on panic so a failing test never leaks a server.
+struct ChildGuard(Child);
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+#[test]
+fn sigterm_drains_and_exits_zero() {
+    let child = Command::new(env!("CARGO_BIN_EXE_scale-sim"))
+        .args([
+            "serve",
+            "--port",
+            "0",
+            "--workers",
+            "1",
+            "--grace-ms",
+            "8000",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("serve starts");
+    let mut child = ChildGuard(child);
+    let stderr = child.0.stderr.take().expect("stderr piped");
+    let mut lines = BufReader::new(stderr).lines();
+
+    // The startup banner announces the ephemeral port.
+    let addr: SocketAddr = loop {
+        let line = lines
+            .next()
+            .expect("serve exited before announcing its address")
+            .expect("read stderr");
+        if let Some(rest) = line.split("listening on http://").nth(1) {
+            break rest
+                .split_whitespace()
+                .next()
+                .expect("address after scheme")
+                .parse()
+                .expect("parseable address");
+        }
+    };
+    // Drain the rest of stderr in the background so the child never
+    // blocks on a full pipe, and keep it for assertions after exit.
+    let tail = std::thread::spawn(move || {
+        let mut text = String::new();
+        for line in lines.map_while(Result::ok) {
+            text.push_str(&line);
+            text.push('\n');
+        }
+        text
+    });
+
+    let health = request(addr, "GET", "/healthz", None).expect("healthz");
+    assert_eq!(health.status, 200);
+    assert!(health.body.contains("\"ok\""));
+
+    let pid = child.0.id().to_string();
+    let killed = Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .expect("kill runs");
+    assert!(killed.success());
+
+    // Clean exit within the grace period (plus signal-poll slack).
+    let deadline = Instant::now() + Duration::from_secs(15);
+    let status = loop {
+        if let Some(status) = child.0.try_wait().expect("try_wait") {
+            break status;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "serve did not exit after SIGTERM"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(status.success(), "drained serve exits 0, got {status:?}");
+    let stderr_text = tail.join().unwrap();
+    assert!(
+        stderr_text.contains("draining"),
+        "shutdown is announced, got: {stderr_text}"
+    );
+    assert!(stderr_text.contains("drained cleanly"));
+}

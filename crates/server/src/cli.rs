@@ -3,10 +3,12 @@
 //! logic lives here.
 
 use std::fs;
+use std::time::Duration;
 
-use crate::batch::{parse_manifest, run_batch};
-use crate::engine::Engine;
-use crate::http::Server;
+use crate::batch::{parse_manifest, run_batch_with_retry, RetryPolicy};
+use crate::engine::{Engine, EngineOptions, DEFAULT_QUEUE_DEPTH};
+use crate::http::{Server, ServerOptions};
+use crate::signals;
 
 /// Default number of simulator workers: one per available core.
 fn default_workers() -> usize {
@@ -24,16 +26,25 @@ fn take_value<'a, I: Iterator<Item = &'a String>>(
         .ok_or_else(|| format!("{name} requires a value"))
 }
 
-/// `scale-sim serve`: run the HTTP simulation service until killed.
+/// `scale-sim serve`: run the HTTP simulation service until `SIGINT` /
+/// `SIGTERM`, then drain gracefully.
 ///
 /// Flags: `--port <P>` (default 7878), `--host <ADDR>` (default 127.0.0.1),
 /// `--workers <N>` (default: one per core), `--cache <N>` results
-/// (default 256).
+/// (default 256), `--queue-depth <N>` pending jobs before shedding with
+/// 503 (default 256), `--max-connections <N>` concurrent connections
+/// (default 256), `--deadline-ms <MS>` default per-request deadline
+/// (default 120000; 0 disables), `--grace-ms <MS>` shutdown drain budget
+/// (default 10000).
 pub fn run_serve(argv: &[String]) -> Result<(), String> {
     let mut port: u16 = 7878;
     let mut host = String::from("127.0.0.1");
     let mut workers = default_workers();
     let mut cache = 256usize;
+    let mut queue_depth = DEFAULT_QUEUE_DEPTH;
+    let mut max_connections = 256usize;
+    let mut deadline_ms: u64 = 120_000;
+    let mut grace_ms: u64 = 10_000;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -50,20 +61,64 @@ pub fn run_serve(argv: &[String]) -> Result<(), String> {
                 let text = take_value(&mut it, "--cache")?;
                 cache = parse_nonzero(&text, "--cache")?;
             }
+            "--queue-depth" => {
+                let text = take_value(&mut it, "--queue-depth")?;
+                queue_depth = parse_nonzero(&text, "--queue-depth")?;
+            }
+            "--max-connections" => {
+                let text = take_value(&mut it, "--max-connections")?;
+                max_connections = parse_nonzero(&text, "--max-connections")?;
+            }
+            "--deadline-ms" => {
+                let text = take_value(&mut it, "--deadline-ms")?;
+                deadline_ms = text
+                    .parse()
+                    .map_err(|_| format!("bad value for --deadline-ms: `{text}`"))?;
+            }
+            "--grace-ms" => {
+                let text = take_value(&mut it, "--grace-ms")?;
+                grace_ms = text
+                    .parse()
+                    .map_err(|_| format!("bad value for --grace-ms: `{text}`"))?;
+            }
             other => return Err(format!("unknown serve argument `{other}`")),
         }
     }
 
-    let engine = Engine::new(workers, cache);
-    let server = Server::bind(&format!("{host}:{port}"), engine)
+    let engine = Engine::with_options(EngineOptions {
+        workers,
+        cache_capacity: cache,
+        queue_depth,
+    });
+    let options = ServerOptions {
+        max_connections,
+        default_deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
+        ..ServerOptions::default()
+    };
+    let server = Server::bind_with(&format!("{host}:{port}"), engine, options)
         .map_err(|e| format!("cannot bind {host}:{port}: {e}"))?;
     eprintln!(
-        "scale-sim serve: listening on http://{} ({workers} workers, {cache}-entry cache)",
+        "scale-sim serve: listening on http://{} ({workers} workers, {cache}-entry cache, \
+         queue depth {queue_depth}, {max_connections} max connections)",
         server.local_addr()
     );
-    eprintln!("routes: POST /simulate, GET /stats, GET /metrics, GET /healthz");
+    eprintln!("routes: POST /simulate, POST /sweep, GET /stats, GET /metrics, GET /healthz");
     eprintln!("logging: set SCALESIM_LOG=info (or debug,json) for access logs");
-    server.run()
+
+    signals::install();
+    let handle = server.spawn();
+    while !signals::shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("scale-sim serve: shutdown signal received, draining (grace {grace_ms} ms)");
+    if handle.drain(Duration::from_millis(grace_ms)) {
+        eprintln!("scale-sim serve: drained cleanly, exiting");
+        Ok(())
+    } else {
+        Err(format!(
+            "drain grace period of {grace_ms} ms expired with work still in flight"
+        ))
+    }
 }
 
 /// `scale-sim batch`: run a manifest of jobs concurrently and emit one
@@ -71,12 +126,15 @@ pub fn run_serve(argv: &[String]) -> Result<(), String> {
 ///
 /// Flags: `--manifest <FILE>` (required), `--jobs <N>` concurrent jobs
 /// (default: one per core), `--cache <N>` results (default: manifest
-/// length), `--output <FILE>` for the CSV (default: stdout).
+/// length), `--output <FILE>` for the CSV (default: stdout),
+/// `--retries <N>` retry attempts for jobs shed by an overloaded engine,
+/// with exponential backoff + jitter honoring the retry hint (default 3).
 pub fn run_batch_cli(argv: &[String]) -> Result<(), String> {
     let mut manifest_path = None;
     let mut jobs_n = default_workers();
     let mut cache = None;
     let mut output = None;
+    let mut retries: u32 = 3;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -90,6 +148,12 @@ pub fn run_batch_cli(argv: &[String]) -> Result<(), String> {
                 cache = Some(parse_nonzero(&text, "--cache")?);
             }
             "-o" | "--output" => output = Some(take_value(&mut it, "--output")?),
+            "--retries" => {
+                let text = take_value(&mut it, "--retries")?;
+                retries = text
+                    .parse()
+                    .map_err(|_| format!("bad value for --retries: `{text}`"))?;
+            }
             other => return Err(format!("unknown batch argument `{other}`")),
         }
     }
@@ -100,7 +164,8 @@ pub fn run_batch_cli(argv: &[String]) -> Result<(), String> {
     let cache = cache.unwrap_or_else(|| jobs.len().max(16));
 
     let engine = Engine::new(jobs_n, cache);
-    let outcome = run_batch(&engine, &jobs, jobs_n).map_err(|e| e.to_string())?;
+    let outcome = run_batch_with_retry(&engine, &jobs, jobs_n, RetryPolicy::with_retries(retries))
+        .map_err(|e| e.to_string())?;
     engine.shutdown();
 
     let csv = outcome.to_csv();
@@ -138,6 +203,10 @@ mod tests {
         assert!(run_serve(&argv(&["--port", "notaport"])).is_err());
         assert!(run_serve(&argv(&["--workers", "0"])).is_err());
         assert!(run_serve(&argv(&["--frobnicate"])).is_err());
+        assert!(run_serve(&argv(&["--queue-depth", "0"])).is_err());
+        assert!(run_serve(&argv(&["--max-connections", "0"])).is_err());
+        assert!(run_serve(&argv(&["--deadline-ms", "soon"])).is_err());
+        assert!(run_serve(&argv(&["--grace-ms", "-1"])).is_err());
     }
 
     #[test]
@@ -146,6 +215,7 @@ mod tests {
         assert!(err.contains("--manifest"));
         assert!(run_batch_cli(&argv(&["--manifest", "/no/such/file"])).is_err());
         assert!(run_batch_cli(&argv(&["--jobs", "0"])).is_err());
+        assert!(run_batch_cli(&argv(&["--retries", "many"])).is_err());
     }
 
     #[test]

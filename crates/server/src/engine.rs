@@ -14,11 +14,24 @@
 //! This makes hit-rate assertions independent of scheduling timing (a
 //! duplicate counts the same whether it arrived before or after the leader
 //! finished).
+//!
+//! # Overload and shutdown policy
+//!
+//! The leader queue is **bounded** ([`EngineOptions::queue_depth`]). A
+//! leader that would grow it past the bound is *shed* with
+//! [`JobError::Overloaded`] (carrying a back-off hint derived from recent
+//! simulation times) instead of queueing without limit. Callers can pass a
+//! deadline; when it expires before the result is ready they get
+//! [`JobError::DeadlineExpired`] while the in-flight leader keeps running
+//! and its result still lands in the cache. After [`Engine::shutdown`],
+//! submissions fail fast with [`JobError::ShuttingDown`] — nothing is ever
+//! enqueued onto a pool whose workers are exiting, so no caller can block
+//! forever on a slot that will never be filled.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use scalesim::{NetworkReport, Simulator};
 use scalesim_telemetry::{log, Counter, Gauge, Histogram, Registry};
@@ -143,6 +156,15 @@ pub struct Stats {
     /// Joiners that piled onto each completed leader (single-flight fan-in
     /// per key; counts joiners present when the leader finished).
     pub joiners_per_key: Arc<Histogram>,
+    /// Jobs shed because the bounded queue was full
+    /// (`scalesim_jobs_shed_total`).
+    pub shed: Arc<Counter>,
+    /// Requests whose deadline expired before the result was ready
+    /// (`scalesim_jobs_deadline_expired_total`).
+    pub deadline_expired: Arc<Counter>,
+    /// Leaders currently waiting in the bounded queue
+    /// (`scalesim_queue_depth`).
+    pub queue_depth: Arc<Gauge>,
 }
 
 impl Stats {
@@ -194,6 +216,18 @@ impl Stats {
                 "Joiners that piled onto each completed leader (per job key).",
                 &[0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0],
             ),
+            shed: registry.counter(
+                "scalesim_jobs_shed_total",
+                "Jobs shed with `Overloaded` because the bounded queue was full.",
+            ),
+            deadline_expired: registry.counter(
+                "scalesim_jobs_deadline_expired_total",
+                "Requests whose deadline expired before the result was ready.",
+            ),
+            queue_depth: registry.gauge(
+                "scalesim_queue_depth",
+                "Leaders currently waiting in the bounded queue.",
+            ),
         }
     }
 
@@ -216,6 +250,15 @@ impl Stats {
             (
                 "total_sim_micros",
                 Json::Int(self.total_sim_micros.get().into()),
+            ),
+            ("shed", Json::Int(self.shed.get().into())),
+            (
+                "deadline_expired",
+                Json::Int(self.deadline_expired.get().into()),
+            ),
+            (
+                "queue_depth",
+                Json::Int(self.queue_depth.get().max(0).into()),
             ),
         ])
     }
@@ -245,13 +288,104 @@ impl Slot {
         self.done.notify_all();
     }
 
-    fn wait(&self) -> Result<Arc<SimResult>, JobError> {
+    /// Waits for the slot to be filled, up to `deadline` if one is given.
+    /// Returns `None` when the deadline expires first — the leader keeps
+    /// running and will still fill the slot (and the cache) later.
+    fn wait_timeout(&self, deadline: Option<Instant>) -> Option<Result<Arc<SimResult>, JobError>> {
         let mut state = self.state.lock().unwrap();
         loop {
             if let Some(result) = state.as_ref() {
-                return result.clone();
+                return Some(result.clone());
             }
-            state = self.done.wait(state).unwrap();
+            match deadline {
+                None => state = self.done.wait(state).unwrap(),
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return None;
+                    }
+                    (state, _) = self.done.wait_timeout(state, deadline - now).unwrap();
+                }
+            }
+        }
+    }
+}
+
+/// Sizing knobs for an [`Engine`]. `..Default::default()` keeps the
+/// historical behavior everywhere a knob is not set explicitly.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineOptions {
+    /// Simulator worker threads (minimum 1).
+    pub workers: usize,
+    /// Result-cache capacity in entries.
+    pub cache_capacity: usize,
+    /// Maximum leaders waiting in the queue before new leaders are shed
+    /// with [`JobError::Overloaded`] (minimum 1).
+    pub queue_depth: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> EngineOptions {
+        EngineOptions {
+            workers: 1,
+            cache_capacity: 256,
+            queue_depth: DEFAULT_QUEUE_DEPTH,
+        }
+    }
+}
+
+/// Default bound on the leader queue: deep enough that well-behaved
+/// workloads (batch manifests, sweeps) never notice it, shallow enough
+/// that an overload burst is shed in bounded memory and bounded latency.
+pub const DEFAULT_QUEUE_DEPTH: usize = 256;
+
+/// Deterministic fault injection for tests: match jobs by workload name
+/// and delay or panic their simulation inside the worker. This is how the
+/// shedding, deadline, panic-recovery and drain paths are exercised
+/// without real overload; it is a test hook, not a production feature
+/// (an empty plan — the default — injects nothing).
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    rules: Vec<(String, FaultAction)>,
+}
+
+#[derive(Debug, Clone)]
+enum FaultAction {
+    Delay(Duration),
+    Panic(String),
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Sleep `delay` inside the worker before simulating any job whose
+    /// workload name is `workload` — a deterministic stand-in for a slow
+    /// simulation.
+    pub fn delay(mut self, workload: &str, delay: Duration) -> FaultPlan {
+        self.rules
+            .push((workload.into(), FaultAction::Delay(delay)));
+        self
+    }
+
+    /// Panic with `message` instead of simulating any job whose workload
+    /// name is `workload` — exercises the worker's panic recovery.
+    pub fn panic(mut self, workload: &str, message: &str) -> FaultPlan {
+        self.rules
+            .push((workload.into(), FaultAction::Panic(message.into())));
+        self
+    }
+
+    fn apply(&self, workload: &str) {
+        for (name, action) in &self.rules {
+            if name == workload {
+                match action {
+                    FaultAction::Delay(d) => std::thread::sleep(*d),
+                    FaultAction::Panic(msg) => panic!("{msg}"),
+                }
+            }
         }
     }
 }
@@ -273,6 +407,9 @@ struct Shared {
     registry: Arc<Registry>,
     stats: Stats,
     shutdown: AtomicBool,
+    workers: usize,
+    queue_depth: usize,
+    faults: Mutex<FaultPlan>,
 }
 
 /// The simulation engine: worker pool + cache + single-flight table.
@@ -286,9 +423,25 @@ pub struct Engine {
 
 impl Engine {
     /// Spawns `workers` simulator threads and a cache of `cache_capacity`
-    /// results. Worker threads are detached; they exit on [`Engine::shutdown`].
+    /// results, with the default queue bound. Worker threads are detached;
+    /// they exit on [`Engine::shutdown`].
     pub fn new(workers: usize, cache_capacity: usize) -> Engine {
+        Engine::with_options(EngineOptions {
+            workers,
+            cache_capacity,
+            ..EngineOptions::default()
+        })
+    }
+
+    /// Spawns an engine with explicit sizing ([`EngineOptions`]).
+    pub fn with_options(options: EngineOptions) -> Engine {
+        let EngineOptions {
+            workers,
+            cache_capacity,
+            queue_depth,
+        } = options;
         let workers = workers.max(1);
+        let queue_depth = queue_depth.max(1);
         // One registry per engine (not the process-wide one): stats stay
         // attributable to this engine, and engines in tests don't bleed
         // counters into each other. `/metrics` renders this registry plus
@@ -312,6 +465,9 @@ impl Engine {
             registry,
             stats,
             shutdown: AtomicBool::new(false),
+            workers,
+            queue_depth,
+            faults: Mutex::new(FaultPlan::default()),
         });
         for i in 0..workers {
             let shared = Arc::clone(&shared);
@@ -341,6 +497,18 @@ impl Engine {
         self.run_normalized(job.normalize()?)
     }
 
+    /// [`Engine::run`] with a completion deadline: when `deadline` passes
+    /// before the result is ready the call returns
+    /// [`JobError::DeadlineExpired`], while the in-flight simulation keeps
+    /// running and its result still lands in the cache.
+    pub fn run_with_deadline(
+        &self,
+        job: &SimJob,
+        deadline: Option<Instant>,
+    ) -> Result<(Arc<SimResult>, Served), JobError> {
+        self.run_normalized_with_deadline(job.normalize()?, deadline)
+    }
+
     /// Runs an already-normalized job through the pool, cache and
     /// single-flight table. This is the entry point for callers that build
     /// [`NormalizedJob`]s directly — e.g. the `POST /sweep` planner, which
@@ -349,8 +517,22 @@ impl Engine {
         &self,
         normalized: NormalizedJob,
     ) -> Result<(Arc<SimResult>, Served), JobError> {
+        self.run_normalized_with_deadline(normalized, None)
+    }
+
+    /// [`Engine::run_normalized`] with a completion deadline.
+    pub fn run_normalized_with_deadline(
+        &self,
+        normalized: NormalizedJob,
+        deadline: Option<Instant>,
+    ) -> Result<(Arc<SimResult>, Served), JobError> {
         let key = normalized.key();
         let stats = &self.shared.stats;
+        // Fail fast on a stopped pool: enqueueing here would park the
+        // caller on a slot no worker will ever fill.
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return Err(JobError::ShuttingDown);
+        }
         stats.accepted.inc();
 
         if let Some(result) = self.shared.cache.get(key.0) {
@@ -382,12 +564,36 @@ impl Engine {
 
         if leader {
             let mut queue = self.shared.queue.lock().unwrap();
+            // Admission control, decided under the queue lock so the bound
+            // and the shutdown flag are race-free with workers exiting.
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                drop(queue);
+                return Err(self.abandon_leader(&key, &slot, JobError::ShuttingDown));
+            }
+            if queue.len() >= self.shared.queue_depth {
+                let retry_after_ms = self.retry_after_hint_ms(queue.len());
+                drop(queue);
+                stats.shed.inc();
+                log::info(
+                    "engine.job_shed",
+                    &[
+                        ("key", &key.to_string()),
+                        ("retry_after_ms", &retry_after_ms.to_string()),
+                    ],
+                );
+                return Err(self.abandon_leader(
+                    &key,
+                    &slot,
+                    JobError::Overloaded { retry_after_ms },
+                ));
+            }
             queue.push_back(QueuedJob {
                 job: normalized,
                 key,
                 slot: Arc::clone(&slot),
                 enqueued: Instant::now(),
             });
+            stats.queue_depth.set(queue.len() as i64);
             drop(queue);
             self.shared.queue_cv.notify_one();
         } else {
@@ -395,7 +601,10 @@ impl Engine {
             stats.joins.inc();
         }
 
-        let outcome = slot.wait();
+        let Some(outcome) = slot.wait_timeout(deadline) else {
+            stats.deadline_expired.inc();
+            return Err(JobError::DeadlineExpired);
+        };
         stats.completed.inc();
         match &outcome {
             Ok(_) if leader => stats.fresh.inc(),
@@ -420,10 +629,53 @@ impl Engine {
         })
     }
 
-    /// Signals workers to exit once the queue drains. Idempotent.
+    /// Signals workers to exit once the queue drains. Idempotent. After
+    /// this, new submissions fail fast with [`JobError::ShuttingDown`];
+    /// already-queued leaders (and their joiners) still complete.
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.queue_cv.notify_all();
+    }
+
+    /// True once nothing is queued and nothing is being simulated. Used by
+    /// the HTTP layer's graceful drain to decide when shutdown is complete.
+    pub fn is_idle(&self) -> bool {
+        self.shared.queue.lock().unwrap().is_empty() && self.shared.stats.in_flight.get() <= 0
+    }
+
+    /// The configured bound on the leader queue.
+    pub fn queue_depth_limit(&self) -> usize {
+        self.shared.queue_depth
+    }
+
+    /// Installs a [`FaultPlan`] (test hook). Replaces any previous plan;
+    /// pass `FaultPlan::new()` to clear.
+    pub fn inject_faults(&self, plan: FaultPlan) {
+        *self.shared.faults.lock().unwrap() = plan;
+    }
+
+    /// Drops a leader slot that was never enqueued: the inflight entry is
+    /// removed first (so a later identical request elects a fresh leader),
+    /// then any joiners that raced in are released with the same error.
+    fn abandon_leader(&self, key: &JobKey, slot: &Slot, err: JobError) -> JobError {
+        self.shared.inflight.lock().unwrap().remove(&key.0);
+        slot.fill(Err(err.clone()));
+        err
+    }
+
+    /// Back-off hint for shed jobs: roughly how long until a queue slot
+    /// frees up, from the average simulation time of this engine's recent
+    /// work. Clamped to [100 ms, 30 s]; defaults to 1 s before any
+    /// simulation has completed.
+    fn retry_after_hint_ms(&self, queue_len: usize) -> u64 {
+        let stats = &self.shared.stats;
+        let avg_ms = stats
+            .total_sim_micros
+            .get()
+            .checked_div(stats.simulations.get())
+            .map_or(1000, |avg_micros| avg_micros / 1000);
+        (avg_ms.max(1) * (queue_len as u64 + 1) / self.shared.workers.max(1) as u64)
+            .clamp(100, 30_000)
     }
 }
 
@@ -438,6 +690,7 @@ fn worker_loop(shared: Arc<Shared>) {
             let mut queue = shared.queue.lock().unwrap();
             loop {
                 if let Some(item) = queue.pop_front() {
+                    shared.stats.queue_depth.set(queue.len() as i64);
                     break item;
                 }
                 if shared.shutdown.load(Ordering::SeqCst) {
@@ -449,8 +702,12 @@ fn worker_loop(shared: Arc<Shared>) {
 
         shared.stats.queue_wait.observe_duration(enqueued.elapsed());
         shared.stats.in_flight.add(1);
+        let faults = shared.faults.lock().unwrap().clone();
         let started = Instant::now();
         let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // Test-only fault injection; an empty plan is a no-op. Panics
+            // raised here exercise the same recovery path as simulator bugs.
+            faults.apply(job.topology.name());
             let mut sim = Simulator::new(job.config).with_grid(job.grid);
             if job.auto_dataflow {
                 sim = sim.with_auto_dataflow();
@@ -471,7 +728,9 @@ fn worker_loop(shared: Arc<Shared>) {
                     sim_wall_micros,
                 }))
             }
-            Err(panic) => Err(JobError::Internal(panic_message(&panic))),
+            // `as_ref` matters: `&panic` would coerce the *Box* itself to
+            // `&dyn Any` and every payload downcast would miss.
+            Err(panic) => Err(JobError::Internal(panic_message(panic.as_ref()))),
         };
 
         // Order matters: publish to the cache *before* removing the inflight
@@ -684,6 +943,117 @@ mod tests {
         );
         assert!(text.contains("\"compute_util\":0"));
         assert!(text.contains("\"overall_utilization\":0"));
+    }
+
+    /// Regression (hang): `run_normalized` after `shutdown()` used to
+    /// enqueue a leader onto a pool whose workers had exited, and
+    /// `slot.wait()` then blocked forever. It must fail fast instead.
+    #[test]
+    fn run_after_shutdown_returns_shutting_down() {
+        let engine = Engine::new(1, 4);
+        engine.shutdown();
+        let started = Instant::now();
+        let err = engine.run(&small_job()).unwrap_err();
+        assert_eq!(err, JobError::ShuttingDown);
+        assert!(
+            started.elapsed() < Duration::from_secs(1),
+            "rejection must be immediate, took {:?}",
+            started.elapsed()
+        );
+        // Nothing was accepted or queued.
+        assert_eq!(engine.stats().accepted.get(), 0);
+        assert!(engine.is_idle());
+    }
+
+    /// With one worker and a queue bound of one, a third distinct job
+    /// arriving while the first simulates is shed with `Overloaded` and a
+    /// back-off hint — never queued without limit, never blocked forever.
+    #[test]
+    fn full_queue_sheds_with_overloaded() {
+        let engine = Engine::with_options(EngineOptions {
+            workers: 1,
+            cache_capacity: 16,
+            queue_depth: 1,
+        });
+        engine.inject_faults(FaultPlan::new().delay("tiny", Duration::from_millis(400)));
+        fn job_n(n: u64) -> SimJob {
+            let mut job = small_job();
+            job.config.push(("IfmapSramSz".into(), n.to_string()));
+            job
+        }
+
+        let (first, second) = std::thread::scope(|s| {
+            let e1 = engine.clone();
+            let first = s.spawn(move || e1.run(&job_n(1)));
+            // Wait until the first job occupies the worker.
+            while engine.stats().in_flight.get() < 1 {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            let e2 = engine.clone();
+            let second = s.spawn(move || e2.run(&job_n(2)));
+            // Wait until the second job occupies the single queue slot.
+            while engine.stats().queue_depth.get() < 1 {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            let shed = engine.run(&job_n(3)).unwrap_err();
+            match shed {
+                JobError::Overloaded { retry_after_ms } => {
+                    assert!((100..=30_000).contains(&retry_after_ms))
+                }
+                other => panic!("expected Overloaded, got {other:?}"),
+            }
+            (first.join().unwrap(), second.join().unwrap())
+        });
+        assert!(first.is_ok() && second.is_ok(), "admitted jobs complete");
+        assert_eq!(engine.stats().shed.get(), 1);
+        // The shed key was abandoned cleanly: retrying it now succeeds.
+        engine.inject_faults(FaultPlan::new());
+        let (_, served) = engine.run(&job_n(3)).unwrap();
+        assert_eq!(served, Served::Fresh);
+        engine.shutdown();
+    }
+
+    /// A request whose deadline expires gets `DeadlineExpired`, while the
+    /// leader simulation keeps running and its result still lands in the
+    /// cache for the next request.
+    #[test]
+    fn expired_deadline_still_caches_the_result() {
+        let engine = Engine::new(1, 16);
+        engine.inject_faults(FaultPlan::new().delay("tiny", Duration::from_millis(200)));
+        let job = small_job();
+        let err = engine
+            .run_with_deadline(&job, Some(Instant::now() + Duration::from_millis(10)))
+            .unwrap_err();
+        assert_eq!(err, JobError::DeadlineExpired);
+        assert_eq!(engine.stats().deadline_expired.get(), 1);
+
+        // No deadline: joins the still-running leader or hits the cache.
+        let (_, served) = engine.run(&job).unwrap();
+        assert!(matches!(served, Served::Joined | Served::Cache));
+        assert_eq!(engine.stats().simulations.get(), 1);
+
+        // Registry view of the new counters.
+        let text = engine.registry().render();
+        assert!(text.contains("scalesim_jobs_deadline_expired_total 1"));
+        assert!(text.contains("scalesim_jobs_shed_total 0"));
+        engine.shutdown();
+    }
+
+    /// Injected panics surface as `Internal` errors and the worker
+    /// survives to run later jobs.
+    #[test]
+    fn injected_panic_recovers_as_internal_error() {
+        let engine = Engine::new(1, 16);
+        engine.inject_faults(FaultPlan::new().panic("tiny", "injected fault"));
+        let err = engine.run(&small_job()).unwrap_err();
+        match err {
+            JobError::Internal(msg) => assert!(msg.contains("injected fault"), "got: {msg}"),
+            other => panic!("expected Internal, got {other:?}"),
+        }
+        engine.inject_faults(FaultPlan::new());
+        let (_, served) = engine.run(&small_job()).unwrap();
+        assert_eq!(served, Served::Fresh, "worker survived the panic");
+        engine.shutdown();
     }
 
     #[test]

@@ -15,29 +15,58 @@
 //!   (request outcomes, queue wait, cache occupancy/evictions, dedup
 //!   fan-in, HTTP latency) plus the process-global simulator registry
 //!   (per-layer cycles, phase timings, span totals).
-//! * `GET /healthz` — liveness probe with crate version and uptime, so
-//!   fleet probes can detect stale deploys; answers immediately even while
-//!   long simulations are running (handled on its own connection thread,
-//!   never queued behind the worker pool).
+//! * `GET /healthz` — liveness probe with crate version, uptime and the
+//!   serving state (`ok` while serving, `draining` once shutdown has
+//!   begun), so fleet probes can detect stale deploys and pull a draining
+//!   instance out of rotation; answers immediately even while long
+//!   simulations are running (handled on its own connection thread, never
+//!   queued behind the worker pool).
+//!
+//! # Overload & shutdown semantics
+//!
+//! Every request either completes, is shed with a typed error, or times
+//! out — never blocks forever:
+//!
+//! * **Admission control** — the engine's leader queue is bounded; a job
+//!   that would overflow it is shed with HTTP 503 plus a `Retry-After`
+//!   header (seconds, derived from recent simulation times).
+//! * **Deadlines** — `/simulate` honors an `X-Scalesim-Deadline-Ms`
+//!   request header (capped wait, HTTP 504 on expiry) and applies
+//!   [`ServerOptions::default_deadline`] when the client sends none. The
+//!   in-flight simulation keeps running on expiry and its result still
+//!   lands in the cache for the next request.
+//! * **Connection limiting** — a counting semaphore bounds concurrent
+//!   connection threads ([`ServerOptions::max_connections`]); excess
+//!   connections wait in the TCP accept backlog instead of spawning
+//!   unbounded threads. Accept errors (e.g. fd exhaustion) back off
+//!   briefly instead of spinning, counted in
+//!   `scalesim_http_accept_errors_total`.
+//! * **Graceful drain** — [`ServerHandle::drain`] flips `/healthz` to
+//!   `draining`, stops the engine accepting new jobs (they shed with 503),
+//!   waits a bounded grace period for in-flight work and connections to
+//!   finish, then stops the accept loop.
 //!
 //! Every response carries an `X-Scalesim-Request-Id` header — the client's
 //! own if it sent one, a generated `pid-sequence` id otherwise — and every
-//! request emits one `http.request` access-log event (level *info*, so
-//! visible under `SCALESIM_LOG=info`). Request ids live in headers and
-//! logs only, never in bodies: responses for equal jobs stay
-//! byte-identical regardless of telemetry.
+//! request (including malformed ones rejected before routing) emits one
+//! `http.request` access-log event and one latency-histogram observation,
+//! so attack traffic is as visible as well-formed traffic. Request ids
+//! live in headers and logs only, never in bodies: responses for equal
+//! jobs stay byte-identical regardless of telemetry.
 //!
 //! The subset implemented is deliberately small: one request per
 //! connection (`Connection: close`), `Content-Length` bodies only, 16 KiB
-//! header cap, 4 MiB body cap, 5 s socket timeouts.
+//! header cap, 4 MiB body cap, 5 s socket timeouts. Both caps are
+//! enforced with [`Read::take`] on the raw stream, so a peer that never
+//! sends a line terminator cannot buffer more than the cap into memory.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use scalesim_telemetry::{log, Histogram};
+use scalesim_telemetry::{log, Counter, Gauge, Histogram};
 
 use crate::engine::Engine;
 use crate::job::{JobError, SimJob};
@@ -45,13 +74,84 @@ use crate::json::Json;
 
 const MAX_HEADER_BYTES: usize = 16 * 1024;
 const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
-const SOCKET_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Tunables for a [`Server`]. `..Default::default()` keeps the historical
+/// behavior everywhere a knob is not set explicitly.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerOptions {
+    /// Maximum concurrent connection threads; excess connections wait in
+    /// the TCP accept backlog (minimum 1).
+    pub max_connections: usize,
+    /// Deadline applied to `/simulate` requests that carry no
+    /// `X-Scalesim-Deadline-Ms` header; `None` waits indefinitely.
+    pub default_deadline: Option<Duration>,
+    /// Per-socket read/write timeout.
+    pub socket_timeout: Duration,
+}
+
+impl Default for ServerOptions {
+    fn default() -> ServerOptions {
+        ServerOptions {
+            max_connections: 256,
+            default_deadline: Some(Duration::from_secs(120)),
+            socket_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A counting semaphore bounding concurrent connection threads. Plain
+/// Mutex + Condvar: the accept loop blocks in `acquire` when saturated,
+/// which pushes backpressure into the TCP accept backlog.
+struct Semaphore {
+    free: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Semaphore {
+    fn new(permits: usize) -> Semaphore {
+        Semaphore {
+            free: Mutex::new(permits.max(1)),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until a permit is free; returns `false` if `stop` was set
+    /// while waiting (polled so a stopped server can't wedge on a
+    /// saturated limiter).
+    fn acquire(&self, stop: &AtomicBool) -> bool {
+        let mut free = self.free.lock().unwrap();
+        loop {
+            if stop.load(Ordering::SeqCst) {
+                return false;
+            }
+            if *free > 0 {
+                *free -= 1;
+                return true;
+            }
+            (free, _) = self
+                .cv
+                .wait_timeout(free, Duration::from_millis(50))
+                .unwrap();
+        }
+    }
+
+    fn release(&self) {
+        *self.free.lock().unwrap() += 1;
+        self.cv.notify_one();
+    }
+}
 
 /// Shared per-server state handed to every connection thread.
 struct Context {
     engine: Engine,
     started: Instant,
     request_seq: AtomicU64,
+    options: ServerOptions,
+    /// Set once drain begins: `/healthz` reports `draining`.
+    draining: AtomicBool,
+    conn_limiter: Semaphore,
+    connections: Arc<Gauge>,
+    accept_errors: Arc<Counter>,
 }
 
 /// A bound, not-yet-serving HTTP server.
@@ -60,23 +160,49 @@ pub struct Server {
     context: Arc<Context>,
 }
 
-/// Handle to a serving [`Server`]; stops it on [`ServerHandle::stop`].
+/// Handle to a serving [`Server`]; stops it hard via [`ServerHandle::stop`]
+/// or gracefully via [`ServerHandle::drain`].
 pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    context: Arc<Context>,
 }
 
 impl Server {
-    /// Binds to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    /// Binds to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) with
+    /// default [`ServerOptions`].
     pub fn bind(addr: &str, engine: Engine) -> std::io::Result<Server> {
+        Server::bind_with(addr, engine, ServerOptions::default())
+    }
+
+    /// Binds with explicit [`ServerOptions`].
+    pub fn bind_with(
+        addr: &str,
+        engine: Engine,
+        options: ServerOptions,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
+        let registry = engine.registry();
+        let connections = registry.gauge(
+            "scalesim_http_connections_active",
+            "HTTP connections currently being served.",
+        );
+        let accept_errors = registry.counter(
+            "scalesim_http_accept_errors_total",
+            "Accept-loop errors (e.g. fd exhaustion); each backs off briefly.",
+        );
         Ok(Server {
             listener,
             context: Arc::new(Context {
                 engine,
                 started: Instant::now(),
                 request_seq: AtomicU64::new(0),
+                conn_limiter: Semaphore::new(options.max_connections),
+                options,
+                draining: AtomicBool::new(false),
+                connections,
+                accept_errors,
             }),
         })
     }
@@ -86,10 +212,12 @@ impl Server {
         self.listener.local_addr().expect("bound listener has addr")
     }
 
-    /// Serves until the returned handle is stopped. The accept loop runs on
-    /// its own thread; each connection gets a thread.
+    /// Serves until the returned handle is stopped or drained. The accept
+    /// loop runs on its own thread; each connection gets a thread, bounded
+    /// by the connection limiter.
     pub fn spawn(self) -> ServerHandle {
         let addr = self.local_addr();
+        let context = Arc::clone(&self.context);
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
         let accept_thread = std::thread::Builder::new()
@@ -100,29 +228,47 @@ impl Server {
             addr,
             stop,
             accept_thread: Some(accept_thread),
+            context,
         }
     }
 
-    /// Serves on the calling thread until the process exits. Used by
-    /// `scale-sim serve`.
-    pub fn run(self) -> ! {
-        self.accept_loop(Arc::new(AtomicBool::new(false)));
-        unreachable!("accept loop only returns when stopped");
-    }
-
     fn accept_loop(self, stop: Arc<AtomicBool>) {
-        for conn in self.listener.incoming() {
-            if stop.load(Ordering::SeqCst) {
+        // Accept-error backoff: under fd exhaustion (EMFILE) `accept`
+        // fails continuously; sleeping between retries keeps the thread
+        // from spinning at 100% CPU while the condition lasts.
+        let mut backoff = Duration::from_millis(1);
+        loop {
+            if !self.context.conn_limiter.acquire(&stop) {
                 return;
             }
-            let Ok(stream) = conn else { continue };
-            let context = Arc::clone(&self.context);
-            // Detached: a hung connection times out via socket deadlines.
-            let _ = std::thread::Builder::new()
-                .name("http-conn".into())
-                .spawn(move || {
-                    let _ = handle_connection(stream, &context);
-                });
+            match self.listener.accept() {
+                _ if stop.load(Ordering::SeqCst) => return,
+                Ok((stream, _)) => {
+                    backoff = Duration::from_millis(1);
+                    let context = Arc::clone(&self.context);
+                    context.connections.add(1);
+                    // Permit and gauge travel with the connection thread.
+                    let spawned =
+                        std::thread::Builder::new()
+                            .name("http-conn".into())
+                            .spawn(move || {
+                                let _ = handle_connection(stream, &context);
+                                context.connections.sub(1);
+                                context.conn_limiter.release();
+                            });
+                    if spawned.is_err() {
+                        self.context.connections.sub(1);
+                        self.context.conn_limiter.release();
+                    }
+                }
+                Err(e) => {
+                    self.context.conn_limiter.release();
+                    self.context.accept_errors.inc();
+                    log::debug("http.accept_error", &[("error", &e.to_string())]);
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(Duration::from_millis(100));
+                }
+            }
         }
     }
 }
@@ -133,11 +279,44 @@ impl ServerHandle {
         self.addr
     }
 
+    /// True once [`ServerHandle::drain`] has begun.
+    pub fn is_draining(&self) -> bool {
+        self.context.draining.load(Ordering::SeqCst)
+    }
+
+    /// Gracefully drains the server: `/healthz` flips to `draining`, the
+    /// engine sheds new jobs with [`JobError::ShuttingDown`] (HTTP 503)
+    /// while already-queued work completes, and the accept loop keeps
+    /// answering probes until in-flight work and connections finish or
+    /// `grace` expires. Returns `true` if everything drained within the
+    /// grace period.
+    pub fn drain(mut self, grace: Duration) -> bool {
+        self.context.draining.store(true, Ordering::SeqCst);
+        self.context.engine.shutdown();
+        let deadline = Instant::now() + grace;
+        let drained = loop {
+            if self.context.engine.is_idle() && self.context.connections.get() <= 0 {
+                break true;
+            }
+            if Instant::now() >= deadline {
+                break false;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        self.stop_accepting();
+        drained
+    }
+
     /// Stops accepting connections and joins the accept thread. In-flight
-    /// connections finish on their own threads.
+    /// connections finish on their own threads. (Hard stop: does not wait
+    /// for them — use [`ServerHandle::drain`] for a graceful exit.)
     pub fn stop(mut self) {
+        self.stop_accepting();
+    }
+
+    fn stop_accepting(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        // The accept loop is blocked in `incoming()`; poke it awake.
+        // The accept loop is blocked in `accept()`; poke it awake.
         let _ = TcpStream::connect(self.addr);
         if let Some(thread) = self.accept_thread.take() {
             let _ = thread.join();
@@ -164,34 +343,48 @@ impl Routed {
     }
 }
 
+/// One parsed request off the wire.
+struct Request {
+    method: String,
+    path: String,
+    body: String,
+    request_id: Option<String>,
+    /// Client deadline from `X-Scalesim-Deadline-Ms`, if sent.
+    deadline_ms: Option<u64>,
+}
+
 fn handle_connection(stream: TcpStream, context: &Context) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(SOCKET_TIMEOUT))?;
-    stream.set_write_timeout(Some(SOCKET_TIMEOUT))?;
-    let mut reader = BufReader::new(stream.try_clone()?);
+    stream.set_read_timeout(Some(context.options.socket_timeout))?;
+    stream.set_write_timeout(Some(context.options.socket_timeout))?;
+    // `take` bounds what a peer can make us buffer: a request line or
+    // header sent without `\n` hits the cap as a clean EOF instead of
+    // growing a String without limit. The limit is raised to the body cap
+    // once headers are in.
+    let mut reader = BufReader::new(stream.try_clone()?.take(MAX_HEADER_BYTES as u64));
     let received = Instant::now();
 
-    let (method, path, body, request_id) = match read_request(&mut reader) {
-        Ok(req) => req,
-        Err(msg) => {
-            return respond(
-                &stream,
-                400,
-                &[],
-                "application/json",
-                &error_body(&msg).to_string(),
-            )
+    // Malformed requests flow through the same response/telemetry tail as
+    // routed ones — id header, latency histogram, access log — so attack
+    // traffic is visible in `/metrics` and logs.
+    let (method, path, request_id, routed) = match read_request(&mut reader) {
+        Ok(req) => {
+            let request_id = req.request_id.clone().unwrap_or_else(|| mint_id(context));
+            let deadline = req
+                .deadline_ms
+                .map(Duration::from_millis)
+                .or(context.options.default_deadline)
+                .map(|budget| received + budget);
+            let routed = route(context, &req, deadline);
+            (req.method, req.path, request_id, routed)
         }
+        Err(msg) => (
+            "-".to_owned(),
+            "-".to_owned(),
+            mint_id(context),
+            Routed::json(400, error_body(&msg).to_string()),
+        ),
     };
-    // Echo the client's request id, or mint a traceable one.
-    let request_id = request_id.unwrap_or_else(|| {
-        format!(
-            "{:x}-{}",
-            std::process::id(),
-            context.request_seq.fetch_add(1, Ordering::Relaxed)
-        )
-    });
 
-    let routed = route(context, &method, &path, &body);
     let mut headers: Vec<(&str, &str)> = vec![("X-Scalesim-Request-Id", &request_id)];
     headers.extend(routed.headers.iter().map(|(k, v)| (*k, v.as_str())));
     let result = respond(
@@ -217,8 +410,17 @@ fn handle_connection(stream: TcpStream, context: &Context) -> std::io::Result<()
     result
 }
 
+fn mint_id(context: &Context) -> String {
+    format!(
+        "{:x}-{}",
+        std::process::id(),
+        context.request_seq.fetch_add(1, Ordering::Relaxed)
+    )
+}
+
 /// The per-route request latency histogram, labeled with a bounded route
-/// set (unknown paths collapse into `other` to cap metric cardinality).
+/// set (unknown paths — including unparseable requests — collapse into
+/// `other` to cap metric cardinality).
 fn request_latency(context: &Context, path: &str) -> Arc<Histogram> {
     let route = match path {
         "/simulate" => "simulate",
@@ -236,21 +438,27 @@ fn request_latency(context: &Context, path: &str) -> Arc<Histogram> {
     )
 }
 
-fn route(context: &Context, method: &str, path: &str, body: &str) -> Routed {
+fn route(context: &Context, req: &Request, deadline: Option<Instant>) -> Routed {
     let engine = &context.engine;
-    match (method, path) {
-        ("GET", "/healthz") => Routed::json(
-            200,
-            Json::obj(vec![
-                ("status", Json::str("ok")),
-                ("version", Json::str(env!("CARGO_PKG_VERSION"))),
-                (
-                    "uptime_seconds",
-                    Json::Int(context.started.elapsed().as_secs().into()),
-                ),
-            ])
-            .to_string(),
-        ),
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            let draining = context.draining.load(Ordering::SeqCst);
+            Routed::json(
+                200,
+                Json::obj(vec![
+                    (
+                        "status",
+                        Json::str(if draining { "draining" } else { "ok" }),
+                    ),
+                    ("version", Json::str(env!("CARGO_PKG_VERSION"))),
+                    (
+                        "uptime_seconds",
+                        Json::Int(context.started.elapsed().as_secs().into()),
+                    ),
+                ])
+                .to_string(),
+            )
+        }
         ("GET", "/stats") => Routed::json(200, engine.stats().to_json().to_string()),
         ("GET", "/metrics") => {
             // Engine-scoped metrics first, then the process-global
@@ -265,33 +473,29 @@ fn route(context: &Context, method: &str, path: &str, body: &str) -> Routed {
             }
         }
         ("POST", "/simulate") => {
-            let job = Json::parse(body)
+            let job = Json::parse(&req.body)
                 .map_err(|e| JobError::bad_request(format!("invalid JSON: {e}")))
                 .and_then(|json| SimJob::from_json(&json));
             match job {
-                Err(e) => Routed::json(400, error_body(&e.to_string()).to_string()),
-                Ok(job) => match engine.run(&job) {
+                Err(e) => error_response(&e),
+                Ok(job) => match engine.run_with_deadline(&job, deadline) {
                     Ok((result, served)) => Routed {
                         status: 200,
                         headers: vec![("X-Scalesim-Cache", served.tag().to_owned())],
                         content_type: "application/json",
                         body: result.to_json().to_string(),
                     },
-                    Err(JobError::BadRequest(msg)) => {
-                        Routed::json(400, error_body(&msg).to_string())
-                    }
-                    Err(JobError::Internal(msg)) => Routed::json(500, error_body(&msg).to_string()),
+                    Err(e) => error_response(&e),
                 },
             }
         }
         ("POST", "/sweep") => {
-            let plan = Json::parse(body)
+            let plan = Json::parse(&req.body)
                 .map_err(|e| JobError::bad_request(format!("invalid JSON: {e}")))
                 .and_then(|json| crate::sweep::run_sweep(engine, &json));
             match plan {
                 Ok(response) => Routed::json(200, response.to_string()),
-                Err(JobError::BadRequest(msg)) => Routed::json(400, error_body(&msg).to_string()),
-                Err(JobError::Internal(msg)) => Routed::json(500, error_body(&msg).to_string()),
+                Err(e) => error_response(&e),
             }
         }
         ("GET" | "POST", _) => Routed::json(404, error_body("no such route").to_string()),
@@ -299,18 +503,59 @@ fn route(context: &Context, method: &str, path: &str, body: &str) -> Routed {
     }
 }
 
+/// Maps a [`JobError`] to its HTTP response. Shedding outcomes carry a
+/// `Retry-After` header (whole seconds, rounded up) so well-behaved
+/// clients back off instead of hammering an overloaded or draining server.
+fn error_response(e: &JobError) -> Routed {
+    let body = error_body(&e.to_string()).to_string();
+    match e {
+        JobError::BadRequest(_) => Routed::json(400, body),
+        JobError::Internal(_) => Routed::json(500, body),
+        JobError::Overloaded { retry_after_ms } => Routed {
+            status: 503,
+            headers: vec![(
+                "Retry-After",
+                retry_after_ms.div_ceil(1000).max(1).to_string(),
+            )],
+            content_type: "application/json",
+            body,
+        },
+        JobError::ShuttingDown => Routed {
+            status: 503,
+            headers: vec![("Retry-After", "1".to_owned())],
+            content_type: "application/json",
+            body,
+        },
+        JobError::DeadlineExpired => Routed::json(504, body),
+    }
+}
+
 fn error_body(msg: &str) -> Json {
     Json::obj(vec![("error", Json::str(msg))])
 }
 
-/// Reads one request: returns (method, path, body, client request id).
-fn read_request(
-    reader: &mut BufReader<TcpStream>,
-) -> Result<(String, String, String, Option<String>), String> {
-    let mut request_line = String::new();
+/// Reads one header line into `line`. Errors if the header cap was
+/// exhausted before a line terminator arrived — the `take` limit turns an
+/// unbounded header into a clean EOF instead of unbounded buffering.
+fn read_header_line(
+    reader: &mut BufReader<std::io::Take<TcpStream>>,
+    line: &mut String,
+    what: &str,
+) -> Result<(), String> {
     reader
-        .read_line(&mut request_line)
-        .map_err(|e| format!("read request line: {e}"))?;
+        .read_line(line)
+        .map_err(|e| format!("read {what}: {e}"))?;
+    if !line.ends_with('\n') && reader.get_ref().limit() == 0 {
+        return Err(format!("headers too large (cap {MAX_HEADER_BYTES} bytes)"));
+    }
+    Ok(())
+}
+
+/// Reads one request off the wire, with both the header block and the body
+/// bounded by `Read::take` limits.
+fn read_request(reader: &mut BufReader<std::io::Take<TcpStream>>) -> Result<Request, String> {
+    let mut request_line = String::new();
+    read_header_line(reader, &mut request_line, "request line")?;
     let mut parts = request_line.split_whitespace();
     let method = parts.next().ok_or("empty request line")?.to_owned();
     let path = parts.next().ok_or("request line missing path")?.to_owned();
@@ -321,12 +566,11 @@ fn read_request(
 
     let mut content_length: usize = 0;
     let mut request_id = None;
+    let mut deadline_ms = None;
     let mut header_bytes = request_line.len();
     loop {
         let mut line = String::new();
-        reader
-            .read_line(&mut line)
-            .map_err(|e| format!("read header: {e}"))?;
+        read_header_line(reader, &mut line, "header")?;
         header_bytes += line.len();
         if header_bytes > MAX_HEADER_BYTES {
             return Err("headers too large".into());
@@ -344,6 +588,13 @@ fn read_request(
                     .map_err(|_| format!("bad Content-Length `{}`", value.trim()))?;
             } else if name.eq_ignore_ascii_case("x-scalesim-request-id") {
                 request_id = Some(value.trim().to_owned());
+            } else if name.eq_ignore_ascii_case("x-scalesim-deadline-ms") {
+                deadline_ms = Some(
+                    value
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad X-Scalesim-Deadline-Ms `{}`", value.trim()))?,
+                );
             }
         }
     }
@@ -351,12 +602,21 @@ fn read_request(
         return Err("body too large".into());
     }
 
+    // Headers are in; re-bound the raw stream for the body. Bytes the
+    // BufReader already buffered were counted against the header limit.
+    reader.get_mut().set_limit(MAX_BODY_BYTES as u64);
     let mut body = vec![0u8; content_length];
     reader
         .read_exact(&mut body)
         .map_err(|e| format!("read body: {e}"))?;
     let body = String::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
-    Ok((method, path, body, request_id))
+    Ok(Request {
+        method,
+        path,
+        body,
+        request_id,
+        deadline_ms,
+    })
 }
 
 fn respond(
@@ -372,6 +632,8 @@ fn respond(
         404 => "Not Found",
         405 => "Method Not Allowed",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     };
     let mut response = format!(
@@ -424,7 +686,8 @@ pub mod client {
     }
 
     /// Like [`request`], but sends extra request headers (e.g. a client
-    /// `X-Scalesim-Request-Id` to verify the echo path).
+    /// `X-Scalesim-Request-Id` to verify the echo path, or an
+    /// `X-Scalesim-Deadline-Ms` budget).
     pub fn request_with_headers(
         addr: SocketAddr,
         method: &str,
@@ -434,7 +697,7 @@ pub mod client {
     ) -> std::io::Result<Response> {
         let mut stream = TcpStream::connect(addr)?;
         stream.set_read_timeout(Some(Duration::from_secs(120)))?;
-        stream.set_write_timeout(Some(SOCKET_TIMEOUT))?;
+        stream.set_write_timeout(Some(Duration::from_secs(5)))?;
         let body = body.unwrap_or("");
         let extra: String = headers
             .iter()

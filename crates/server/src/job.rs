@@ -423,18 +423,52 @@ impl fmt::Display for JobKey {
 }
 
 /// Why a job was rejected or failed.
+///
+/// Every variant maps to one HTTP status, so the whole stack — engine,
+/// HTTP front end, batch client — shares a single failure vocabulary:
+/// a request either completes, is shed with a typed error, or times out.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum JobError {
     /// The request itself is invalid (HTTP 400).
     BadRequest(String),
     /// The simulation failed after being accepted (HTTP 500).
     Internal(String),
+    /// The engine's bounded queue is full and the job was shed instead of
+    /// queued (HTTP 503 + `Retry-After`). `retry_after_ms` is the engine's
+    /// estimate of when capacity frees up.
+    Overloaded {
+        /// Suggested client back-off before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The request's deadline expired before the result was ready
+    /// (HTTP 504). The in-flight simulation keeps running and its result
+    /// still lands in the cache for the next request.
+    DeadlineExpired,
+    /// The engine is draining for shutdown and accepts no new work
+    /// (HTTP 503).
+    ShuttingDown,
 }
 
 impl JobError {
     /// A request-side error.
     pub fn bad_request(msg: impl Into<String>) -> JobError {
         JobError::BadRequest(msg.into())
+    }
+
+    /// True for load-shedding outcomes that a client may transparently
+    /// retry after backing off ([`JobError::Overloaded`]). Deadline expiry
+    /// is *not* retryable here: retrying it is a caller policy decision.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, JobError::Overloaded { .. })
+    }
+
+    /// The engine's back-off hint in milliseconds, if this error carries
+    /// one.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            JobError::Overloaded { retry_after_ms } => Some(*retry_after_ms),
+            _ => None,
+        }
     }
 }
 
@@ -443,6 +477,14 @@ impl fmt::Display for JobError {
         match self {
             JobError::BadRequest(msg) => write!(f, "{msg}"),
             JobError::Internal(msg) => write!(f, "simulation failed: {msg}"),
+            JobError::Overloaded { retry_after_ms } => write!(
+                f,
+                "server overloaded: job queue is full (retry after {retry_after_ms} ms)"
+            ),
+            JobError::DeadlineExpired => {
+                write!(f, "deadline expired before the result was ready")
+            }
+            JobError::ShuttingDown => write!(f, "server is shutting down"),
         }
     }
 }
@@ -556,6 +598,28 @@ mod tests {
         );
         assert!(SimJob::from_kv_line("layer=Conv1").is_err());
         assert!(SimJob::from_kv_line("network=resnet50 bogus").is_err());
+    }
+
+    #[test]
+    fn overload_errors_carry_retry_hints() {
+        let shed = JobError::Overloaded {
+            retry_after_ms: 250,
+        };
+        assert!(shed.is_retryable());
+        assert_eq!(shed.retry_after_ms(), Some(250));
+        assert!(shed.to_string().contains("250 ms"));
+
+        for terminal in [
+            JobError::DeadlineExpired,
+            JobError::ShuttingDown,
+            JobError::bad_request("nope"),
+            JobError::Internal("boom".into()),
+        ] {
+            assert!(!terminal.is_retryable(), "{terminal} must not retry");
+            assert_eq!(terminal.retry_after_ms(), None);
+        }
+        assert!(JobError::ShuttingDown.to_string().contains("shutting down"));
+        assert!(JobError::DeadlineExpired.to_string().contains("deadline"));
     }
 
     #[test]

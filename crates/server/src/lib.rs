@@ -32,6 +32,20 @@
 //!   are histograms; cache occupancy and evictions come from the LRU
 //!   itself. Structured logs (access lines, job failures) are gated by the
 //!   `SCALESIM_LOG` environment variable.
+//! * **Overload & shutdown policy** — the engine queue is bounded
+//!   ([`EngineOptions::queue_depth`]): jobs that would overflow it are
+//!   shed with [`JobError::Overloaded`] (HTTP 503 + `Retry-After`), never
+//!   queued without limit. Requests carry deadlines (the
+//!   `X-Scalesim-Deadline-Ms` header or
+//!   [`http::ServerOptions::default_deadline`]; HTTP 504 on expiry, with
+//!   the in-flight result still cached for the next caller). `scale-sim
+//!   serve` installs `SIGINT`/`SIGTERM` handlers ([`signals`]) and drains
+//!   gracefully: `/healthz` flips to `draining`, new jobs shed with
+//!   [`JobError::ShuttingDown`], in-flight work gets a bounded grace
+//!   period. The batch runner retries shed jobs with exponential backoff +
+//!   deterministic jitter ([`RetryPolicy`]), and the engine has a
+//!   test-only fault-injection hook ([`FaultPlan`]) so every failure path
+//!   is exercised without real overload.
 //!
 //! Everything is built on `std` networking and threads plus a hand-rolled
 //! JSON module ([`json`]) — matching the repo-wide policy of no heavyweight
@@ -46,11 +60,12 @@ pub mod engine;
 pub mod http;
 pub mod job;
 pub mod json;
+pub mod signals;
 pub mod sweep;
 
-pub use batch::{parse_manifest, run_batch, BatchOutcome};
+pub use batch::{parse_manifest, run_batch, run_batch_with_retry, BatchOutcome, RetryPolicy};
 pub use cache::ShardedLru;
-pub use engine::{Engine, Served, SimResult, Stats};
-pub use http::{Server, ServerHandle};
+pub use engine::{Engine, EngineOptions, FaultPlan, Served, SimResult, Stats};
+pub use http::{Server, ServerHandle, ServerOptions};
 pub use job::{JobError, JobKey, NormalizedJob, SimJob, Workload};
 pub use json::Json;
