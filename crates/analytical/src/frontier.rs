@@ -1,0 +1,273 @@
+//! Cost/runtime Pareto frontiers and the error statistics that drive
+//! analytical-guided exploration (Section IV applied at sweep scale).
+//!
+//! The explore pipeline prunes a cartesian candidate space with the
+//! analytical runtime model before spending cycle-accurate simulation. The
+//! pruning rule needs two primitives, both provided here:
+//!
+//! * [`Frontier`] — the Pareto-optimal set of `(cost, runtime)` points
+//!   (cost is MAC budget; runtime is predicted or measured cycles). A
+//!   candidate survives pruning when its runtime is within a slack band of
+//!   the best runtime achievable at its cost or cheaper
+//!   ([`Frontier::within_band`]).
+//! * [`ErrorStats`] — the distribution of measured/predicted runtime
+//!   ratios. The analytical model is a *lower bound* (it ignores memory
+//!   stalls), so ratios are ≥ 1; their median is the correction factor the
+//!   acquisition function applies to unmeasured candidates.
+
+/// One point on a cost/runtime trade-off curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrontierPoint {
+    /// Resource cost of the configuration (e.g. MAC budget).
+    pub cost: u64,
+    /// Runtime at that cost, in cycles (predicted or measured).
+    pub cycles: u64,
+}
+
+/// The Pareto frontier of a set of `(cost, cycles)` points: the subset
+/// where spending more cost strictly reduces cycles.
+///
+/// Stored sorted by ascending cost with strictly decreasing cycles, so
+/// [`Frontier::best_at_or_below`] is a binary search.
+///
+/// ```
+/// use scalesim_analytical::Frontier;
+///
+/// let f = Frontier::build([(1024, 900), (2048, 500), (4096, 700), (4096, 400)]);
+/// // (4096, 700) is dominated by (2048, 500); (4096, 400) survives.
+/// assert_eq!(f.points().len(), 3);
+/// assert_eq!(f.best_at_or_below(3000), Some(500));
+/// assert_eq!(f.best_at_or_below(100), None);
+/// // 540 cycles at cost 2048 is within a 10% band of the 500-cycle optimum.
+/// assert!(f.within_band(2048, 540, 10.0));
+/// assert!(!f.within_band(2048, 560, 10.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Frontier {
+    points: Vec<FrontierPoint>,
+}
+
+impl Frontier {
+    /// Builds the frontier of `(cost, cycles)` pairs. Dominated points —
+    /// those matched or beaten by an equal-or-cheaper point — are dropped.
+    pub fn build(points: impl IntoIterator<Item = (u64, u64)>) -> Self {
+        let mut all: Vec<FrontierPoint> = points
+            .into_iter()
+            .map(|(cost, cycles)| FrontierPoint { cost, cycles })
+            .collect();
+        // Sort by cost then cycles; a single forward pass then keeps each
+        // point that strictly improves on everything cheaper.
+        all.sort_by_key(|p| (p.cost, p.cycles));
+        let mut frontier: Vec<FrontierPoint> = Vec::new();
+        for p in all {
+            match frontier.last() {
+                Some(last) if p.cycles >= last.cycles => {}
+                _ => frontier.push(p),
+            }
+        }
+        Frontier { points: frontier }
+    }
+
+    /// The Pareto-optimal points, sorted by ascending cost.
+    pub fn points(&self) -> &[FrontierPoint] {
+        &self.points
+    }
+
+    /// True when no point survived (the input was empty).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The best (minimum) cycles achievable at `cost` or cheaper.
+    pub fn best_at_or_below(&self, cost: u64) -> Option<u64> {
+        let idx = self.points.partition_point(|p| p.cost <= cost);
+        idx.checked_sub(1).map(|i| self.points[i].cycles)
+    }
+
+    /// The pruning rule: is a candidate costing `cost` and predicted to run
+    /// in `cycles` within `slack_pct` percent of the frontier? Candidates
+    /// with no cheaper-or-equal frontier point always survive (they explore
+    /// cost levels the frontier has not reached).
+    pub fn within_band(&self, cost: u64, cycles: u64, slack_pct: f64) -> bool {
+        match self.best_at_or_below(cost) {
+            Some(best) => cycles as f64 <= best as f64 * (1.0 + slack_pct / 100.0),
+            None => true,
+        }
+    }
+}
+
+/// Distribution summary of measured/predicted runtime ratios.
+///
+/// The acquisition function corrects analytical predictions by the median
+/// ratio observed so far; p95 bounds how wrong that correction can be.
+///
+/// ```
+/// use scalesim_analytical::ErrorStats;
+///
+/// let stats = ErrorStats::from_ratios(vec![1.0, 1.1, 1.2, 1.05, 2.0]);
+/// assert_eq!(stats.count, 5);
+/// assert_eq!(stats.p50, 1.1);
+/// assert_eq!(stats.max, 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorStats {
+    /// Number of ratios observed.
+    pub count: usize,
+    /// Median ratio (lower-quantile convention; 1.0 when empty).
+    pub p50: f64,
+    /// 95th-percentile ratio (1.0 when empty).
+    pub p95: f64,
+    /// Arithmetic mean ratio (1.0 when empty).
+    pub mean: f64,
+    /// Largest ratio observed (1.0 when empty).
+    pub max: f64,
+}
+
+impl ErrorStats {
+    /// Summarizes a set of measured/predicted ratios. An empty set yields
+    /// the identity correction (all fields 1.0).
+    pub fn from_ratios(mut ratios: Vec<f64>) -> Self {
+        if ratios.is_empty() {
+            return ErrorStats {
+                count: 0,
+                p50: 1.0,
+                p95: 1.0,
+                mean: 1.0,
+                max: 1.0,
+            };
+        }
+        ratios.sort_by(|a, b| a.total_cmp(b));
+        let count = ratios.len();
+        let quantile = |q: f64| {
+            let idx = ((count as f64 - 1.0) * q).floor() as usize;
+            ratios[idx]
+        };
+        ErrorStats {
+            count,
+            p50: quantile(0.50),
+            p95: quantile(0.95),
+            mean: ratios.iter().sum::<f64>() / count as f64,
+            max: *ratios.last().unwrap(),
+        }
+    }
+}
+
+/// Acquisition score for picking the next candidate to simulate: how far a
+/// corrected prediction falls below the measured frontier at its cost level.
+///
+/// `corrected = predicted · correction` (the median measured/predicted
+/// ratio). The score is `frontier_best / corrected`: above 1.0 means the
+/// candidate is expected to *improve* the measured frontier, and larger
+/// scores mean a larger analytical-vs-measured gap in that neighborhood —
+/// exactly the points worth a cycle-accurate run. Candidates at cost levels
+/// the frontier has not reached score `f64::INFINITY` (measuring them is
+/// pure information gain).
+///
+/// ```
+/// use scalesim_analytical::{acquisition_score, Frontier};
+///
+/// let measured = Frontier::build([(1024, 1000)]);
+/// // Predicted 700 at the same cost, corrected by the observed 1.2x
+/// // stall factor -> expected 840, beating the frontier's 1000.
+/// let score = acquisition_score(1024, 700, 1.2, &measured);
+/// assert!(score > 1.0);
+/// assert_eq!(acquisition_score(512, 700, 1.2, &measured), f64::INFINITY);
+/// ```
+pub fn acquisition_score(cost: u64, predicted: u64, correction: f64, measured: &Frontier) -> f64 {
+    let corrected = (predicted as f64 * correction).max(1.0);
+    match measured.best_at_or_below(cost) {
+        Some(best) => best as f64 / corrected,
+        None => f64::INFINITY,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontier_is_strictly_decreasing_in_cycles() {
+        let f = Frontier::build([
+            (1 << 10, 900),
+            (1 << 11, 800),
+            (1 << 12, 800), // ties a cheaper point: dominated
+            (1 << 13, 100),
+            (1 << 14, 200), // slower and costlier: dominated
+        ]);
+        let pts = f.points();
+        assert_eq!(pts.len(), 3);
+        assert!(pts.windows(2).all(|w| w[0].cost < w[1].cost));
+        assert!(pts.windows(2).all(|w| w[0].cycles > w[1].cycles));
+    }
+
+    #[test]
+    fn duplicate_costs_keep_the_faster_point() {
+        let f = Frontier::build([(64, 50), (64, 40)]);
+        assert_eq!(
+            f.points(),
+            &[FrontierPoint {
+                cost: 64,
+                cycles: 40
+            }]
+        );
+    }
+
+    #[test]
+    fn best_at_or_below_is_monotone() {
+        let f = Frontier::build([(10, 100), (20, 60), (40, 30)]);
+        assert_eq!(f.best_at_or_below(9), None);
+        assert_eq!(f.best_at_or_below(10), Some(100));
+        assert_eq!(f.best_at_or_below(39), Some(60));
+        assert_eq!(f.best_at_or_below(u64::MAX), Some(30));
+    }
+
+    #[test]
+    fn band_membership_includes_the_frontier_itself() {
+        let points = [(10u64, 100u64), (20, 60), (40, 30)];
+        let f = Frontier::build(points);
+        for &(cost, cycles) in &points {
+            assert!(f.within_band(cost, cycles, 0.0), "{cost}/{cycles}");
+        }
+        // Zero slack excludes anything above the frontier.
+        assert!(!f.within_band(20, 61, 0.0));
+        assert!(f.within_band(20, 61, 2.0));
+    }
+
+    #[test]
+    fn empty_frontier_accepts_everything() {
+        let f = Frontier::build([]);
+        assert!(f.is_empty());
+        assert!(f.within_band(1, u64::MAX, 0.0));
+    }
+
+    #[test]
+    fn error_stats_on_empty_set_is_identity() {
+        let stats = ErrorStats::from_ratios(vec![]);
+        assert_eq!(stats.count, 0);
+        assert_eq!(
+            (stats.p50, stats.p95, stats.mean, stats.max),
+            (1.0, 1.0, 1.0, 1.0)
+        );
+    }
+
+    #[test]
+    fn error_stats_quantiles_ordered() {
+        let ratios: Vec<f64> = (0..100).map(|i| 1.0 + i as f64 / 100.0).collect();
+        let stats = ErrorStats::from_ratios(ratios);
+        assert!(stats.p50 <= stats.p95);
+        assert!(stats.p95 <= stats.max);
+        assert!(stats.mean >= 1.0);
+        assert_eq!(stats.count, 100);
+    }
+
+    #[test]
+    fn acquisition_prefers_larger_gaps() {
+        let measured = Frontier::build([(100, 1000), (200, 600)]);
+        // Same correction, smaller prediction => larger expected gain.
+        let close = acquisition_score(200, 580, 1.0, &measured);
+        let far = acquisition_score(200, 300, 1.0, &measured);
+        assert!(far > close);
+        // A candidate predicted above the frontier scores below 1.0.
+        assert!(acquisition_score(200, 900, 1.0, &measured) < 1.0);
+    }
+}

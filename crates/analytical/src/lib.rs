@@ -18,9 +18,12 @@
 //! * [`pareto`] — multi-workload optimization: gather each workload's
 //!   locally-optimal candidates and pick the global
 //!   `argmin_a Σ_w runtime(w, a)` (Sec. IV-B, Figs. 13–14).
+//! * [`frontier`] — cost/runtime Pareto frontiers, slack-band pruning and
+//!   the acquisition scoring used by analytical-guided exploration.
 
 pub mod advisor;
 pub mod dataflow_choice;
+pub mod frontier;
 pub mod os_drain;
 pub mod pareto;
 pub mod partition;
@@ -31,6 +34,7 @@ pub mod search;
 
 pub use advisor::{estimate_bandwidth, estimate_scaleout_bandwidth, recommend, Recommendation};
 pub use dataflow_choice::{best_dataflow, rank_dataflows, DataflowScore};
+pub use frontier::{acquisition_score, ErrorStats, Frontier, FrontierPoint};
 pub use os_drain::{drain_fraction, fold_duration_with, scaleup_with_drain, OsDrain};
 pub use pareto::{pareto_optimal, CandidateScore, ParetoOutcome};
 pub use partition::{

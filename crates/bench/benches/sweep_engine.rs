@@ -15,15 +15,19 @@
 //! Besides the criterion groups, `main` takes one wall-clock measurement
 //! of each cache tier (cold / layer-warm / point-warm) and writes it to
 //! `BENCH_sweep.json` at the repo root together with the demand-stream
-//! compression ratio and the layer-cache hit rate, so perf regressions
-//! show up in review as a diff of committed numbers.
+//! compression ratio, the layer-cache hit rate and the explore tier
+//! (stage-0 candidates/sec over a 10^5-point plan, plus end-to-end
+//! analytical-guided exploration of the Fig. 9 plan against its
+//! exhaustive cold sweep), so perf regressions show up in review as a
+//! diff of committed numbers.
 
 use std::time::Instant;
 
 use criterion::{criterion_group, BatchSize, Criterion};
 
-use scalesim::sweep::{SweepEngine, SweepPlan};
-use scalesim::{layer_cache, telemetry_names};
+use scalesim::sweep::{AspectAxis, DataflowChoice, SweepEngine, SweepPlan, SweepWorkload};
+use scalesim::{layer_cache, telemetry_names, Dataflow, ExploreEngine, ExploreOptions};
+use scalesim_topology::{Layer, Topology};
 
 /// The Fig. 9 search-space study for TF0 at a 2^10 MAC budget: every
 /// power-of-two partition count crossed with every aspect ratio down to
@@ -40,6 +44,34 @@ fn fig9_tf0_plan() -> SweepPlan {
          config.OfmapSramSz = 32\n",
     )
     .expect("the Fig. 9 plan parses")
+}
+
+/// A >= 10^5-candidate plan for the explore stage-0 throughput tier: 251
+/// synthetic GEMM workloads x four budgets x all aspect ratios x all four
+/// dataflow choices (the same shape as the `explore_pipeline` integration
+/// test). Only the analytical stages run over it, so size is free.
+fn stage0_plan() -> SweepPlan {
+    let mut plan = SweepPlan::new("explore-stage0");
+    plan.base.dram_bandwidth = Some(16.0);
+    for i in 0..251u64 {
+        let m = 150 + (i % 50) * 4;
+        let n = 150 + ((i * 13) % 50) * 4;
+        let k = 8 + (i % 7) * 4;
+        let label = format!("G{i:03}");
+        plan.workloads.push(SweepWorkload {
+            label: label.clone(),
+            topology: Topology::from_layers(&label, vec![Layer::gemm("l0", m, k, n)]),
+        });
+    }
+    plan.budgets = vec![1 << 10, 1 << 11, 1 << 12, 1 << 13];
+    plan.aspects = AspectAxis::All;
+    plan.dataflows = vec![
+        DataflowChoice::Fixed(Dataflow::OutputStationary),
+        DataflowChoice::Fixed(Dataflow::WeightStationary),
+        DataflowChoice::Fixed(Dataflow::InputStationary),
+        DataflowChoice::Auto,
+    ];
+    plan
 }
 
 fn bench_sweep_engine(c: &mut Criterion) {
@@ -107,6 +139,21 @@ fn bench_sweep_engine(c: &mut Criterion) {
         })
     });
     group.finish();
+
+    // Explore stage 0: analytical prediction + Pareto-band pruning over
+    // the 10^5-candidate plan — no simulation, pure cost-model throughput.
+    let big = stage0_plan();
+    let mut group = c.benchmark_group("explore_stage0");
+    group.sample_size(10);
+    group.bench_function("prune_100k_candidates", |b| {
+        let engine = ExploreEngine::new(64);
+        b.iter(|| {
+            let pruned = engine.prune(&big, 10.0).expect("prune runs");
+            assert!(pruned.candidates >= 100_000);
+            pruned.survivors.len()
+        })
+    });
+    group.finish();
 }
 
 /// One timed pass per cache tier, written as machine-readable JSON.
@@ -150,6 +197,33 @@ fn write_bench_json() {
     let point_warm_seconds = started.elapsed().as_secs_f64();
     assert_eq!(outcome.simulations, 0, "point-warm rerun must be all hits");
 
+    // Explore tier A — stage-0 throughput: analytical prediction + pruning
+    // over a >= 10^5-candidate plan, in candidates per second.
+    let big = stage0_plan();
+    let explorer = ExploreEngine::new(64);
+    let pruned = explorer.prune(&big, 10.0).expect("stage-0 prune runs");
+    let stage0_candidates = pruned.candidates;
+    let stage0_seconds = pruned.analytical_seconds + pruned.prune_seconds;
+    let stage0_rate = stage0_candidates as f64 / stage0_seconds.max(1e-9);
+
+    // Explore tier B — end-to-end: analytical-guided exploration of the
+    // Fig. 9 plan from a cold cache, against the exhaustive cold sweep of
+    // the same plan measured above.
+    layer_cache::clear();
+    let explorer = ExploreEngine::new(256);
+    let started = Instant::now();
+    let outcome = explorer
+        .run(
+            &plan,
+            &ExploreOptions {
+                jobs,
+                ..ExploreOptions::default()
+            },
+        )
+        .expect("explore runs");
+    let explore_cold_seconds = started.elapsed().as_secs_f64();
+    let explore_simulated = outcome.simulated;
+
     let compression = demand_elements as f64 / (demand_runs.max(1)) as f64;
     let hit_rate = hits as f64 / ((hits + misses).max(1)) as f64;
     let json = format!(
@@ -160,7 +234,12 @@ fn write_bench_json() {
          \"demand_elements\": {demand_elements},\n  \
          \"demand_runs\": {demand_runs},\n  \
          \"demand_compression_ratio\": {compression:.2},\n  \
-         \"layer_cache_hit_rate\": {hit_rate:.4}\n}}\n",
+         \"layer_cache_hit_rate\": {hit_rate:.4},\n  \
+         \"explore_stage0_candidates\": {stage0_candidates},\n  \
+         \"explore_stage0_candidates_per_sec\": {stage0_rate:.0},\n  \
+         \"explore_cold_seconds\": {explore_cold_seconds:.6},\n  \
+         \"explore_simulated\": {explore_simulated},\n  \
+         \"exhaustive_cold_seconds\": {cold_seconds:.6}\n}}\n",
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
     std::fs::write(path, &json).expect("write BENCH_sweep.json");

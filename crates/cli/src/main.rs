@@ -9,7 +9,10 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use scalesim::sweep::{CsvSink, JsonLinesSink, SweepEngine, SweepOutcome, SweepPlan};
-use scalesim::{parse_config, Dataflow, PartitionGrid, SimConfig, Simulator};
+use scalesim::{
+    parse_config, Dataflow, ExploreBudget, ExploreEngine, ExploreOptions, PartitionGrid, SimConfig,
+    Simulator,
+};
 use scalesim_topology::{networks, parse_topology_csv, Topology};
 
 const USAGE: &str = "\
@@ -23,7 +26,10 @@ USAGE:
     scale-sim batch --manifest <FILE> [--jobs <N>] [--output <FILE>] [--cache <N>]
                     [--retries <N>]
     scale-sim sweep --plan <FILE> [--jobs <N>] [--output <FILE>]
-                    [--format csv|jsonl] [--cache <N>]
+                    [--format csv|jsonl] [--cache <N>] [--dry-run]
+    scale-sim explore --plan <FILE> [--budget <N|30s|5m>] [--keep-within <PCT>]
+                      [--jobs <N>] [--output <FILE>] [--format csv|jsonl]
+                      [--cache <N>]
 
 SUBCOMMANDS:
     run      simulate one workload (the default when no subcommand is given)
@@ -40,7 +46,20 @@ SUBCOMMANDS:
              partition grids x aspect ratios x dataflows) and evaluate
              every point in parallel through a content-addressed result
              cache; rows stream out in plan order and a best/sweet-spot
-             summary per (workload, budget, dataflow) group goes to stderr
+             summary per (workload, budget, dataflow) group goes to stderr;
+             --dry-run prints the point count, exact dedup and per-axis
+             breakdown without simulating anything
+    explore  successive refinement over the same plan format: stage 0
+             scores every candidate with the analytical model (generated
+             lazily — million-point spaces are fine), stage 1 keeps only
+             points within --keep-within percent of the per-workload
+             cost/runtime frontier, stage 2 simulates survivors through
+             the sweep engine under --budget (a point count, or a
+             wall-clock limit like 30s/5m), refining toward the largest
+             analytical-vs-measured gaps; rows carry predicted + measured
+             cycles and a frontier flag, and the final report (frontier
+             table, pruning counts, error stats) goes to stderr. With a
+             point-count budget the output is byte-identical at any --jobs
 
 OPTIONS:
     -c, --config <FILE>     hardware config file (Table I format); defaults
@@ -186,6 +205,7 @@ struct SweepArgs {
     output: Option<PathBuf>,
     format: SweepFormat,
     cache: usize,
+    dry_run: bool,
 }
 
 fn parse_sweep_args(argv: &[String]) -> Result<SweepArgs, String> {
@@ -194,6 +214,7 @@ fn parse_sweep_args(argv: &[String]) -> Result<SweepArgs, String> {
     let mut output = None;
     let mut format = SweepFormat::Csv;
     let mut cache = 1024usize;
+    let mut dry_run = false;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -228,6 +249,7 @@ fn parse_sweep_args(argv: &[String]) -> Result<SweepArgs, String> {
                 }
                 cache = n;
             }
+            "--dry-run" => dry_run = true,
             other => return Err(format!("unknown sweep argument `{other}`")),
         }
     }
@@ -238,6 +260,7 @@ fn parse_sweep_args(argv: &[String]) -> Result<SweepArgs, String> {
         output,
         format,
         cache,
+        dry_run,
     })
 }
 
@@ -255,16 +278,53 @@ fn run_sweep_points<W: io::Write>(
     .map_err(|e| format!("sweep failed: {e}"))
 }
 
+/// Reads and parses a plan file; diagnostics carry the file name.
+fn load_plan(path: &std::path::Path) -> Result<SweepPlan, String> {
+    let text = fs::read_to_string(path)
+        .map_err(|e| format!("cannot read plan {}: {e}", path.display()))?;
+    SweepPlan::parse_named(&text, &path.display().to_string())
+        .map_err(|e| format!("plan parse error: {e}"))
+}
+
+fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// `sweep --dry-run`: the candidate space, sized but not simulated.
+fn print_dry_run(plan: &SweepPlan) -> Result<(), String> {
+    let space = plan
+        .space_summary()
+        .map_err(|e| format!("plan invalid: {e}"))?;
+    println!(
+        "plan `{}`: {} points = {} workloads x {} budgets x (grids x aspects) x {} dataflows",
+        plan.name, space.points, space.workloads, space.budgets, space.dataflows,
+    );
+    println!(
+        "distinct simulations after dedup: {} ({} duplicate points)",
+        space.distinct_jobs,
+        space.points - space.distinct_jobs,
+    );
+    for b in &space.per_budget {
+        println!(
+            "  budget {:>12}: {:>3} grids, {:>4} (grid, array) combos, {:>6} points",
+            b.budget,
+            b.grids,
+            b.combos,
+            b.combos * space.workloads * space.dataflows,
+        );
+    }
+    Ok(())
+}
+
 fn run_sweep_cli(argv: &[String]) -> Result<(), String> {
     let args = parse_sweep_args(argv)?;
-    let text = fs::read_to_string(&args.plan)
-        .map_err(|e| format!("cannot read plan {}: {e}", args.plan.display()))?;
-    let plan = SweepPlan::parse(&text).map_err(|e| format!("plan parse error: {e}"))?;
-    let jobs = args.jobs.unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-    });
+    let plan = load_plan(&args.plan)?;
+    if args.dry_run {
+        return print_dry_run(&plan);
+    }
+    let jobs = args.jobs.unwrap_or_else(default_jobs);
     let engine = SweepEngine::new(args.cache);
 
     let start = std::time::Instant::now();
@@ -308,6 +368,191 @@ fn run_sweep_cli(argv: &[String]) -> Result<(), String> {
             best.report.total_effective_cycles(),
             sweet,
         );
+    }
+    if let Some(path) = &args.output {
+        eprintln!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
+#[derive(Debug)]
+struct ExploreArgs {
+    plan: PathBuf,
+    budget: ExploreBudget,
+    keep_within: f64,
+    jobs: Option<usize>,
+    output: Option<PathBuf>,
+    format: SweepFormat,
+    cache: usize,
+}
+
+/// `--budget` grammar: a bare integer is a simulation count; an `s`/`m`
+/// suffix is a wall-clock limit.
+fn parse_explore_budget(text: &str) -> Result<ExploreBudget, String> {
+    let bad = || format!("bad budget `{text}` (want a point count, or 30s / 5m wall-clock)");
+    if let Some(secs) = text.strip_suffix('s') {
+        let n: u64 = secs.parse().map_err(|_| bad())?;
+        Ok(ExploreBudget::WallClock(std::time::Duration::from_secs(n)))
+    } else if let Some(mins) = text.strip_suffix('m') {
+        let n: u64 = mins.parse().map_err(|_| bad())?;
+        Ok(ExploreBudget::WallClock(std::time::Duration::from_secs(
+            n * 60,
+        )))
+    } else {
+        let n: usize = text.parse().map_err(|_| bad())?;
+        Ok(ExploreBudget::Sims(n))
+    }
+}
+
+fn parse_explore_args(argv: &[String]) -> Result<ExploreArgs, String> {
+    let mut plan = None;
+    let mut budget = ExploreBudget::Unlimited;
+    let mut keep_within = 10.0f64;
+    let mut jobs = None;
+    let mut output = None;
+    let mut format = SweepFormat::Csv;
+    let mut cache = 1024usize;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "-p" | "--plan" => plan = Some(PathBuf::from(value("--plan")?)),
+            "--budget" => budget = parse_explore_budget(&value("--budget")?)?,
+            "--keep-within" => {
+                let text = value("--keep-within")?;
+                let pct: f64 = text
+                    .parse()
+                    .map_err(|_| format!("bad keep-within `{text}`"))?;
+                if !(pct.is_finite() && pct >= 0.0) {
+                    return Err("keep-within must be a nonnegative percentage".into());
+                }
+                keep_within = pct;
+            }
+            "-j" | "--jobs" => {
+                let text = value("--jobs")?;
+                let n: usize = text.parse().map_err(|_| format!("bad jobs `{text}`"))?;
+                if n == 0 {
+                    return Err("jobs must be nonzero".into());
+                }
+                jobs = Some(n);
+            }
+            "-o" | "--output" => output = Some(PathBuf::from(value("--output")?)),
+            "--format" => {
+                let text = value("--format")?;
+                format = match text.as_str() {
+                    "csv" => SweepFormat::Csv,
+                    "jsonl" => SweepFormat::JsonLines,
+                    other => return Err(format!("format must be csv or jsonl, got `{other}`")),
+                };
+            }
+            "--cache" => {
+                let text = value("--cache")?;
+                let n: usize = text.parse().map_err(|_| format!("bad cache `{text}`"))?;
+                if n == 0 {
+                    return Err("cache must be nonzero".into());
+                }
+                cache = n;
+            }
+            other => return Err(format!("unknown explore argument `{other}`")),
+        }
+    }
+    let plan = plan.ok_or("explore requires --plan <FILE>")?;
+    Ok(ExploreArgs {
+        plan,
+        budget,
+        keep_within,
+        jobs,
+        output,
+        format,
+        cache,
+    })
+}
+
+fn run_explore_cli(argv: &[String]) -> Result<(), String> {
+    let args = parse_explore_args(argv)?;
+    let plan = load_plan(&args.plan)?;
+    let jobs = args.jobs.unwrap_or_else(default_jobs);
+    let options = ExploreOptions {
+        keep_within_pct: args.keep_within,
+        budget: args.budget,
+        jobs,
+    };
+    let engine = ExploreEngine::new(args.cache);
+    let outcome = engine
+        .run(&plan, &options)
+        .map_err(|e| format!("explore failed: {e}"))?;
+
+    let write = |writer: &mut dyn io::Write| match args.format {
+        SweepFormat::Csv => outcome.write_csv(writer),
+        SweepFormat::JsonLines => outcome.write_jsonl(writer),
+    };
+    match &args.output {
+        Some(path) => {
+            let file = fs::File::create(path)
+                .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+            write(&mut io::BufWriter::new(file))
+                .map_err(|e| format!("explore output failed: {e}"))?;
+        }
+        None => {
+            write(&mut io::stdout().lock()).map_err(|e| format!("explore output failed: {e}"))?;
+        }
+    }
+
+    let pruned_pct = if outcome.candidates > 0 {
+        100.0 * outcome.pruned as f64 / outcome.candidates as f64
+    } else {
+        0.0
+    };
+    eprintln!(
+        "explore `{}`: {} candidates -> {} survivors ({} pruned, {:.1}%), \
+         {} simulated ({} cache hits) on {} jobs",
+        outcome.plan_name,
+        outcome.candidates,
+        outcome.survivors,
+        outcome.pruned,
+        pruned_pct,
+        outcome.simulated,
+        outcome.cache_hits,
+        jobs,
+    );
+    let stage0_rate = if outcome.stage_seconds.analytical > 0.0 {
+        outcome.candidates as f64 / outcome.stage_seconds.analytical
+    } else {
+        f64::INFINITY
+    };
+    eprintln!(
+        "  stages: analytical {:.3}s ({:.0} candidates/s), prune {:.3}s, simulate {:.2}s",
+        outcome.stage_seconds.analytical,
+        stage0_rate,
+        outcome.stage_seconds.prune,
+        outcome.stage_seconds.simulate,
+    );
+    eprintln!(
+        "  analytical error (measured/predicted): p50 {:.3}x, p95 {:.3}x, max {:.3}x \
+         over {} simulated points",
+        outcome.error_stats.p50,
+        outcome.error_stats.p95,
+        outcome.error_stats.max,
+        outcome.error_stats.count,
+    );
+    for (workload, points) in outcome.frontiers() {
+        eprintln!("  frontier {workload}: {} points", points.len());
+        for p in points {
+            eprintln!(
+                "    {:>12} MACs: {} grid of {} arrays [{}], predicted {} cycles, \
+                 measured {} effective cycles",
+                p.spec.budget,
+                p.spec.grid,
+                p.spec.array,
+                p.spec.dataflow,
+                p.predicted,
+                p.measured(),
+            );
+        }
     }
     if let Some(path) = &args.output {
         eprintln!("wrote {}", path.display());
@@ -462,6 +707,7 @@ fn main() -> ExitCode {
         Some("serve") => scalesim_server::cli::run_serve(&argv[1..]).map_err(CliError::Runtime),
         Some("batch") => scalesim_server::cli::run_batch_cli(&argv[1..]).map_err(CliError::Runtime),
         Some("sweep") => run_sweep_cli(&argv[1..]).map_err(CliError::Runtime),
+        Some("explore") => run_explore_cli(&argv[1..]).map_err(CliError::Runtime),
         Some("run") => run(&argv[1..]),
         _ => run(&argv),
     };
@@ -621,5 +867,76 @@ mod tests {
         assert!(parse_sweep_args(&argv(&["--plan", "p", "--cache", "0"])).is_err());
         let err = parse_sweep_args(&argv(&["--frobnicate"])).unwrap_err();
         assert!(err.contains("unknown sweep argument"));
+    }
+
+    #[test]
+    fn sweep_dry_run_flag_parses() {
+        let a = parse_sweep_args(&argv(&["--plan", "p", "--dry-run"])).unwrap();
+        assert!(a.dry_run);
+        let a = parse_sweep_args(&argv(&["--plan", "p"])).unwrap();
+        assert!(!a.dry_run);
+    }
+
+    #[test]
+    fn parses_explore_arguments() {
+        let a = parse_explore_args(&argv(&[
+            "--plan",
+            "fig9.plan",
+            "--budget",
+            "250",
+            "--keep-within",
+            "7.5",
+            "--jobs",
+            "4",
+            "--output",
+            "out.csv",
+            "--format",
+            "jsonl",
+            "--cache",
+            "32",
+        ]))
+        .unwrap();
+        assert_eq!(a.plan, PathBuf::from("fig9.plan"));
+        assert_eq!(a.budget, ExploreBudget::Sims(250));
+        assert_eq!(a.keep_within, 7.5);
+        assert_eq!(a.jobs, Some(4));
+        assert_eq!(a.output, Some(PathBuf::from("out.csv")));
+        assert_eq!(a.format, SweepFormat::JsonLines);
+        assert_eq!(a.cache, 32);
+    }
+
+    #[test]
+    fn explore_budget_tokens() {
+        use std::time::Duration;
+        assert_eq!(parse_explore_budget("100"), Ok(ExploreBudget::Sims(100)));
+        assert_eq!(
+            parse_explore_budget("30s"),
+            Ok(ExploreBudget::WallClock(Duration::from_secs(30)))
+        );
+        assert_eq!(
+            parse_explore_budget("5m"),
+            Ok(ExploreBudget::WallClock(Duration::from_secs(300)))
+        );
+        assert!(parse_explore_budget("fast").is_err());
+        assert!(parse_explore_budget("-3").is_err());
+        assert!(parse_explore_budget("2h").is_err());
+    }
+
+    #[test]
+    fn explore_defaults_and_errors() {
+        let a = parse_explore_args(&argv(&["--plan", "p"])).unwrap();
+        assert_eq!(a.budget, ExploreBudget::Unlimited);
+        assert_eq!(a.keep_within, 10.0);
+        assert_eq!(a.jobs, None);
+        assert_eq!(a.format, SweepFormat::Csv);
+        assert_eq!(a.cache, 1024);
+
+        assert!(parse_explore_args(&[]).is_err(), "plan is required");
+        assert!(parse_explore_args(&argv(&["--plan", "p", "--keep-within", "-1"])).is_err());
+        assert!(parse_explore_args(&argv(&["--plan", "p", "--keep-within", "NaN"])).is_err());
+        assert!(parse_explore_args(&argv(&["--plan", "p", "--jobs", "0"])).is_err());
+        assert!(parse_explore_args(&argv(&["--plan", "p", "--budget", "soon"])).is_err());
+        let err = parse_explore_args(&argv(&["--frobnicate"])).unwrap_err();
+        assert!(err.contains("unknown explore argument"));
     }
 }

@@ -58,6 +58,7 @@
 pub mod cache;
 mod config;
 mod error;
+pub mod explore;
 pub mod layer_cache;
 pub mod pipeline;
 mod report;
@@ -67,12 +68,16 @@ pub mod sweep;
 pub use crate::cache::{ContentKey, ShardedLru};
 pub use crate::config::{parse_config, SimConfig, SimConfigBuilder};
 pub use crate::error::ParseConfigError;
+pub use crate::explore::{
+    predict_cycles, ExploreBudget, ExploreEngine, ExploreOptions, ExploreOutcome, MeasuredPoint,
+    PruneOutcome, SurvivorPoint,
+};
 pub use crate::pipeline::{balance_stages, run_pipeline, PipelineReport, StageReport};
 pub use crate::report::{LayerReport, NetworkReport};
 pub use crate::simulator::{telemetry_names, Simulator};
 pub use crate::sweep::{
-    run_partition_sweep, sweet_spot, sweet_spot_index, SweepEngine, SweepOutcome, SweepPlan,
-    SweepPoint,
+    run_partition_sweep, sweet_spot, sweet_spot_index, DataflowChoice, PlanSpaceSummary, PointSpec,
+    SweepEngine, SweepOutcome, SweepPlan, SweepPoint,
 };
 
 // The vocabulary types users need with the facade.

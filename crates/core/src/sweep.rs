@@ -21,7 +21,7 @@
 //! API) is now a thin wrapper over this engine, and [`sweet_spot`] still
 //! answers the paper's "intersection of runtime and bandwidth curves".
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -239,9 +239,38 @@ impl SweepPlan {
     /// Returns [`SweepError::Plan`] on unknown keys, unknown workloads or
     /// malformed values.
     pub fn parse(text: &str) -> Result<SweepPlan, SweepError> {
+        Self::parse_with_origin(text, None)
+    }
+
+    /// Like [`SweepPlan::parse`], but diagnostics carry `origin` (usually
+    /// the plan's file name) ahead of the line number, `origin:line: msg`
+    /// style, so errors from multi-file tooling point at the right file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Plan`] on unknown keys, unknown workloads or
+    /// malformed values.
+    ///
+    /// ```
+    /// use scalesim::SweepPlan;
+    ///
+    /// let err = SweepPlan::parse_named("budget = nonsense", "fig9.plan").unwrap_err();
+    /// assert!(err.to_string().starts_with("fig9.plan:1: "));
+    /// ```
+    pub fn parse_named(text: &str, origin: &str) -> Result<SweepPlan, SweepError> {
+        Self::parse_with_origin(text, Some(origin))
+    }
+
+    fn parse_with_origin(text: &str, origin: Option<&str>) -> Result<SweepPlan, SweepError> {
         let mut plan = SweepPlan::new("sweep");
         let mut overrides = String::new();
         let mut bandwidth = None;
+        // Diagnostic prefix: `origin:line:` when a file name is known,
+        // bare `line N:` otherwise (the historical format).
+        let at = |lineno: usize| match origin {
+            Some(name) => format!("{name}:{}", lineno + 1),
+            None => format!("line {}", lineno + 1),
+        };
         for (lineno, raw) in text.lines().enumerate() {
             let line = match raw.split_once('#') {
                 Some((before, _)) => before.trim(),
@@ -254,10 +283,10 @@ impl SweepPlan {
                 .split_once('=')
                 .or_else(|| line.split_once(':'))
                 .ok_or_else(|| {
-                    SweepError::plan(format!("line {}: expected `key = value`", lineno + 1))
+                    SweepError::plan(format!("{}: expected `key = value`", at(lineno)))
                 })?;
             let (key, value) = (key.trim(), value.trim());
-            let fail = |msg: String| SweepError::plan(format!("line {}: {msg}", lineno + 1));
+            let fail = |msg: String| SweepError::plan(format!("{}: {msg}", at(lineno)));
             match key {
                 "name" => plan.name = value.to_owned(),
                 "workload" => {
@@ -337,8 +366,10 @@ impl SweepPlan {
             }
         }
         if !overrides.is_empty() {
-            plan.base = parse_config(&overrides)
-                .map_err(|e| SweepError::plan(format!("config override: {e}")))?;
+            plan.base = parse_config(&overrides).map_err(|e| match origin {
+                Some(name) => SweepError::plan(format!("{name}: config override: {e}")),
+                None => SweepError::plan(format!("config override: {e}")),
+            })?;
         }
         if let Some(bw) = bandwidth {
             plan.base.dram_bandwidth = Some(bw);
@@ -365,80 +396,263 @@ impl SweepPlan {
     /// of two; every grid must split its budget into a power-of-two
     /// per-partition array of at least `min_dim × min_dim`).
     pub fn expand(&self) -> Result<Vec<PointSpec>, SweepError> {
-        if self.workloads.is_empty() {
-            return Err(SweepError::plan("plan has no workloads"));
-        }
-        if self.budgets.is_empty() {
-            return Err(SweepError::plan("plan has no budgets"));
-        }
-        if !self.min_dim.is_power_of_two() {
+        Ok(self.points()?.collect())
+    }
+
+    /// Validates the plan and returns a lazy iterator over its points, in
+    /// exactly the order [`SweepPlan::expand`] would materialize them.
+    ///
+    /// Per-budget `(grid, array)` combinations are computed eagerly (they
+    /// are small), but the workload × combination × dataflow product is
+    /// generated on demand — a million-point space costs no allocation
+    /// beyond the per-budget tables, which is what lets explore's stage 0
+    /// walk spaces far too large to expand.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Plan`] under the same conditions as
+    /// [`SweepPlan::expand`].
+    pub fn points(&self) -> Result<PointIter<'_>, SweepError> {
+        PointIter::new(self)
+    }
+
+    /// Per-budget validated `(grid, array)` combinations — the shared
+    /// candidate generator behind [`SweepPlan::expand`], `sweep --dry-run`
+    /// and explore stage 0.
+    fn budget_combos(&self, budget: u64) -> Result<Vec<(PartitionGrid, ArrayShape)>, SweepError> {
+        let floor = self.min_dim * self.min_dim;
+        if !budget.is_power_of_two() || budget < floor {
             return Err(SweepError::plan(format!(
-                "min_dim {} is not a power of two",
-                self.min_dim
+                "budget {budget} must be a power of two of at least {floor} MACs"
             )));
         }
-        let floor = self.min_dim * self.min_dim;
-        let dataflows = self.dataflow_axis();
-        let mut points = Vec::new();
-        for workload in &self.workloads {
-            for &budget in &self.budgets {
-                if !budget.is_power_of_two() || budget < floor {
-                    return Err(SweepError::plan(format!(
-                        "budget {budget} must be a power of two of at least {floor} MACs"
-                    )));
+        let grids: Vec<PartitionGrid> = match &self.grids {
+            GridAxis::PowersOfTwo => {
+                let mut grids = Vec::new();
+                let mut p = 1u64;
+                while budget / p >= floor {
+                    let (gr, gc) = squareish(p);
+                    grids.push(PartitionGrid::new(gr, gc));
+                    p *= 2;
                 }
-                let grids: Vec<PartitionGrid> = match &self.grids {
-                    GridAxis::PowersOfTwo => {
-                        let mut grids = Vec::new();
-                        let mut p = 1u64;
-                        while budget / p >= floor {
-                            let (gr, gc) = squareish(p);
-                            grids.push(PartitionGrid::new(gr, gc));
-                            p *= 2;
-                        }
-                        grids
-                    }
-                    GridAxis::Explicit(grids) => grids.clone(),
-                };
-                for grid in grids {
-                    let count = grid.count();
-                    if budget % count != 0 || !(budget / count).is_power_of_two() {
-                        return Err(SweepError::plan(format!(
-                            "grid {grid} does not split budget {budget} into a power of two"
-                        )));
-                    }
-                    let per_array = budget / count;
-                    if per_array < floor {
-                        return Err(SweepError::plan(format!(
-                            "grid {grid} leaves {per_array} MACs per array, below the \
-                             {}x{} floor",
-                            self.min_dim, self.min_dim
-                        )));
-                    }
-                    let arrays: Vec<ArrayShape> = match self.aspects {
-                        AspectAxis::Squareish => {
-                            let (ar, ac) = squareish(per_array);
-                            vec![ArrayShape::new(ar, ac)]
-                        }
-                        AspectAxis::All => aspect_ratio_shapes(per_array, self.min_dim),
-                    };
-                    for array in arrays {
-                        for &dataflow in &dataflows {
-                            points.push(PointSpec {
-                                index: points.len(),
-                                workload: workload.label.clone(),
-                                budget,
-                                grid,
-                                array,
-                                dataflow,
-                            });
-                        }
-                    }
+                grids
+            }
+            GridAxis::Explicit(grids) => grids.clone(),
+        };
+        let mut combos = Vec::new();
+        for grid in grids {
+            let count = grid.count();
+            if !budget.is_multiple_of(count) || !(budget / count).is_power_of_two() {
+                return Err(SweepError::plan(format!(
+                    "grid {grid} does not split budget {budget} into a power of two"
+                )));
+            }
+            let per_array = budget / count;
+            if per_array < floor {
+                return Err(SweepError::plan(format!(
+                    "grid {grid} leaves {per_array} MACs per array, below the \
+                     {}x{} floor",
+                    self.min_dim, self.min_dim
+                )));
+            }
+            match self.aspects {
+                AspectAxis::Squareish => {
+                    let (ar, ac) = squareish(per_array);
+                    combos.push((grid, ArrayShape::new(ar, ac)));
+                }
+                AspectAxis::All => {
+                    combos.extend(
+                        aspect_ratio_shapes(per_array, self.min_dim)
+                            .into_iter()
+                            .map(|array| (grid, array)),
+                    );
                 }
             }
         }
-        Ok(points)
+        Ok(combos)
     }
+
+    /// Validates the plan and summarizes its candidate space without
+    /// simulating anything — the engine behind `scale-sim sweep --dry-run`.
+    ///
+    /// The duplicate count is exact: it groups points by the same identity
+    /// the [`SweepEngine`]'s content-addressed dedup uses (workload, grid,
+    /// array, effective dataflow), so `points - distinct_jobs` is the
+    /// number of simulations a run would save before the LRU cache even
+    /// gets a say.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Plan`] under the same conditions as
+    /// [`SweepPlan::expand`].
+    pub fn space_summary(&self) -> Result<PlanSpaceSummary, SweepError> {
+        let iter = self.points()?;
+        let per_budget: Vec<BudgetBreakdown> = self
+            .budgets
+            .iter()
+            .zip(&iter.combos)
+            .map(|(&budget, combos)| {
+                let mut grids: Vec<PartitionGrid> = combos.iter().map(|&(g, _)| g).collect();
+                grids.dedup();
+                BudgetBreakdown {
+                    budget,
+                    grids: grids.len(),
+                    combos: combos.len(),
+                }
+            })
+            .collect();
+        let dataflows = iter.dataflows.len();
+        let points = iter.len();
+        let mut seen = HashSet::new();
+        for spec in self.points()? {
+            let effective = match spec.dataflow {
+                DataflowChoice::Fixed(df) => (df, false),
+                DataflowChoice::Auto => (self.base.dataflow, true),
+            };
+            seen.insert((spec.workload, spec.grid, spec.array, effective));
+        }
+        Ok(PlanSpaceSummary {
+            points,
+            distinct_jobs: seen.len(),
+            workloads: self.workloads.len(),
+            budgets: self.budgets.len(),
+            dataflows,
+            per_budget,
+        })
+    }
+}
+
+/// A lazy, validating iterator over a plan's design points in plan order.
+///
+/// Created by [`SweepPlan::points`]. The iterator is exact-size: the full
+/// cartesian count is known up front from the per-budget tables.
+pub struct PointIter<'a> {
+    plan: &'a SweepPlan,
+    dataflows: Vec<DataflowChoice>,
+    /// Validated `(grid, array)` pairs, one table per plan budget.
+    combos: Vec<Vec<(PartitionGrid, ArrayShape)>>,
+    index: usize,
+    total: usize,
+    /// Cursor: (workload, budget, combo, dataflow).
+    w: usize,
+    b: usize,
+    c: usize,
+    d: usize,
+}
+
+impl<'a> PointIter<'a> {
+    fn new(plan: &'a SweepPlan) -> Result<PointIter<'a>, SweepError> {
+        if plan.workloads.is_empty() {
+            return Err(SweepError::plan("plan has no workloads"));
+        }
+        if plan.budgets.is_empty() {
+            return Err(SweepError::plan("plan has no budgets"));
+        }
+        if !plan.min_dim.is_power_of_two() {
+            return Err(SweepError::plan(format!(
+                "min_dim {} is not a power of two",
+                plan.min_dim
+            )));
+        }
+        let combos: Vec<Vec<(PartitionGrid, ArrayShape)>> = plan
+            .budgets
+            .iter()
+            .map(|&budget| plan.budget_combos(budget))
+            .collect::<Result<_, _>>()?;
+        let dataflows = plan.dataflow_axis();
+        let per_workload = combos.iter().map(Vec::len).sum::<usize>() * dataflows.len();
+        let total = per_workload * plan.workloads.len();
+        Ok(PointIter {
+            plan,
+            dataflows,
+            combos,
+            index: 0,
+            total,
+            w: 0,
+            b: 0,
+            c: 0,
+            d: 0,
+        })
+    }
+}
+
+impl Iterator for PointIter<'_> {
+    type Item = PointSpec;
+
+    fn next(&mut self) -> Option<PointSpec> {
+        // Skip budgets whose combo table is empty (possible with explicit
+        // grids only; `budget_combos` rejects empty power-of-two tables).
+        while self.b < self.combos.len() && self.combos[self.b].is_empty() {
+            self.b += 1;
+        }
+        if self.w >= self.plan.workloads.len() || self.b >= self.combos.len() {
+            return None;
+        }
+        let (grid, array) = self.combos[self.b][self.c];
+        let spec = PointSpec {
+            index: self.index,
+            workload: self.plan.workloads[self.w].label.clone(),
+            budget: self.plan.budgets[self.b],
+            grid,
+            array,
+            dataflow: self.dataflows[self.d],
+        };
+        self.index += 1;
+        self.d += 1;
+        if self.d == self.dataflows.len() {
+            self.d = 0;
+            self.c += 1;
+            if self.c == self.combos[self.b].len() {
+                self.c = 0;
+                self.b += 1;
+                if self.b == self.combos.len() {
+                    self.b = 0;
+                    self.w += 1;
+                }
+            }
+        }
+        Some(spec)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.total - self.index;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for PointIter<'_> {}
+
+/// Per-budget axis breakdown inside a [`PlanSpaceSummary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetBreakdown {
+    /// The MAC budget.
+    pub budget: u64,
+    /// Distinct partition grids at this budget.
+    pub grids: usize,
+    /// `(grid, array)` combinations at this budget (grids × aspect
+    /// ratios).
+    pub combos: usize,
+}
+
+/// What `sweep --dry-run` reports: the size and shape of a plan's
+/// candidate space, computed without simulating.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanSpaceSummary {
+    /// Total cartesian points (workloads × budgets × grids × aspects ×
+    /// dataflows).
+    pub points: usize,
+    /// Distinct simulation jobs after the engine's content-addressed
+    /// dedup (exact, not an estimate).
+    pub distinct_jobs: usize,
+    /// Workloads on the workload axis.
+    pub workloads: usize,
+    /// Budgets on the budget axis.
+    pub budgets: usize,
+    /// Dataflows on the dataflow axis (after the empty-means-base
+    /// default).
+    pub dataflows: usize,
+    /// Per-budget grid/combination counts.
+    pub per_budget: Vec<BudgetBreakdown>,
 }
 
 fn parse_budget(token: &str) -> Option<u64> {
@@ -629,7 +843,7 @@ pub trait SweepSink {
 pub const SWEEP_CSV_HEADER: &str = "workload,budget,partitions,grid,array,dataflow,cycles,\
      effective_cycles,macs,overall_util,dram_bytes,peak_bw_bytes_per_cycle,energy\n";
 
-fn sweep_row_fields(spec: &PointSpec, report: &NetworkReport) -> (String, String) {
+pub(crate) fn sweep_row_fields(spec: &PointSpec, report: &NetworkReport) -> (String, String) {
     // (prefix identifying the point, suffix of measured values) — shared
     // between the CSV and JSONL sinks so the two stay in sync.
     let prefix = format!(
@@ -704,7 +918,7 @@ impl<W: io::Write> JsonLinesSink<W> {
     }
 }
 
-fn escape_json(s: &str) -> String {
+pub(crate) fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -747,7 +961,7 @@ impl<W: io::Write> SweepSink for JsonLinesSink<W> {
 }
 
 /// A sink that discards rows (for callers that only want the outcome).
-struct NullSink;
+pub(crate) struct NullSink;
 
 impl SweepSink for NullSink {
     fn point(&mut self, _spec: &PointSpec, _report: &NetworkReport) -> io::Result<()> {
@@ -927,7 +1141,29 @@ impl SweepEngine {
         sink: &mut dyn SweepSink,
     ) -> Result<SweepOutcome, SweepError> {
         let points = plan.expand()?;
+        self.run_points(plan, points, jobs, sink)
+    }
 
+    /// Runs an explicit list of points against `plan`'s base configuration
+    /// and workloads, streaming each to `sink` in the order given.
+    ///
+    /// This is the entry the explore pipeline uses to simulate the
+    /// survivors of analytical pruning: the points need not be the plan's
+    /// full expansion, but every spec's workload label must name one of
+    /// the plan's workloads. Dedup, caching and the determinism contract
+    /// are identical to [`SweepEngine::run_streaming`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Plan`] when a point references a workload the
+    /// plan does not define, and [`SweepError::Io`] when the sink fails.
+    pub fn run_points(
+        &self,
+        plan: &SweepPlan,
+        points: Vec<PointSpec>,
+        jobs: usize,
+        sink: &mut dyn SweepSink,
+    ) -> Result<SweepOutcome, SweepError> {
         // Canonical topology text per workload, for content keys.
         let csvs: Vec<String> = plan
             .workloads
@@ -946,7 +1182,12 @@ impl SweepEngine {
         let mut distinct: Vec<DistinctJob> = Vec::new();
         let mut prepared: Vec<PreparedPoint> = Vec::with_capacity(points.len());
         for spec in points {
-            let workload = workload_index[spec.workload.as_str()];
+            let workload = *workload_index.get(spec.workload.as_str()).ok_or_else(|| {
+                SweepError::plan(format!(
+                    "point references unknown workload `{}`",
+                    spec.workload
+                ))
+            })?;
             let config = spec.config(&plan.base);
             let auto = spec.dataflow == DataflowChoice::Auto;
             let key = ContentKey::from_content(

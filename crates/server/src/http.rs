@@ -10,6 +10,10 @@
 //! * `POST /sweep` — body is a design-space sweep plan (see
 //!   [`crate::sweep`]); every expanded point runs through the same engine
 //!   cache as `/simulate`, and the response lists points in plan order.
+//! * `POST /explore` — body is a sweep plan plus `keep_within` / `budget`
+//!   knobs (see [`crate::explore`]); analytical pruning picks the
+//!   candidates worth simulating and the response carries the measured
+//!   Pareto frontier per workload.
 //! * `GET /stats` — service counters (legacy JSON view of the metrics).
 //! * `GET /metrics` — Prometheus text exposition: the engine's registry
 //!   (request outcomes, queue wait, cache occupancy/evictions, dedup
@@ -425,6 +429,7 @@ fn request_latency(context: &Context, path: &str) -> Arc<Histogram> {
     let route = match path {
         "/simulate" => "simulate",
         "/sweep" => "sweep",
+        "/explore" => "explore",
         "/stats" => "stats",
         "/healthz" => "healthz",
         "/metrics" => "metrics",
@@ -494,6 +499,15 @@ fn route(context: &Context, req: &Request, deadline: Option<Instant>) -> Routed 
                 .map_err(|e| JobError::bad_request(format!("invalid JSON: {e}")))
                 .and_then(|json| crate::sweep::run_sweep(engine, &json));
             match plan {
+                Ok(response) => Routed::json(200, response.to_string()),
+                Err(e) => error_response(&e),
+            }
+        }
+        ("POST", "/explore") => {
+            let outcome = Json::parse(&req.body)
+                .map_err(|e| JobError::bad_request(format!("invalid JSON: {e}")))
+                .and_then(|json| crate::explore::run_explore(engine, &json));
+            match outcome {
                 Ok(response) => Routed::json(200, response.to_string()),
                 Err(e) => error_response(&e),
             }

@@ -25,6 +25,11 @@
 //!   (the same plan model as `scalesim::sweep`) and runs every point
 //!   through the engine, sharing its cache and single-flight table with
 //!   ordinary `/simulate` traffic.
+//! * **Exploration** ([`explore`]) — `POST /explore` takes the same plan
+//!   plus `keep_within` / `budget` knobs and runs the analytical-guided
+//!   pipeline of [`scalesim::ExploreEngine`]: predict every candidate with
+//!   the lower-bound runtime model, prune to the analytical Pareto band,
+//!   simulate only the survivors.
 //! * **Telemetry** — every service counter is a `scalesim-telemetry`
 //!   metric: the [`Stats`] snapshot served at `/stats` and the Prometheus
 //!   exposition at `/metrics` read the *same* counters, so the two views
@@ -57,6 +62,7 @@ pub mod batch;
 pub mod cache;
 pub mod cli;
 pub mod engine;
+pub mod explore;
 pub mod http;
 pub mod job;
 pub mod json;

@@ -276,6 +276,60 @@ fn sweep_route_runs_plans_and_reuses_the_cache() {
 }
 
 #[test]
+fn explore_route_prunes_and_reports_a_frontier() {
+    let handle = start_server(2);
+    let plan = r#"{
+        "name": "explore-itest",
+        "workloads": ["TF1"],
+        "budgets": [1024],
+        "aspect": "all",
+        "keep_within": 15,
+        "jobs": 2,
+        "config": {"IfmapSramSz": 64, "FilterSramSz": 64, "OfmapSramSz": 32}
+    }"#;
+
+    let response = request(handle.addr(), "POST", "/explore", Some(plan)).unwrap();
+    assert_eq!(response.status, 200, "body: {}", response.body);
+    let body = Json::parse(&response.body).unwrap();
+    assert_eq!(
+        body.get("plan").and_then(Json::as_str),
+        Some("explore-itest")
+    );
+    let summary = body.get("summary").unwrap();
+    let candidates = summary.get("candidates").and_then(Json::as_u64).unwrap();
+    let pruned = summary.get("pruned").and_then(Json::as_u64).unwrap();
+    let survivors = summary.get("survivors").and_then(Json::as_u64).unwrap();
+    assert!(candidates > 0);
+    assert_eq!(candidates, pruned + survivors);
+    assert!(summary.get("analytical_error").is_some());
+    let frontiers = body.get("frontiers").and_then(Json::as_array).unwrap();
+    assert_eq!(frontiers.len(), 1);
+    assert!(!frontiers[0]
+        .get("points")
+        .and_then(Json::as_array)
+        .unwrap()
+        .is_empty());
+
+    // Explore metrics are exported on /metrics alongside the engine's.
+    let metrics = get(&handle, "/metrics");
+    assert!(metrics.body.contains("scalesim_explore_candidates_total"));
+    assert!(metrics.body.contains("scalesim_explore_frontier_size"));
+
+    // Bad explore knobs fail clean with a 400.
+    let bad = request(
+        handle.addr(),
+        "POST",
+        "/explore",
+        Some(r#"{"workloads":["TF1"],"budgets":[1024],"keep_within":-2}"#),
+    )
+    .unwrap();
+    assert_eq!(bad.status, 400);
+    assert!(Json::parse(&bad.body).unwrap().get("error").is_some());
+
+    handle.stop();
+}
+
+#[test]
 fn inline_topology_round_trips_over_http() {
     let handle = start_server(2);
     let job = r#"{
