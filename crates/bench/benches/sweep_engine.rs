@@ -13,7 +13,8 @@
 //! memory and measure nothing.
 //!
 //! Besides the criterion groups, `main` takes one wall-clock measurement
-//! of each cache tier (cold / layer-warm / point-warm) and writes it to
+//! of each cache tier (cold / traced-cold / layer-warm / point-warm) and
+//! writes it to
 //! `BENCH_sweep.json` at the repo root together with the demand-stream
 //! compression ratio, the layer-cache hit rate and the explore tier
 //! (stage-0 candidates/sec over a 10^5-point plan, plus end-to-end
@@ -179,6 +180,21 @@ fn write_bench_json() {
     let demand_elements = counter(telemetry_names::DEMAND_ELEMENTS) - elements_before;
     let demand_runs = counter(telemetry_names::DEMAND_RUNS) - runs_before;
 
+    // Tier 0b — traced cold: the same cold sweep with the trace ring
+    // installed and recording, so the span overhead (clock reads + ring
+    // slots per layer/phase) shows up as a diff against `cold_seconds`.
+    // Recording is switched off again before the remaining tiers so they
+    // measure the default disabled path (one relaxed atomic load per span).
+    layer_cache::clear();
+    scalesim_telemetry::trace::install(scalesim_telemetry::trace::DEFAULT_CAPACITY);
+    scalesim_telemetry::trace::set_enabled(true);
+    let engine = SweepEngine::new(256);
+    let started = Instant::now();
+    engine.run(&plan, jobs).expect("traced cold sweep runs");
+    let traced_cold_seconds = started.elapsed().as_secs_f64();
+    scalesim_telemetry::trace::set_enabled(false);
+    scalesim_telemetry::trace::clear();
+
     // Tier 1 — layer-warm: a fresh engine (empty point cache) over a warm
     // layer cache; every simulation is a layer-cache hit.
     let engine = SweepEngine::new(256);
@@ -229,6 +245,7 @@ fn write_bench_json() {
     let json = format!(
         "{{\n  \"plan\": \"fig9-tf0\",\n  \"points\": {points},\n  \"jobs\": {jobs},\n  \
          \"cold_seconds\": {cold_seconds:.6},\n  \
+         \"traced_cold_seconds\": {traced_cold_seconds:.6},\n  \
          \"layer_warm_seconds\": {layer_warm_seconds:.6},\n  \
          \"point_warm_seconds\": {point_warm_seconds:.6},\n  \
          \"demand_elements\": {demand_elements},\n  \

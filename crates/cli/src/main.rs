@@ -27,14 +27,16 @@ USAGE:
                     [--retries <N>]
     scale-sim sweep --plan <FILE> [--jobs <N>] [--output <FILE>]
                     [--format csv|jsonl] [--cache <N>] [--dry-run]
+                    [--trace-out <FILE>] [--progress]
     scale-sim explore --plan <FILE> [--budget <N|30s|5m>] [--keep-within <PCT>]
                       [--jobs <N>] [--output <FILE>] [--format csv|jsonl]
-                      [--cache <N>]
+                      [--cache <N>] [--trace-out <FILE>] [--progress]
 
 SUBCOMMANDS:
     run      simulate one workload (the default when no subcommand is given)
     serve    run the HTTP simulation service (POST /simulate, POST /sweep,
-             GET /stats, GET /metrics, GET /healthz) with a shared
+             POST /explore, GET /stats, GET /metrics, GET /healthz,
+             GET /debug/jobs, GET /debug/trace) with a shared
              content-addressed result cache; jobs past --queue-depth shed
              with 503 + Retry-After, requests honor X-Scalesim-Deadline-Ms
              (--deadline-ms default, 504 on expiry), and SIGINT/SIGTERM
@@ -78,6 +80,12 @@ OPTIONS:
         --profile           print a per-layer wall-time/cycles table after
                             the report (from the telemetry registry)
         --dump-config       print the effective config and exit
+        --trace-out <FILE>  record a hierarchical execution trace and write
+                            it as Chrome trace-event JSON (open in Perfetto
+                            or chrome://tracing); also accepted by sweep
+                            and explore
+        --progress          (sweep/explore) live progress on stderr:
+                            points done/total, rows/s, cache hits, ETA
     -h, --help              show this help
 ";
 
@@ -93,6 +101,30 @@ struct Args {
     traces: bool,
     profile: bool,
     dump_config: bool,
+    trace_out: Option<PathBuf>,
+}
+
+/// Turns trace recording on when `--trace-out` was given. Call before the
+/// simulated work starts; pair with [`write_trace`] afterwards.
+fn enable_tracing(trace_out: &Option<PathBuf>) {
+    if trace_out.is_some() {
+        scalesim_telemetry::trace::install(scalesim_telemetry::trace::DEFAULT_CAPACITY);
+    }
+}
+
+/// Exports the recorded trace ring as Chrome trace-event JSON.
+fn write_trace(trace_out: &Option<PathBuf>) -> Result<(), String> {
+    let Some(path) = trace_out else {
+        return Ok(());
+    };
+    let file =
+        fs::File::create(path).map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+    let mut writer = io::BufWriter::new(file);
+    scalesim_telemetry::trace::export_chrome_json(&mut writer)
+        .and_then(|()| io::Write::flush(&mut writer))
+        .map_err(|e| format!("cannot write trace {}: {e}", path.display()))?;
+    eprintln!("wrote trace {}", path.display());
+    Ok(())
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -108,6 +140,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         traces: false,
         profile: false,
         dump_config: false,
+        trace_out: None,
     };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -161,6 +194,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--traces" => args.traces = true,
             "--profile" => args.profile = true,
             "--dump-config" => args.dump_config = true,
+            "--trace-out" => args.trace_out = Some(PathBuf::from(value("--trace-out")?)),
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -206,6 +240,8 @@ struct SweepArgs {
     format: SweepFormat,
     cache: usize,
     dry_run: bool,
+    trace_out: Option<PathBuf>,
+    progress: bool,
 }
 
 fn parse_sweep_args(argv: &[String]) -> Result<SweepArgs, String> {
@@ -215,6 +251,8 @@ fn parse_sweep_args(argv: &[String]) -> Result<SweepArgs, String> {
     let mut format = SweepFormat::Csv;
     let mut cache = 1024usize;
     let mut dry_run = false;
+    let mut trace_out = None;
+    let mut progress = false;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -250,6 +288,8 @@ fn parse_sweep_args(argv: &[String]) -> Result<SweepArgs, String> {
                 cache = n;
             }
             "--dry-run" => dry_run = true,
+            "--trace-out" => trace_out = Some(PathBuf::from(value("--trace-out")?)),
+            "--progress" => progress = true,
             other => return Err(format!("unknown sweep argument `{other}`")),
         }
     }
@@ -261,6 +301,8 @@ fn parse_sweep_args(argv: &[String]) -> Result<SweepArgs, String> {
         format,
         cache,
         dry_run,
+        trace_out,
+        progress,
     })
 }
 
@@ -325,7 +367,8 @@ fn run_sweep_cli(argv: &[String]) -> Result<(), String> {
         return print_dry_run(&plan);
     }
     let jobs = args.jobs.unwrap_or_else(default_jobs);
-    let engine = SweepEngine::new(args.cache);
+    enable_tracing(&args.trace_out);
+    let engine = SweepEngine::new(args.cache).with_progress(args.progress);
 
     let start = std::time::Instant::now();
     let outcome = match &args.output {
@@ -372,6 +415,7 @@ fn run_sweep_cli(argv: &[String]) -> Result<(), String> {
     if let Some(path) = &args.output {
         eprintln!("wrote {}", path.display());
     }
+    write_trace(&args.trace_out)?;
     Ok(())
 }
 
@@ -384,6 +428,8 @@ struct ExploreArgs {
     output: Option<PathBuf>,
     format: SweepFormat,
     cache: usize,
+    trace_out: Option<PathBuf>,
+    progress: bool,
 }
 
 /// `--budget` grammar: a bare integer is a simulation count; an `s`/`m`
@@ -412,6 +458,8 @@ fn parse_explore_args(argv: &[String]) -> Result<ExploreArgs, String> {
     let mut output = None;
     let mut format = SweepFormat::Csv;
     let mut cache = 1024usize;
+    let mut trace_out = None;
+    let mut progress = false;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -457,6 +505,8 @@ fn parse_explore_args(argv: &[String]) -> Result<ExploreArgs, String> {
                 }
                 cache = n;
             }
+            "--trace-out" => trace_out = Some(PathBuf::from(value("--trace-out")?)),
+            "--progress" => progress = true,
             other => return Err(format!("unknown explore argument `{other}`")),
         }
     }
@@ -469,6 +519,8 @@ fn parse_explore_args(argv: &[String]) -> Result<ExploreArgs, String> {
         output,
         format,
         cache,
+        trace_out,
+        progress,
     })
 }
 
@@ -476,10 +528,12 @@ fn run_explore_cli(argv: &[String]) -> Result<(), String> {
     let args = parse_explore_args(argv)?;
     let plan = load_plan(&args.plan)?;
     let jobs = args.jobs.unwrap_or_else(default_jobs);
+    enable_tracing(&args.trace_out);
     let options = ExploreOptions {
         keep_within_pct: args.keep_within,
         budget: args.budget,
         jobs,
+        progress: args.progress,
     };
     let engine = ExploreEngine::new(args.cache);
     let outcome = engine
@@ -557,6 +611,7 @@ fn run_explore_cli(argv: &[String]) -> Result<(), String> {
     if let Some(path) = &args.output {
         eprintln!("wrote {}", path.display());
     }
+    write_trace(&args.trace_out)?;
     Ok(())
 }
 
@@ -635,6 +690,7 @@ fn run_simulation(args: &Args) -> Result<(), String> {
         }
     }
 
+    enable_tracing(&args.trace_out);
     let report = sim.run_topology(&topology);
     println!("{report}");
     if args.profile {
@@ -647,6 +703,7 @@ fn run_simulation(args: &Args) -> Result<(), String> {
             .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
         eprintln!("wrote {}", path.display());
     }
+    write_trace(&args.trace_out)?;
     Ok(())
 }
 
@@ -845,6 +902,9 @@ mod tests {
             "jsonl",
             "--cache",
             "32",
+            "--trace-out",
+            "trace.json",
+            "--progress",
         ]))
         .unwrap();
         assert_eq!(a.plan, PathBuf::from("fig9.plan"));
@@ -852,6 +912,8 @@ mod tests {
         assert_eq!(a.output, Some(PathBuf::from("out.csv")));
         assert_eq!(a.format, SweepFormat::JsonLines);
         assert_eq!(a.cache, 32);
+        assert_eq!(a.trace_out, Some(PathBuf::from("trace.json")));
+        assert!(a.progress);
     }
 
     #[test]
@@ -860,6 +922,8 @@ mod tests {
         assert_eq!(a.jobs, None);
         assert_eq!(a.format, SweepFormat::Csv);
         assert_eq!(a.cache, 1024);
+        assert_eq!(a.trace_out, None);
+        assert!(!a.progress);
 
         assert!(parse_sweep_args(&[]).is_err(), "plan is required");
         assert!(parse_sweep_args(&argv(&["--plan", "p", "--jobs", "0"])).is_err());
@@ -894,6 +958,9 @@ mod tests {
             "jsonl",
             "--cache",
             "32",
+            "--trace-out",
+            "trace.json",
+            "--progress",
         ]))
         .unwrap();
         assert_eq!(a.plan, PathBuf::from("fig9.plan"));
@@ -903,6 +970,8 @@ mod tests {
         assert_eq!(a.output, Some(PathBuf::from("out.csv")));
         assert_eq!(a.format, SweepFormat::JsonLines);
         assert_eq!(a.cache, 32);
+        assert_eq!(a.trace_out, Some(PathBuf::from("trace.json")));
+        assert!(a.progress);
     }
 
     #[test]
@@ -930,6 +999,8 @@ mod tests {
         assert_eq!(a.jobs, None);
         assert_eq!(a.format, SweepFormat::Csv);
         assert_eq!(a.cache, 1024);
+        assert_eq!(a.trace_out, None);
+        assert!(!a.progress);
 
         assert!(parse_explore_args(&[]).is_err(), "plan is required");
         assert!(parse_explore_args(&argv(&["--plan", "p", "--keep-within", "-1"])).is_err());

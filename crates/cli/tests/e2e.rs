@@ -294,6 +294,105 @@ fn sweep_is_deterministic_and_counts_cache_hits() {
     assert!(text.lines().all(|l| l.starts_with("{\"workload\":\"TF1\"")));
 }
 
+/// The tracing acceptance scenario: `explore --trace-out` on the committed
+/// smoke plan emits valid Chrome trace-event JSON with the stage-0/1/2
+/// spans nested under `explore.run`, per-worker sweep spans, and per-layer
+/// simulator spans.
+#[test]
+fn explore_trace_out_emits_nested_chrome_trace() {
+    use scalesim_server::Json;
+
+    let dir = temp_dir("trace");
+    let plan = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/explore_smoke.plan");
+    let trace = dir.join("trace.json");
+    let csv = dir.join("explore.csv");
+    let out = scale_sim(&[
+        "explore",
+        "--plan",
+        plan.to_str().unwrap(),
+        "--budget",
+        "4",
+        "--jobs",
+        "2",
+        "--output",
+        csv.to_str().unwrap(),
+        "--trace-out",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("wrote trace"), "stderr: {stderr}");
+
+    let text = fs::read_to_string(&trace).unwrap();
+    let json = Json::parse(&text).expect("trace file is valid JSON");
+    assert_eq!(
+        json.get("displayTimeUnit").and_then(Json::as_str),
+        Some("ms")
+    );
+    let events = json
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents[]");
+
+    // Every complete event has the Chrome trace-event shape.
+    let complete: Vec<&Json> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+        .collect();
+    assert!(!complete.is_empty(), "spans were recorded");
+    for event in &complete {
+        assert!(event.get("ts").and_then(Json::as_u64).is_some());
+        assert!(event.get("dur").and_then(Json::as_u64).is_some());
+        assert!(event.get("tid").and_then(Json::as_u64).is_some());
+        assert!(event.get("name").and_then(Json::as_str).is_some());
+    }
+
+    let named = |name: &str| -> Vec<&&Json> {
+        complete
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some(name))
+            .collect()
+    };
+    for required in [
+        "explore.run",
+        "explore.stage0",
+        "explore.stage1",
+        "explore.stage2",
+        "sweep.worker",
+        "run_layer",
+    ] {
+        assert!(!named(required).is_empty(), "missing span `{required}`");
+    }
+
+    // The three stage spans nest under the single explore.run span.
+    let span_id = |e: &Json| {
+        e.get("args")
+            .and_then(|a| a.get("id"))
+            .and_then(Json::as_u64)
+    };
+    let parent_id = |e: &Json| {
+        e.get("args")
+            .and_then(|a| a.get("parent"))
+            .and_then(Json::as_u64)
+    };
+    let runs = named("explore.run");
+    assert_eq!(runs.len(), 1, "exactly one explore.run span");
+    let run_id = span_id(runs[0]).unwrap();
+    for stage in ["explore.stage0", "explore.stage1", "explore.stage2"] {
+        for event in named(stage) {
+            assert_eq!(
+                parent_id(event),
+                Some(run_id),
+                "{stage} must nest under explore.run"
+            );
+        }
+    }
+}
+
 #[test]
 fn sweep_error_paths_are_one_line() {
     let out = scale_sim(&["sweep"]);

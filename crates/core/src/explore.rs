@@ -99,15 +99,22 @@ pub struct ExploreOptions {
     pub budget: ExploreBudget,
     /// Parallel workers for stage-2 simulation batches.
     pub jobs: usize,
+    /// Emit live progress lines on stderr: one per stage boundary plus
+    /// one per refinement batch, with an ETA extrapolated from the
+    /// stage-0 predicted-cycle totals. Off by default; when off the cost
+    /// is one branch per batch.
+    pub progress: bool,
 }
 
 impl Default for ExploreOptions {
-    /// 10 % slack, unlimited simulation budget, single worker.
+    /// 10 % slack, unlimited simulation budget, single worker, no
+    /// progress output.
     fn default() -> ExploreOptions {
         ExploreOptions {
             keep_within_pct: 10.0,
             budget: ExploreBudget::Unlimited,
             jobs: 1,
+            progress: false,
         }
     }
 }
@@ -433,6 +440,7 @@ impl ExploreEngine {
     ) -> Result<PruneOutcome, SweepError> {
         // Stage 0: lazy analytical evaluation. One u64 per candidate is
         // the only allocation proportional to the space.
+        let stage0_span = scalesim_telemetry::trace::span("explore.stage0");
         let started = Instant::now();
         let topologies: HashMap<&str, &Topology> = plan
             .workloads
@@ -458,8 +466,10 @@ impl ExploreEngine {
         self.candidates.add(candidates as u64);
         let analytical_seconds = started.elapsed().as_secs_f64();
         self.stage_analytical.observe(analytical_seconds);
+        drop(stage0_span);
 
         // Stage 1: per-workload analytical frontiers; keep the slack band.
+        let stage1_span = scalesim_telemetry::trace::span("explore.stage1");
         let started = Instant::now();
         let mut frontiers: HashMap<&str, Frontier> = HashMap::new();
         for w in &plan.workloads {
@@ -481,6 +491,7 @@ impl ExploreEngine {
         survivors.sort_by_key(|s| (s.predicted, s.spec.index));
         let prune_seconds = started.elapsed().as_secs_f64();
         self.stage_prune.observe(prune_seconds);
+        drop(stage1_span);
 
         Ok(PruneOutcome {
             candidates,
@@ -500,10 +511,22 @@ impl ExploreEngine {
         plan: &SweepPlan,
         options: &ExploreOptions,
     ) -> Result<ExploreOutcome, SweepError> {
+        let _run_span = scalesim_telemetry::trace::span("explore.run");
         let pruned_space = self.prune(plan, options.keep_within_pct)?;
         let candidates = pruned_space.candidates;
         let survivor_count = pruned_space.survivors.len();
         let pruned = candidates - survivor_count;
+        if options.progress {
+            eprintln!(
+                "explore {}: stage 0 evaluated {candidates} candidates in {:.2}s",
+                plan.name, pruned_space.analytical_seconds,
+            );
+            eprintln!(
+                "explore {}: stage 1 kept {survivor_count}/{candidates} ({pruned} pruned, {:.1}%)",
+                plan.name,
+                100.0 * pruned as f64 / candidates.max(1) as f64,
+            );
+        }
         let mut stage_seconds = StageSeconds {
             analytical: pruned_space.analytical_seconds,
             prune: pruned_space.prune_seconds,
@@ -511,6 +534,7 @@ impl ExploreEngine {
         };
 
         // Stage 2: budgeted refinement through the sweep engine.
+        let stage2_span = scalesim_telemetry::trace::span("explore.stage2");
         let started = Instant::now();
         let mut remaining = pruned_space.survivors;
         let mut measured: Vec<MeasuredPoint> = Vec::new();
@@ -519,6 +543,22 @@ impl ExploreEngine {
             ExploreBudget::Sims(n) => n,
             ExploreBudget::Unlimited | ExploreBudget::WallClock(_) => usize::MAX,
         };
+        // Progress bookkeeping: ETA extrapolates wall time per predicted
+        // cycle over the predicted cycles still queued for measurement.
+        let target = remaining.len().min(sims_allowed);
+        let predicted_total: u128 = if options.progress {
+            // Cap at the sims budget: the cheapest-predicted points go
+            // first, so the first `target` entries approximate the set
+            // that will actually be measured.
+            remaining
+                .iter()
+                .take(target)
+                .map(|s| u128::from(s.predicted))
+                .sum()
+        } else {
+            0
+        };
+        let mut predicted_done: u128 = 0;
         while !remaining.is_empty() && measured.len() < sims_allowed {
             if let ExploreBudget::WallClock(limit) = options.budget {
                 if started.elapsed() >= limit {
@@ -578,13 +618,29 @@ impl ExploreEngine {
                 .run_points(plan, specs, options.jobs, &mut NullSink)?;
             cache_hits += outcome.cache_hits;
             for (survivor, result) in batch.into_iter().zip(outcome.results) {
+                predicted_done += u128::from(survivor.predicted);
                 measured.push(MeasuredPoint {
                     spec: survivor.spec,
                     predicted: survivor.predicted,
                     report: result.report,
                 });
             }
+            if options.progress {
+                let elapsed = started.elapsed().as_secs_f64();
+                let eta = if predicted_done > 0 {
+                    elapsed / predicted_done as f64
+                        * predicted_total.saturating_sub(predicted_done) as f64
+                } else {
+                    0.0
+                };
+                eprintln!(
+                    "explore {}: stage 2 measured {}/{target} points ({cache_hits} cache hits), ETA {eta:.0}s",
+                    plan.name,
+                    measured.len(),
+                );
+            }
         }
+        drop(stage2_span);
         measured.sort_by_key(|p| p.spec.index);
         let simulated = measured.len();
         self.simulated.add(simulated as u64);
@@ -707,6 +763,7 @@ mod tests {
             keep_within_pct: 10.0,
             budget: ExploreBudget::Unlimited,
             jobs: 2,
+            progress: false,
         };
         let engine = ExploreEngine::with_registry(1024, &Registry::new());
         let outcome = engine.run(&plan, &options).unwrap();
@@ -737,6 +794,7 @@ mod tests {
             keep_within_pct: 1e9,
             budget: ExploreBudget::Unlimited,
             jobs: 2,
+            progress: false,
         };
         let engine = ExploreEngine::with_registry(1024, &Registry::new());
         let outcome = engine.run(&plan, &options).unwrap();
@@ -751,6 +809,7 @@ mod tests {
             keep_within_pct: 25.0,
             budget: ExploreBudget::Sims(10),
             jobs,
+            progress: false,
         };
         let run = |jobs| {
             let engine = ExploreEngine::with_registry(256, &Registry::new());
@@ -778,6 +837,7 @@ mod tests {
                         keep_within_pct: pct,
                         budget: ExploreBudget::Sims(0),
                         jobs: 1,
+                        progress: false,
                     },
                 )
                 .unwrap();
@@ -835,6 +895,7 @@ mod tests {
                     keep_within_pct: 10.0,
                     budget: ExploreBudget::Sims(5),
                     jobs: 2,
+                    progress: false,
                 },
             )
             .unwrap();

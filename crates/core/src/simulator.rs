@@ -125,7 +125,11 @@ impl Simulator {
         // entire simulations from the cold path.
         let cache_key = layer_cache::key(&config, self.grid, &self.energy_model, layer);
         let registry = scalesim_telemetry::global();
-        if let Some(cached) = layer_cache::lookup(cache_key) {
+        let cached = {
+            let _phase = scalesim_telemetry::trace::span("phase.cache_probe");
+            layer_cache::lookup(cache_key)
+        };
+        if let Some(cached) = cached {
             registry
                 .counter(
                     telemetry_names::LAYER_CACHE_HITS,
@@ -229,9 +233,11 @@ impl Simulator {
         // runtime — including partitions that finished early or had no work.
         let pe_cycles = provisioned * config.array.macs() * total_cycles;
         let energy_started = Instant::now();
-        let energy =
+        let energy = {
+            let _phase = scalesim_telemetry::trace::span("phase.energy");
             self.energy_model
-                .evaluate(mac_ops, pe_cycles, sram.total(), dram.total_accesses());
+                .evaluate(mac_ops, pe_cycles, sram.total(), dram.total_accesses())
+        };
         phases.add_energy(energy_started.elapsed());
 
         let report = LayerReport {
@@ -568,7 +574,10 @@ fn run_partitions(
         let sub_shape = GemmShape::new(tile.m_len, shape.k, tile.n_len);
         let dims = sub_shape.project(config.dataflow);
         let compute_started = Instant::now();
-        let compute = analyze(&dims, config.array);
+        let compute = {
+            let _phase = scalesim_telemetry::trace::span("phase.compute");
+            analyze(&dims, config.array)
+        };
         phases.add_compute(compute_started.elapsed());
         let mut dram = DramModel::new(
             config.ifmap_buffer(provisioned),
@@ -577,23 +586,26 @@ fn run_partitions(
         );
         let mut stall = bandwidth_share.map(StallModel::new);
         let dram_started = Instant::now();
-        let mut elements = 0u64;
-        let mut runs = 0u64;
-        for demand in fold_demand_runs(&dims, config.array, &sub_map) {
-            elements += demand.element_count();
-            runs += demand.run_count();
-            let traffic = dram.fold_runs(
-                demand.fold.duration,
-                &demand.a,
-                &demand.b,
-                &demand.o_spill,
-                &demand.o_writes,
-            );
-            if let Some(stall) = stall.as_mut() {
-                stall.fold(traffic.duration, traffic.read_bytes, traffic.write_bytes);
+        {
+            let _phase = scalesim_telemetry::trace::span("phase.dram");
+            let mut elements = 0u64;
+            let mut runs = 0u64;
+            for demand in fold_demand_runs(&dims, config.array, &sub_map) {
+                elements += demand.element_count();
+                runs += demand.run_count();
+                let traffic = dram.fold_runs(
+                    demand.fold.duration,
+                    &demand.a,
+                    &demand.b,
+                    &demand.o_spill,
+                    &demand.o_writes,
+                );
+                if let Some(stall) = stall.as_mut() {
+                    stall.fold(traffic.duration, traffic.read_bytes, traffic.write_bytes);
+                }
             }
+            volume.add(elements, runs);
         }
-        volume.add(elements, runs);
         phases.add_dram(dram_started.elapsed());
         (compute, dram.finish(), stall.map(StallModel::finish))
     };

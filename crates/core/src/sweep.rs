@@ -26,7 +26,7 @@ use std::fmt;
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
@@ -1065,6 +1065,57 @@ pub struct SweepEngine {
     cache_hits: Arc<Counter>,
     simulations: Arc<Counter>,
     point_seconds: Arc<Histogram>,
+    progress: bool,
+}
+
+/// The `--progress` stderr ticker, driven by the in-order emitter. One
+/// line roughly every [`ProgressTicker::INTERVAL`] plus a final summary
+/// line; progress never touches stdout, so piped sweep output is
+/// unaffected. When progress is off the per-point cost is a single
+/// `Option` branch — no allocation, no clock read.
+struct ProgressTicker {
+    label: String,
+    total: usize,
+    cache_hits: u64,
+    done: usize,
+    started: Instant,
+    last_tick: Instant,
+}
+
+impl ProgressTicker {
+    const INTERVAL: Duration = Duration::from_millis(500);
+
+    fn new(label: &str, total: usize, cache_hits: u64) -> ProgressTicker {
+        let now = Instant::now();
+        ProgressTicker {
+            label: label.to_owned(),
+            total,
+            cache_hits,
+            done: 0,
+            started: now,
+            last_tick: now,
+        }
+    }
+
+    /// Counts one emitted point and prints a line when the interval is up
+    /// (and always for the final point).
+    fn tick(&mut self) {
+        self.done += 1;
+        let finished = self.done >= self.total;
+        if !finished && self.last_tick.elapsed() < ProgressTicker::INTERVAL {
+            return;
+        }
+        self.last_tick = Instant::now();
+        let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
+        let rate = self.done as f64 / elapsed;
+        let eta = (self.total - self.done) as f64 / rate.max(1e-9);
+        let pct = 100.0 * self.done as f64 / self.total.max(1) as f64;
+        let hit_pct = 100.0 * self.cache_hits as f64 / self.total.max(1) as f64;
+        eprintln!(
+            "{}: {}/{} points ({pct:.1}%), {rate:.1} rows/s, {hit_pct:.0}% cache hits, ETA {eta:.0}s",
+            self.label, self.done, self.total,
+        );
+    }
 }
 
 impl SweepEngine {
@@ -1110,7 +1161,18 @@ impl SweepEngine {
                 "Wall time per freshly simulated sweep point.",
                 &Histogram::duration_buckets(),
             ),
+            progress: false,
         }
+    }
+
+    /// Enables (or disables) the stderr progress ticker for subsequent
+    /// runs: one line per ~500 ms from the in-order emitter (points
+    /// done/total, rows/s, cache-hit share, ETA), never touching stdout.
+    /// Off by default; when off the per-point cost is one branch.
+    #[must_use]
+    pub fn with_progress(mut self, on: bool) -> SweepEngine {
+        self.progress = on;
+        self
     }
 
     /// Number of distinct results currently cached.
@@ -1229,32 +1291,41 @@ impl SweepEngine {
         let next = AtomicUsize::new(0);
         let abort = AtomicBool::new(false);
         let mut results: Vec<SweepResult> = Vec::with_capacity(prepared.len());
+        let mut ticker = self.progress.then(|| {
+            ProgressTicker::new(&format!("sweep {}", plan.name), prepared.len(), cache_hits)
+        });
         let emit = crossbeam::thread::scope(|scope| -> io::Result<()> {
-            for _ in 0..workers {
+            for worker in 0..workers {
                 let pending = &pending;
                 let distinct = &distinct;
                 let slots = &slots;
                 let next = &next;
                 let abort = &abort;
-                scope.spawn(move |_| loop {
-                    if abort.load(Ordering::Relaxed) {
-                        break;
+                scope.spawn(move |_| {
+                    let _worker_span = scalesim_telemetry::trace::span_with("sweep.worker", || {
+                        vec![("worker", worker.to_string())]
+                    });
+                    loop {
+                        if abort.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&job_index) = pending.get(i) else {
+                            break;
+                        };
+                        let job = &distinct[job_index];
+                        let started = Instant::now();
+                        let mut sim = Simulator::new(job.config).with_grid(job.grid);
+                        if job.auto {
+                            sim = sim.with_auto_dataflow();
+                        }
+                        let report =
+                            Arc::new(sim.run_topology(&plan.workloads[job.workload].topology));
+                        self.point_seconds.observe_duration(started.elapsed());
+                        self.simulations.inc();
+                        self.cache.insert(job.key, Arc::clone(&report));
+                        slots.fill(job_index, report);
                     }
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&job_index) = pending.get(i) else {
-                        break;
-                    };
-                    let job = &distinct[job_index];
-                    let started = Instant::now();
-                    let mut sim = Simulator::new(job.config).with_grid(job.grid);
-                    if job.auto {
-                        sim = sim.with_auto_dataflow();
-                    }
-                    let report = Arc::new(sim.run_topology(&plan.workloads[job.workload].topology));
-                    self.point_seconds.observe_duration(started.elapsed());
-                    self.simulations.inc();
-                    self.cache.insert(job.key, Arc::clone(&report));
-                    slots.fill(job_index, report);
                 });
             }
             // The calling thread is the emitter: strict plan order.
@@ -1265,6 +1336,9 @@ impl SweepEngine {
                     return Err(e);
                 }
                 self.points_total.inc();
+                if let Some(ticker) = ticker.as_mut() {
+                    ticker.tick();
+                }
                 results.push(SweepResult {
                     spec: point.spec.clone(),
                     report,

@@ -85,6 +85,11 @@ pub fn run_serve(argv: &[String]) -> Result<(), String> {
         }
     }
 
+    // The service keeps the trace ring live for its whole lifetime:
+    // `GET /debug/trace` then works without any restart, and the ring is
+    // bounded so always-on recording costs fixed memory.
+    scalesim_telemetry::trace::install(scalesim_telemetry::trace::DEFAULT_CAPACITY);
+
     let engine = Engine::with_options(EngineOptions {
         workers,
         cache_capacity: cache,
@@ -102,7 +107,10 @@ pub fn run_serve(argv: &[String]) -> Result<(), String> {
          queue depth {queue_depth}, {max_connections} max connections)",
         server.local_addr()
     );
-    eprintln!("routes: POST /simulate, POST /sweep, GET /stats, GET /metrics, GET /healthz");
+    eprintln!(
+        "routes: POST /simulate, POST /sweep, POST /explore, GET /stats, GET /metrics, \
+         GET /healthz, GET /debug/jobs, GET /debug/trace"
+    );
     eprintln!("logging: set SCALESIM_LOG=info (or debug,json) for access logs");
 
     signals::install();
@@ -111,6 +119,7 @@ pub fn run_serve(argv: &[String]) -> Result<(), String> {
         std::thread::sleep(Duration::from_millis(50));
     }
     eprintln!("scale-sim serve: shutdown signal received, draining (grace {grace_ms} ms)");
+    handle.engine().dump_flight_recorder("drain");
     if handle.drain(Duration::from_millis(grace_ms)) {
         eprintln!("scale-sim serve: drained cleanly, exiting");
         Ok(())

@@ -34,11 +34,105 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use scalesim::{NetworkReport, Simulator};
-use scalesim_telemetry::{log, Counter, Gauge, Histogram, Registry};
+use scalesim_telemetry::{log, Counter, FlightRecorder, Gauge, Histogram, Registry};
 
 use crate::cache::ShardedLru;
 use crate::job::{JobError, JobKey, NormalizedJob, SimJob};
 use crate::json::Json;
+
+/// How many recent job records the per-engine flight recorder retains.
+/// Oldest records are evicted first; memory stays bounded at roughly
+/// `capacity * sizeof(JobRecord)` regardless of traffic.
+pub const FLIGHT_RECORDER_CAPACITY: usize = 256;
+
+/// Request context attached to a job so the flight recorder can tie each
+/// record back to the HTTP request that caused it. Internal callers
+/// (batch, sweep expansion, tests) use [`JobContext::internal`].
+#[derive(Debug, Clone, Copy)]
+pub struct JobContext<'a> {
+    /// The route (or internal caller) that submitted the job.
+    pub route: &'static str,
+    /// Request id minted by the HTTP layer; empty for internal callers.
+    pub request_id: &'a str,
+}
+
+impl JobContext<'_> {
+    /// Context for jobs submitted outside the HTTP request path.
+    pub fn internal() -> JobContext<'static> {
+        JobContext {
+            route: "internal",
+            request_id: "",
+        }
+    }
+}
+
+/// One entry in the engine's flight recorder: a completed or rejected
+/// job as seen either by the requesting thread (hit/joined/shed/deadline/
+/// shutdown outcomes) or by the worker that simulated it (fresh/failed).
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Content-addressed job key.
+    pub key: String,
+    /// Route (or internal caller) that submitted the job.
+    pub route: &'static str,
+    /// Request id minted by the HTTP layer; empty for internal callers.
+    pub request_id: String,
+    /// Outcome tag: `fresh`, `hit`, `joined`, `shed`, `deadline`,
+    /// `failed`, or `shutdown`.
+    pub outcome: &'static str,
+    /// Leader queue wait in microseconds (fresh/failed records only).
+    pub queue_wait_micros: u64,
+    /// Simulation wall time in microseconds; for `hit`/`joined` this is
+    /// the leader's measurement, 0 when no simulation backs the record.
+    pub sim_micros: u64,
+    /// Worker thread that ran the simulation; empty when none did.
+    pub worker: String,
+    /// When the record was made, as milliseconds since the engine started.
+    pub age_ms: u64,
+}
+
+impl JobRecord {
+    /// JSON object served by `GET /debug/jobs`.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("key", Json::str(self.key.clone())),
+            ("route", Json::str(self.route)),
+            ("request_id", Json::str(self.request_id.clone())),
+            ("outcome", Json::str(self.outcome)),
+            (
+                "queue_wait_micros",
+                Json::Int(self.queue_wait_micros.into()),
+            ),
+            ("sim_micros", Json::Int(self.sim_micros.into())),
+            ("worker", Json::str(self.worker.clone())),
+            ("age_ms", Json::Int(self.age_ms.into())),
+        ])
+    }
+
+    /// One `key=value` line for stderr dumps.
+    fn to_line(&self) -> String {
+        format!(
+            "key={} route={} request_id={} outcome={} queue_wait_micros={} \
+             sim_micros={} worker={} age_ms={}",
+            self.key,
+            self.route,
+            if self.request_id.is_empty() {
+                "-"
+            } else {
+                &self.request_id
+            },
+            self.outcome,
+            self.queue_wait_micros,
+            self.sim_micros,
+            if self.worker.is_empty() {
+                "-"
+            } else {
+                &self.worker
+            },
+            self.age_ms,
+        )
+    }
+}
 
 /// How a completed request was satisfied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -390,13 +484,16 @@ impl FaultPlan {
     }
 }
 
-/// A queued leader job: the normalized work plus its completion slot and
-/// the enqueue instant (for the queue-wait histogram).
+/// A queued leader job: the normalized work plus its completion slot, the
+/// enqueue instant (for the queue-wait histogram) and the leader's request
+/// context (for the flight recorder).
 struct QueuedJob {
     job: NormalizedJob,
     key: JobKey,
     slot: Arc<Slot>,
     enqueued: Instant,
+    route: &'static str,
+    request_id: String,
 }
 
 struct Shared {
@@ -410,6 +507,44 @@ struct Shared {
     workers: usize,
     queue_depth: usize,
     faults: Mutex<FaultPlan>,
+    recorder: FlightRecorder<JobRecord>,
+    started: Instant,
+}
+
+impl Shared {
+    /// Appends one record to the flight recorder (bounded; oldest out).
+    #[allow(clippy::too_many_arguments)]
+    fn record_job(
+        &self,
+        key: &JobKey,
+        route: &'static str,
+        request_id: &str,
+        outcome: &'static str,
+        queue_wait_micros: u64,
+        sim_micros: u64,
+        worker: &str,
+    ) {
+        self.recorder.record(JobRecord {
+            key: key.to_string(),
+            route,
+            request_id: request_id.to_owned(),
+            outcome,
+            queue_wait_micros,
+            sim_micros,
+            worker: worker.to_owned(),
+            age_ms: self.started.elapsed().as_millis() as u64,
+        });
+    }
+
+    /// Writes every retained record to stderr, newest last. Called on
+    /// worker panic and on drain so post-mortems survive the process.
+    fn dump_recorder(&self, why: &str) {
+        let records = self.recorder.snapshot();
+        eprintln!("flight recorder dump ({why}): {} records", records.len());
+        for record in records {
+            eprintln!("  {}", record.to_line());
+        }
+    }
 }
 
 /// The simulation engine: worker pool + cache + single-flight table.
@@ -468,6 +603,8 @@ impl Engine {
             workers,
             queue_depth,
             faults: Mutex::new(FaultPlan::default()),
+            recorder: FlightRecorder::new(FLIGHT_RECORDER_CAPACITY),
+            started: Instant::now(),
         });
         for i in 0..workers {
             let shared = Arc::clone(&shared);
@@ -526,11 +663,46 @@ impl Engine {
         normalized: NormalizedJob,
         deadline: Option<Instant>,
     ) -> Result<(Arc<SimResult>, Served), JobError> {
+        self.run_normalized_with_context(normalized, deadline, JobContext::internal())
+    }
+
+    /// [`Engine::run_with_deadline`] carrying request context for the
+    /// flight recorder.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Engine::run_with_deadline`].
+    pub fn run_with_context(
+        &self,
+        job: &SimJob,
+        deadline: Option<Instant>,
+        ctx: JobContext<'_>,
+    ) -> Result<(Arc<SimResult>, Served), JobError> {
+        self.run_normalized_with_context(job.normalize()?, deadline, ctx)
+    }
+
+    /// The full submission path: deadline plus request context. Every
+    /// terminal outcome leaves one [`JobRecord`] in the flight recorder —
+    /// hit/joined/shed/deadline/shutdown are recorded here by the
+    /// requesting thread; fresh and failed are recorded by the worker that
+    /// ran the simulation (with queue-wait and worker identity).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Engine::run_with_deadline`].
+    pub fn run_normalized_with_context(
+        &self,
+        normalized: NormalizedJob,
+        deadline: Option<Instant>,
+        ctx: JobContext<'_>,
+    ) -> Result<(Arc<SimResult>, Served), JobError> {
         let key = normalized.key();
         let stats = &self.shared.stats;
         // Fail fast on a stopped pool: enqueueing here would park the
         // caller on a slot no worker will ever fill.
         if self.shared.shutdown.load(Ordering::SeqCst) {
+            self.shared
+                .record_job(&key, ctx.route, ctx.request_id, "shutdown", 0, 0, "");
             return Err(JobError::ShuttingDown);
         }
         stats.accepted.inc();
@@ -538,6 +710,15 @@ impl Engine {
         if let Some(result) = self.shared.cache.get(key.0) {
             stats.lru_hits.inc();
             stats.completed.inc();
+            self.shared.record_job(
+                &key,
+                ctx.route,
+                ctx.request_id,
+                "hit",
+                0,
+                result.sim_wall_micros,
+                "",
+            );
             return Ok((result, Served::Cache));
         }
 
@@ -550,6 +731,15 @@ impl Engine {
             if let Some(result) = self.shared.cache.get(key.0) {
                 stats.lru_hits.inc();
                 stats.completed.inc();
+                self.shared.record_job(
+                    &key,
+                    ctx.route,
+                    ctx.request_id,
+                    "hit",
+                    0,
+                    result.sim_wall_micros,
+                    "",
+                );
                 return Ok((result, Served::Cache));
             }
             match inflight.get(&key.0) {
@@ -568,6 +758,8 @@ impl Engine {
             // and the shutdown flag are race-free with workers exiting.
             if self.shared.shutdown.load(Ordering::SeqCst) {
                 drop(queue);
+                self.shared
+                    .record_job(&key, ctx.route, ctx.request_id, "shutdown", 0, 0, "");
                 return Err(self.abandon_leader(&key, &slot, JobError::ShuttingDown));
             }
             if queue.len() >= self.shared.queue_depth {
@@ -581,6 +773,8 @@ impl Engine {
                         ("retry_after_ms", &retry_after_ms.to_string()),
                     ],
                 );
+                self.shared
+                    .record_job(&key, ctx.route, ctx.request_id, "shed", 0, 0, "");
                 return Err(self.abandon_leader(
                     &key,
                     &slot,
@@ -592,6 +786,8 @@ impl Engine {
                 key,
                 slot: Arc::clone(&slot),
                 enqueued: Instant::now(),
+                route: ctx.route,
+                request_id: ctx.request_id.to_owned(),
             });
             stats.queue_depth.set(queue.len() as i64);
             drop(queue);
@@ -603,12 +799,24 @@ impl Engine {
 
         let Some(outcome) = slot.wait_timeout(deadline) else {
             stats.deadline_expired.inc();
+            self.shared
+                .record_job(&key, ctx.route, ctx.request_id, "deadline", 0, 0, "");
             return Err(JobError::DeadlineExpired);
         };
         stats.completed.inc();
         match &outcome {
             Ok(_) if leader => stats.fresh.inc(),
-            Ok(_) => {}
+            Ok(result) => {
+                self.shared.record_job(
+                    &key,
+                    ctx.route,
+                    ctx.request_id,
+                    "joined",
+                    0,
+                    result.sim_wall_micros,
+                    "",
+                );
+            }
             Err(e) => {
                 stats.errors.inc();
                 log::error(
@@ -654,6 +862,20 @@ impl Engine {
         *self.shared.faults.lock().unwrap() = plan;
     }
 
+    /// The flight recorder's retained job records, oldest first (at most
+    /// [`FLIGHT_RECORDER_CAPACITY`]). This is the body of
+    /// `GET /debug/jobs`.
+    pub fn recent_jobs(&self) -> Vec<JobRecord> {
+        self.shared.recorder.snapshot()
+    }
+
+    /// Dumps the flight recorder to stderr (newest record last), tagged
+    /// with `why`. The HTTP layer calls this when a graceful drain starts;
+    /// workers call it when a simulation panics.
+    pub fn dump_flight_recorder(&self, why: &str) {
+        self.shared.dump_recorder(why);
+    }
+
     /// Drops a leader slot that was never enqueued: the inflight entry is
     /// removed first (so a later identical request elects a fresh leader),
     /// then any joiners that raced in are released with the same error.
@@ -686,6 +908,8 @@ fn worker_loop(shared: Arc<Shared>) {
             key,
             slot,
             enqueued,
+            route,
+            request_id,
         } = {
             let mut queue = shared.queue.lock().unwrap();
             loop {
@@ -700,7 +924,9 @@ fn worker_loop(shared: Arc<Shared>) {
             }
         };
 
-        shared.stats.queue_wait.observe_duration(enqueued.elapsed());
+        let queue_wait = enqueued.elapsed();
+        let queue_wait_micros = queue_wait.as_micros() as u64;
+        shared.stats.queue_wait.observe_duration(queue_wait);
         shared.stats.in_flight.add(1);
         let faults = shared.faults.lock().unwrap().clone();
         let started = Instant::now();
@@ -716,12 +942,23 @@ fn worker_loop(shared: Arc<Shared>) {
         }));
         let sim_wall = started.elapsed();
         let sim_wall_micros = sim_wall.as_micros() as u64;
+        let worker = std::thread::current();
+        let worker = worker.name().unwrap_or("sim-worker");
 
         let outcome = match run {
             Ok(report) => {
                 shared.stats.simulations.inc();
                 shared.stats.total_sim_micros.add(sim_wall_micros);
                 shared.stats.sim_duration.observe_duration(sim_wall);
+                shared.record_job(
+                    &key,
+                    route,
+                    &request_id,
+                    "fresh",
+                    queue_wait_micros,
+                    sim_wall_micros,
+                    worker,
+                );
                 Ok(Arc::new(SimResult {
                     key,
                     report,
@@ -730,7 +967,21 @@ fn worker_loop(shared: Arc<Shared>) {
             }
             // `as_ref` matters: `&panic` would coerce the *Box* itself to
             // `&dyn Any` and every payload downcast would miss.
-            Err(panic) => Err(JobError::Internal(panic_message(panic.as_ref()))),
+            Err(panic) => {
+                shared.record_job(
+                    &key,
+                    route,
+                    &request_id,
+                    "failed",
+                    queue_wait_micros,
+                    sim_wall_micros,
+                    worker,
+                );
+                // A panicking simulation is exactly the post-mortem the
+                // recorder exists for: preserve it on stderr immediately.
+                shared.dump_recorder("worker panic");
+                Err(JobError::Internal(panic_message(panic.as_ref())))
+            }
         };
 
         // Order matters: publish to the cache *before* removing the inflight

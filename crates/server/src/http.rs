@@ -25,6 +25,12 @@
 //!   instance out of rotation; answers immediately even while long
 //!   simulations are running (handled on its own connection thread, never
 //!   queued behind the worker pool).
+//! * `GET /debug/jobs` — the engine's flight recorder: the last
+//!   [`crate::engine::FLIGHT_RECORDER_CAPACITY`] job records (key, route,
+//!   request id, outcome, queue wait, simulation time, worker), oldest
+//!   first, as JSON.
+//! * `GET /debug/trace` — the process trace ring as Chrome trace-event
+//!   JSON (empty `traceEvents` unless tracing was installed).
 //!
 //! # Overload & shutdown semantics
 //!
@@ -283,6 +289,12 @@ impl ServerHandle {
         self.addr
     }
 
+    /// The engine this server fronts (e.g. to dump its flight recorder
+    /// before a drain).
+    pub fn engine(&self) -> &Engine {
+        &self.context.engine
+    }
+
     /// True once [`ServerHandle::drain`] has begun.
     pub fn is_draining(&self) -> bool {
         self.context.draining.load(Ordering::SeqCst)
@@ -378,7 +390,7 @@ fn handle_connection(stream: TcpStream, context: &Context) -> std::io::Result<()
                 .map(Duration::from_millis)
                 .or(context.options.default_deadline)
                 .map(|budget| received + budget);
-            let routed = route(context, &req, deadline);
+            let routed = route(context, &req, deadline, &request_id);
             (req.method, req.path, request_id, routed)
         }
         Err(msg) => (
@@ -433,6 +445,8 @@ fn request_latency(context: &Context, path: &str) -> Arc<Histogram> {
         "/stats" => "stats",
         "/healthz" => "healthz",
         "/metrics" => "metrics",
+        "/debug/jobs" => "debug_jobs",
+        "/debug/trace" => "debug_trace",
         _ => "other",
     };
     context.engine.registry().histogram_with(
@@ -443,7 +457,7 @@ fn request_latency(context: &Context, path: &str) -> Arc<Histogram> {
     )
 }
 
-fn route(context: &Context, req: &Request, deadline: Option<Instant>) -> Routed {
+fn route(context: &Context, req: &Request, deadline: Option<Instant>, request_id: &str) -> Routed {
     let engine = &context.engine;
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
@@ -483,7 +497,14 @@ fn route(context: &Context, req: &Request, deadline: Option<Instant>) -> Routed 
                 .and_then(|json| SimJob::from_json(&json));
             match job {
                 Err(e) => error_response(&e),
-                Ok(job) => match engine.run_with_deadline(&job, deadline) {
+                Ok(job) => match engine.run_with_context(
+                    &job,
+                    deadline,
+                    crate::engine::JobContext {
+                        route: "/simulate",
+                        request_id,
+                    },
+                ) {
                     Ok((result, served)) => Routed {
                         status: 200,
                         headers: vec![("X-Scalesim-Cache", served.tag().to_owned())],
@@ -510,6 +531,39 @@ fn route(context: &Context, req: &Request, deadline: Option<Instant>) -> Routed 
             match outcome {
                 Ok(response) => Routed::json(200, response.to_string()),
                 Err(e) => error_response(&e),
+            }
+        }
+        ("GET", "/debug/jobs") => {
+            let records: Vec<Json> = engine
+                .recent_jobs()
+                .iter()
+                .map(crate::engine::JobRecord::to_json)
+                .collect();
+            Routed::json(
+                200,
+                Json::obj(vec![
+                    (
+                        "capacity",
+                        Json::Int((crate::engine::FLIGHT_RECORDER_CAPACITY as u64).into()),
+                    ),
+                    ("jobs", Json::Arr(records)),
+                ])
+                .to_string(),
+            )
+        }
+        ("GET", "/debug/trace") => {
+            let mut buf: Vec<u8> = Vec::new();
+            match scalesim_telemetry::trace::export_chrome_json(&mut buf) {
+                Ok(()) => Routed::json(
+                    200,
+                    String::from_utf8(buf).unwrap_or_else(|e| {
+                        error_body(&format!("trace export was not UTF-8: {e}")).to_string()
+                    }),
+                ),
+                Err(e) => Routed::json(
+                    500,
+                    error_body(&format!("trace export failed: {e}")).to_string(),
+                ),
             }
         }
         ("GET" | "POST", _) => Routed::json(404, error_body("no such route").to_string()),

@@ -71,7 +71,10 @@ pub mod sweep;
 
 pub use batch::{parse_manifest, run_batch, run_batch_with_retry, BatchOutcome, RetryPolicy};
 pub use cache::ShardedLru;
-pub use engine::{Engine, EngineOptions, FaultPlan, Served, SimResult, Stats};
+pub use engine::{
+    Engine, EngineOptions, FaultPlan, JobContext, JobRecord, Served, SimResult, Stats,
+    FLIGHT_RECORDER_CAPACITY,
+};
 pub use http::{Server, ServerHandle, ServerOptions};
 pub use job::{JobError, JobKey, NormalizedJob, SimJob, Workload};
 pub use json::Json;

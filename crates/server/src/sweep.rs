@@ -268,7 +268,14 @@ pub fn run_sweep(engine: &Engine, body: &Json) -> Result<Json, JobError> {
                     auto_dataflow: spec.dataflow == DataflowChoice::Auto,
                 };
                 let started = Instant::now();
-                let outcome = engine.run_normalized(job);
+                let outcome = engine.run_normalized_with_context(
+                    job,
+                    None,
+                    crate::engine::JobContext {
+                        route: "/sweep",
+                        request_id: "",
+                    },
+                );
                 if matches!(outcome, Ok((_, Served::Fresh))) {
                     point_seconds.observe_duration(started.elapsed());
                 }

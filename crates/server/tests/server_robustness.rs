@@ -309,3 +309,122 @@ fn stalled_and_malformed_requests_are_visible_telemetry() {
 
     handle.stop();
 }
+
+/// Reads one route's `scalesim_http_request_seconds_count` value from a
+/// `/metrics` body.
+fn route_count(metrics: &str, route: &str) -> u64 {
+    let prefix = format!(r#"scalesim_http_request_seconds_count{{route="{route}"}}"#);
+    metrics
+        .lines()
+        .find(|l| l.starts_with(&prefix))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Early-shed 503s and `/explore` responses go through the same access
+/// telemetry as every other path: each request — shed or served — counts
+/// exactly once in its route's latency histogram.
+#[test]
+fn shed_and_explore_responses_share_the_access_telemetry() {
+    let handle = start(
+        ServerOptions::default(),
+        EngineOptions {
+            workers: 1,
+            cache_capacity: 16,
+            queue_depth: 1,
+        },
+        FaultPlan::new().delay("tiny", Duration::from_millis(300)),
+    );
+
+    let responses: Vec<_> = std::thread::scope(|s| {
+        (0..6)
+            .map(|n| {
+                let addr = handle.addr();
+                s.spawn(move || {
+                    request(addr, "POST", "/simulate", Some(&tiny_job(n))).expect("POST completes")
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|t| t.join().unwrap())
+            .collect()
+    });
+    let shed = responses.iter().filter(|r| r.status == 503).count();
+    assert!(shed >= 1, "a 6-deep burst past queue depth 1 must shed");
+
+    let explore_body = r#"{"name":"e","workloads":["TF1"],"budgets":[1024],
+         "config":{"IfmapSramSz":64,"FilterSramSz":64,"OfmapSramSz":32},"jobs":1}"#;
+    let explored = request(handle.addr(), "POST", "/explore", Some(explore_body)).unwrap();
+    assert_eq!(explored.status, 200, "body: {}", explored.body);
+
+    let metrics = request(handle.addr(), "GET", "/metrics", None).unwrap();
+    assert_eq!(
+        route_count(&metrics.body, "simulate"),
+        6,
+        "shed responses observe the simulate histogram like served ones"
+    );
+    assert_eq!(route_count(&metrics.body, "explore"), 1);
+
+    handle.stop();
+}
+
+/// The flight recorder remembers recent jobs with route, request id and
+/// outcome — including the 503-shed ones — and serves them over
+/// `GET /debug/jobs`.
+#[test]
+fn debug_jobs_reports_shed_and_fresh_outcomes() {
+    let handle = start(
+        ServerOptions::default(),
+        EngineOptions {
+            workers: 1,
+            cache_capacity: 16,
+            queue_depth: 1,
+        },
+        FaultPlan::new().delay("tiny", Duration::from_millis(300)),
+    );
+
+    let responses: Vec<_> = std::thread::scope(|s| {
+        (0..6)
+            .map(|n| {
+                let addr = handle.addr();
+                s.spawn(move || {
+                    request(addr, "POST", "/simulate", Some(&tiny_job(n))).expect("POST completes")
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|t| t.join().unwrap())
+            .collect()
+    });
+    let shed = responses.iter().filter(|r| r.status == 503).count();
+    assert!(shed >= 1, "the burst must shed to exercise the recorder");
+
+    let debug = request(handle.addr(), "GET", "/debug/jobs", None).unwrap();
+    assert_eq!(debug.status, 200);
+    let body = Json::parse(&debug.body).expect("debug body is JSON");
+    let jobs = body.get("jobs").and_then(Json::as_array).expect("jobs[]");
+    assert!(!jobs.is_empty(), "records were retained");
+
+    let outcome_of = |j: &Json| j.get("outcome").and_then(Json::as_str).unwrap().to_owned();
+    let shed_records: Vec<_> = jobs.iter().filter(|j| outcome_of(j) == "shed").collect();
+    assert_eq!(shed_records.len(), shed, "every 503 left a shed record");
+    for record in &shed_records {
+        assert_eq!(
+            record.get("route").and_then(Json::as_str),
+            Some("/simulate")
+        );
+        let id = record.get("request_id").and_then(Json::as_str).unwrap();
+        assert!(!id.is_empty(), "shed records carry the request id");
+    }
+
+    let fresh: Vec<_> = jobs.iter().filter(|j| outcome_of(j) == "fresh").collect();
+    assert!(!fresh.is_empty(), "served jobs left fresh records");
+    for record in &fresh {
+        assert!(record.get("sim_micros").and_then(Json::as_u64).unwrap() > 0);
+        let worker = record.get("worker").and_then(Json::as_str).unwrap();
+        assert!(worker.starts_with("sim-worker"), "got worker `{worker}`");
+    }
+
+    handle.stop();
+}

@@ -13,7 +13,14 @@
 //!   it alongside their own per-engine registries.
 //! * **Spans** ([`span`](mod@span), the [`span!`] macro) — RAII wall-time guards
 //!   that accumulate per-span-name totals into the global registry and
-//!   emit debug log events on enter/exit.
+//!   emit debug log events on enter/exit. When tracing is installed they
+//!   also record hierarchical events into the trace ring.
+//! * **Tracing** ([`trace`]) — a bounded ring of finished spans with
+//!   parent/child links and per-thread rows, exportable as Chrome
+//!   trace-event JSON (Perfetto / `chrome://tracing`); off by default and
+//!   one branch per span when disabled.
+//! * **Flight recorder** ([`recorder`]) — a bounded ring of recent
+//!   records (e.g. one per server job) for in-memory post-mortems.
 //! * **Structured logging** ([`log`]) — leveled `key=value` or JSON line
 //!   events on stderr, gated by the `SCALESIM_LOG` environment variable
 //!   (off by default).
@@ -27,9 +34,13 @@
 
 pub mod log;
 pub mod metrics;
+pub mod recorder;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
 pub use metrics::{Counter, FloatCounter, Gauge, Histogram};
+pub use recorder::FlightRecorder;
 pub use registry::{global, Labels, Registry};
 pub use span::Span;
+pub use trace::TraceSpan;

@@ -1,0 +1,105 @@
+//! A bounded flight recorder: the last `capacity` records of anything.
+//!
+//! The pattern comes from avionics: keep a small ring of the most recent
+//! interesting records in memory at all times so a post-mortem (a worker
+//! panic, a 503 storm, a SIGTERM drain) can be reconstructed from what the
+//! process *already knows*, without reproducing the failure. Writers pay
+//! one short uncontended lock per record; memory is bounded by
+//! construction — once full, each new record evicts the oldest.
+//!
+//! `scalesim-server` keeps one of these per engine with one entry per
+//! completed job and dumps it on panic and on drain; anything `Clone`
+//! works as the record type.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A fixed-capacity ring of the most recent records. Cheap to write
+/// (`Mutex<VecDeque>` — record rates here are per job, not per event),
+/// cheap to read, bounded by construction.
+#[derive(Debug)]
+pub struct FlightRecorder<T> {
+    capacity: usize,
+    ring: Mutex<VecDeque<T>>,
+}
+
+impl<T: Clone> FlightRecorder<T> {
+    /// A recorder that retains the last `capacity` records (minimum 1).
+    pub fn new(capacity: usize) -> FlightRecorder<T> {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            capacity,
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    /// Appends a record, evicting the oldest once the ring is full.
+    pub fn record(&self, record: T) {
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(record);
+    }
+
+    /// The retained records, oldest first.
+    pub fn snapshot(&self) -> Vec<T> {
+        self.ring.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Number of records currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap().len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured retention bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retains_the_newest_records_in_order() {
+        let recorder = FlightRecorder::new(3);
+        assert!(recorder.is_empty());
+        for i in 0..5 {
+            recorder.record(i);
+        }
+        assert_eq!(recorder.snapshot(), vec![2, 3, 4]);
+        assert_eq!(recorder.len(), 3);
+        assert_eq!(recorder.capacity(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let recorder = FlightRecorder::new(0);
+        recorder.record("a");
+        recorder.record("b");
+        assert_eq!(recorder.snapshot(), vec!["b"]);
+    }
+
+    #[test]
+    fn concurrent_writers_never_exceed_the_bound() {
+        let recorder = std::sync::Arc::new(FlightRecorder::new(8));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let recorder = std::sync::Arc::clone(&recorder);
+                s.spawn(move || {
+                    for i in 0..100 {
+                        recorder.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(recorder.len(), 8);
+    }
+}

@@ -307,10 +307,26 @@ fn escape_help(v: &str) -> String {
 
 /// The process-wide default registry, used by the simulator crates so
 /// instrumentation needs no plumbing. Servers typically render this
-/// *plus* their own per-engine registry.
+/// *plus* their own per-engine registry. Initialization registers the
+/// `scalesim_build_info` identity gauge (value 1, labeled with the crate
+/// version and — when the build set `SCALESIM_GIT_HASH` — the git hash),
+/// so any `/metrics` scrape identifies the binary in a fleet.
 pub fn global() -> &'static Registry {
     static GLOBAL: OnceLock<Registry> = OnceLock::new();
-    GLOBAL.get_or_init(Registry::new)
+    GLOBAL.get_or_init(|| {
+        let registry = Registry::new();
+        registry
+            .gauge_with(
+                "scalesim_build_info",
+                "Build identity; the value is always 1.",
+                &[
+                    ("version", env!("CARGO_PKG_VERSION")),
+                    ("git", option_env!("SCALESIM_GIT_HASH").unwrap_or("unknown")),
+                ],
+            )
+            .set(1);
+        registry
+    })
 }
 
 #[cfg(test)]
@@ -409,5 +425,111 @@ sim_wait_seconds_count 3
     #[test]
     fn empty_registry_renders_empty() {
         assert_eq!(Registry::new().render(), "");
+    }
+
+    /// Multi-label series render deterministically: families in
+    /// registration order, series in creation order, label pairs in the
+    /// order the caller gave them — byte-for-byte stable across calls.
+    #[test]
+    fn multi_label_render_order_is_deterministic() {
+        let r = Registry::new();
+        r.counter_with(
+            "phase_micros",
+            "Phase time.",
+            &[("layer", "Conv1"), ("phase", "dram")],
+        )
+        .add(7);
+        r.counter_with(
+            "phase_micros",
+            "Phase time.",
+            &[("layer", "Conv1"), ("phase", "compute")],
+        )
+        .add(3);
+        r.counter_with(
+            "phase_micros",
+            "Phase time.",
+            &[("phase", "compute"), ("layer", "Conv2")],
+        )
+        .add(1);
+        let expected = "\
+# HELP phase_micros Phase time.
+# TYPE phase_micros counter
+phase_micros{layer=\"Conv1\",phase=\"dram\"} 7
+phase_micros{layer=\"Conv1\",phase=\"compute\"} 3
+phase_micros{phase=\"compute\",layer=\"Conv2\"} 1
+";
+        assert_eq!(r.render(), expected);
+        assert_eq!(r.render(), expected, "rendering is stable across calls");
+        // Label *order* is part of series identity here: the same pairs in
+        // a different order resolve to a different series.
+        assert_eq!(
+            r.counter_value("phase_micros", &[("layer", "Conv1"), ("phase", "dram")]),
+            Some(7)
+        );
+        assert_eq!(
+            r.counter_value("phase_micros", &[("phase", "dram"), ("layer", "Conv1")]),
+            None
+        );
+    }
+
+    /// Concurrent first-touch of the same (name, labels) from many
+    /// threads must agree on one series: every increment lands in one
+    /// counter and the family gains exactly one series per label set.
+    #[test]
+    fn concurrent_first_touch_creates_one_series() {
+        let r = Registry::new();
+        const THREADS: usize = 16;
+        const INCS: usize = 100;
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let r = &r;
+                s.spawn(move || {
+                    for _ in 0..INCS {
+                        r.counter_with(
+                            "first_touch_total",
+                            "Racy get-or-create.",
+                            &[("shared", "yes")],
+                        )
+                        .inc();
+                        r.counter_with(
+                            "first_touch_total",
+                            "Racy get-or-create.",
+                            &[("thread", &t.to_string())],
+                        )
+                        .inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            r.counter_value("first_touch_total", &[("shared", "yes")]),
+            Some((THREADS * INCS) as u64)
+        );
+        let text = r.render();
+        assert_eq!(
+            text.matches("first_touch_total{shared=\"yes\"}").count(),
+            1,
+            "exactly one shared series survived the race:\n{text}"
+        );
+        for t in 0..THREADS {
+            let labels = [("thread", t.to_string())];
+            let labels: Vec<(&str, &str)> = labels.iter().map(|(k, v)| (*k, v.as_str())).collect();
+            assert_eq!(
+                r.counter_value("first_touch_total", &labels),
+                Some(INCS as u64)
+            );
+        }
+    }
+
+    #[test]
+    fn global_registry_exports_build_info() {
+        let text = global().render();
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("scalesim_build_info"))
+            .expect("build info gauge registered");
+        assert!(line.contains(&format!("version=\"{}\"", env!("CARGO_PKG_VERSION"))));
+        assert!(line.contains("git=\""));
+        assert!(line.ends_with(" 1"));
     }
 }

@@ -14,6 +14,7 @@ use std::time::Instant;
 
 use crate::log::{self, Level};
 use crate::registry::global;
+use crate::trace;
 
 /// Counter family for cumulative span wall time; see module docs.
 pub const SPAN_MICROS_TOTAL: &str = "scalesim_span_micros_total";
@@ -26,6 +27,9 @@ pub struct Span {
     name: &'static str,
     fields: Vec<(&'static str, String)>,
     start: Instant,
+    /// Trace-ring context when tracing is installed and enabled;
+    /// `None` (one branch, no cost) otherwise.
+    trace: Option<trace::SpanCtx>,
 }
 
 impl Span {
@@ -40,6 +44,7 @@ impl Span {
             name,
             fields,
             start: Instant::now(),
+            trace: trace::begin(),
         }
     }
 
@@ -51,6 +56,9 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
+        if let Some(ctx) = self.trace.take() {
+            trace::end(ctx, self.name, &self.fields);
+        }
         let micros = self.elapsed_micros();
         let labels = [("span", self.name)];
         global()

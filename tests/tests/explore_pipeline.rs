@@ -187,6 +187,7 @@ fn explore_recovers_frontier_of_a_hundred_thousand_point_space() {
         keep_within_pct: 2.0,
         budget: ExploreBudget::Unlimited,
         jobs: 4,
+        progress: false,
     };
     let engine = ExploreEngine::new(8192);
     let outcome = engine.run(&plan, &options).expect("explore run");
