@@ -1,0 +1,172 @@
+//! Panic-safe execution primitives shared by the sweep engine, the
+//! explore pipeline and the server worker pool.
+//!
+//! A simulator bug that panics must never take the host down with it —
+//! and, worse, must never *hang* it: before this module existed, a
+//! panicking sweep worker simply never filled its completion slot and the
+//! in-order emitter waited forever. Every simulation task now runs inside
+//! [`run_caught`], which converts a panic into a typed [`SimError`] that
+//! the caller can poison completion slots with, surface over HTTP, or
+//! print — while every other worker keeps running or exits cleanly.
+//!
+//! [`FaultPlan`] is the deterministic fault-injection hook used by tests
+//! at every level (core sweep, explore, server engine): it matches jobs
+//! by workload name and delays or panics their simulation, exercising the
+//! recovery paths without real overload or real bugs.
+
+use std::fmt;
+use std::time::Duration;
+
+/// A simulation task that panicked, caught at the execution boundary and
+/// converted into a value. `task` names what was being simulated (the
+/// workload label); `message` carries the panic payload when it was a
+/// string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimError {
+    /// What was being simulated (workload or layer label).
+    pub task: String,
+    /// The panic payload, when it was a string (a fixed fallback text
+    /// otherwise).
+    pub message: String,
+}
+
+impl SimError {
+    /// An error for task `task` with panic payload `message`.
+    pub fn new(task: impl Into<String>, message: impl Into<String>) -> SimError {
+        SimError {
+            task: task.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "simulation of `{}` panicked: {}",
+            self.task, self.message
+        )
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Runs `f` with panics caught at the boundary: a panic becomes
+/// `Err(`[`SimError`]`)` tagged with `task`, instead of unwinding into
+/// scope joins or thread pools. The default panic hook still prints the
+/// panic to stderr first, so post-mortems keep their backtrace.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if and only if `f` panicked.
+pub fn run_caught<T>(task: &str, f: impl FnOnce() -> T) -> Result<T, SimError> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
+        .map_err(|panic| SimError::new(task, panic_message(panic.as_ref())))
+}
+
+/// Extracts a human-readable message from a panic payload (`&str` and
+/// `String` payloads; a fixed fallback otherwise).
+pub fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "simulation panicked".to_owned()
+    }
+}
+
+/// Deterministic fault injection for tests: match jobs by workload name
+/// and delay or panic their simulation inside the worker that runs it.
+/// This is how the panic-recovery, shedding, deadline and drain paths are
+/// exercised without real overload; it is a test hook, not a production
+/// feature (an empty plan — the default — injects nothing).
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    rules: Vec<(String, FaultAction)>,
+}
+
+#[derive(Debug, Clone)]
+enum FaultAction {
+    Delay(Duration),
+    Panic(String),
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Sleep `delay` inside the worker before simulating any job whose
+    /// workload name is `workload` — a deterministic stand-in for a slow
+    /// simulation. The delay applies at every task boundary the job
+    /// crosses, so a job split into several tasks sleeps once per task.
+    pub fn delay(mut self, workload: &str, delay: Duration) -> FaultPlan {
+        self.rules
+            .push((workload.into(), FaultAction::Delay(delay)));
+        self
+    }
+
+    /// Panic with `message` instead of simulating any job whose workload
+    /// name is `workload` — exercises the executor's panic recovery.
+    pub fn panic(mut self, workload: &str, message: &str) -> FaultPlan {
+        self.rules
+            .push((workload.into(), FaultAction::Panic(message.into())));
+        self
+    }
+
+    /// True when the plan has no rules (the common production case, kept
+    /// cheap to test on hot paths).
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Applies every matching rule for `workload`: sleeps on delay rules,
+    /// panics on panic rules. Executors call this at each task boundary,
+    /// inside their `catch_unwind`.
+    pub fn apply(&self, workload: &str) {
+        for (name, action) in &self.rules {
+            if name == workload {
+                match action {
+                    FaultAction::Delay(d) => std::thread::sleep(*d),
+                    FaultAction::Panic(msg) => panic!("{msg}"),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_caught_passes_values_through() {
+        assert_eq!(run_caught("t", || 41 + 1), Ok(42));
+    }
+
+    #[test]
+    fn run_caught_converts_panics_to_typed_errors() {
+        let err = run_caught("TF0", || panic!("boom {}", 7)).unwrap_err();
+        assert_eq!(err.task, "TF0");
+        assert_eq!(err.message, "boom 7");
+        assert_eq!(err.to_string(), "simulation of `TF0` panicked: boom 7");
+    }
+
+    #[test]
+    fn run_caught_handles_non_string_payloads() {
+        let err = run_caught("t", || std::panic::panic_any(17u32)).unwrap_err();
+        assert_eq!(err.message, "simulation panicked");
+    }
+
+    #[test]
+    fn fault_plan_matches_by_workload() {
+        let plan = FaultPlan::new().panic("bad", "injected");
+        assert!(!plan.is_empty());
+        plan.apply("good"); // no rule -> no effect
+        let err = run_caught("bad", || plan.apply("bad")).unwrap_err();
+        assert_eq!(err.message, "injected");
+    }
+}

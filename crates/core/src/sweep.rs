@@ -37,6 +37,7 @@ use scalesim_topology::{networks, topology_to_csv, Dataflow, Layer, Topology};
 
 use crate::cache::{ContentKey, ShardedLru};
 use crate::config::{parse_config, SimConfig};
+use crate::exec::{self, FaultPlan, SimError};
 use crate::report::{LayerReport, NetworkReport};
 use crate::simulator::Simulator;
 
@@ -976,6 +977,9 @@ pub enum SweepError {
     Plan(String),
     /// The sink raised an I/O error.
     Io(io::Error),
+    /// A simulation panicked; the panic was caught at the task boundary
+    /// and the sweep aborted cleanly instead of hanging.
+    Sim(SimError),
 }
 
 impl SweepError {
@@ -989,6 +993,7 @@ impl fmt::Display for SweepError {
         match self {
             SweepError::Plan(msg) => write!(f, "{msg}"),
             SweepError::Io(e) => write!(f, "sweep output failed: {e}"),
+            SweepError::Sim(e) => write!(f, "sweep aborted: {e}"),
         }
     }
 }
@@ -998,6 +1003,12 @@ impl std::error::Error for SweepError {}
 impl From<io::Error> for SweepError {
     fn from(e: io::Error) -> SweepError {
         SweepError::Io(e)
+    }
+}
+
+impl From<SimError> for SweepError {
+    fn from(e: SimError) -> SweepError {
+        SweepError::Sim(e)
     }
 }
 
@@ -1017,10 +1028,19 @@ struct DistinctJob {
 }
 
 /// Completion slots shared between workers and the in-order emitter.
+///
+/// A slot may complete with a report or — when a simulation panics — be
+/// *poisoned* with the [`SimError`]. Poisoning fills every still-empty
+/// slot, so an emitter blocked in [`Slots::wait`] always wakes up with a
+/// definite answer: before it existed, a panicking worker left its slot
+/// empty forever and the sweep hung instead of failing.
 struct Slots {
-    filled: Mutex<Vec<Option<Arc<NetworkReport>>>>,
+    filled: Mutex<Vec<Option<SlotState>>>,
     ready: Condvar,
 }
+
+/// A completed slot: the simulated report, or the error that poisoned it.
+type SlotState = Result<Arc<NetworkReport>, SimError>;
 
 impl Slots {
     fn new(n: usize) -> Slots {
@@ -1036,15 +1056,26 @@ impl Slots {
             .lock()
             .unwrap()
             .get_mut(i)
-            .expect("slot index in range") = Some(report);
+            .expect("slot index in range") = Some(Ok(report));
         self.ready.notify_all();
     }
 
-    fn wait(&self, i: usize) -> Arc<NetworkReport> {
+    /// Fills every still-empty slot with `err`, waking all waiters.
+    fn poison(&self, err: &SimError) {
+        let mut filled = self.filled.lock().unwrap();
+        for slot in filled.iter_mut() {
+            if slot.is_none() {
+                *slot = Some(Err(err.clone()));
+            }
+        }
+        self.ready.notify_all();
+    }
+
+    fn wait(&self, i: usize) -> Result<Arc<NetworkReport>, SimError> {
         let mut filled = self.filled.lock().unwrap();
         loop {
-            if let Some(report) = &filled[i] {
-                return Arc::clone(report);
+            if let Some(result) = &filled[i] {
+                return result.clone();
             }
             filled = self.ready.wait(filled).unwrap();
         }
@@ -1066,6 +1097,7 @@ pub struct SweepEngine {
     simulations: Arc<Counter>,
     point_seconds: Arc<Histogram>,
     progress: bool,
+    faults: Mutex<FaultPlan>,
 }
 
 /// The `--progress` stderr ticker, driven by the in-order emitter. One
@@ -1162,7 +1194,16 @@ impl SweepEngine {
                 &Histogram::duration_buckets(),
             ),
             progress: false,
+            faults: Mutex::new(FaultPlan::default()),
         }
+    }
+
+    /// Installs a [`FaultPlan`] (test hook): matching workloads are
+    /// delayed or panicked inside the worker that simulates them, which
+    /// is how the panic-abort path is exercised deterministically.
+    /// Replaces any previous plan; pass `FaultPlan::new()` to clear.
+    pub fn inject_faults(&self, plan: FaultPlan) {
+        *self.faults.lock().unwrap() = plan;
     }
 
     /// Enables (or disables) the stderr progress ticker for subsequent
@@ -1290,17 +1331,19 @@ impl SweepEngine {
         let workers = jobs.max(1).min(pending.len());
         let next = AtomicUsize::new(0);
         let abort = AtomicBool::new(false);
+        let faults = self.faults.lock().unwrap().clone();
         let mut results: Vec<SweepResult> = Vec::with_capacity(prepared.len());
         let mut ticker = self.progress.then(|| {
             ProgressTicker::new(&format!("sweep {}", plan.name), prepared.len(), cache_hits)
         });
-        let emit = crossbeam::thread::scope(|scope| -> io::Result<()> {
+        let emit = crossbeam::thread::scope(|scope| -> Result<(), SweepError> {
             for worker in 0..workers {
                 let pending = &pending;
                 let distinct = &distinct;
                 let slots = &slots;
                 let next = &next;
                 let abort = &abort;
+                let faults = &faults;
                 scope.spawn(move |_| {
                     let _worker_span = scalesim_telemetry::trace::span_with("sweep.worker", || {
                         vec![("worker", worker.to_string())]
@@ -1314,26 +1357,49 @@ impl SweepEngine {
                             break;
                         };
                         let job = &distinct[job_index];
+                        let workload = plan.workloads[job.workload].topology.name();
                         let started = Instant::now();
-                        let mut sim = Simulator::new(job.config).with_grid(job.grid);
-                        if job.auto {
-                            sim = sim.with_auto_dataflow();
+                        // A panicking simulation must fail the sweep, not
+                        // hang it: catch at the task boundary, poison the
+                        // completion slots so the emitter wakes with the
+                        // error, and stop every worker.
+                        let run = exec::run_caught(workload, || {
+                            faults.apply(workload);
+                            let mut sim = Simulator::new(job.config).with_grid(job.grid);
+                            if job.auto {
+                                sim = sim.with_auto_dataflow();
+                            }
+                            sim.run_topology(&plan.workloads[job.workload].topology)
+                        });
+                        match run {
+                            Ok(report) => {
+                                let report = Arc::new(report);
+                                self.point_seconds.observe_duration(started.elapsed());
+                                self.simulations.inc();
+                                self.cache.insert(job.key, Arc::clone(&report));
+                                slots.fill(job_index, report);
+                            }
+                            Err(err) => {
+                                abort.store(true, Ordering::Relaxed);
+                                slots.poison(&err);
+                                break;
+                            }
                         }
-                        let report =
-                            Arc::new(sim.run_topology(&plan.workloads[job.workload].topology));
-                        self.point_seconds.observe_duration(started.elapsed());
-                        self.simulations.inc();
-                        self.cache.insert(job.key, Arc::clone(&report));
-                        slots.fill(job_index, report);
                     }
                 });
             }
             // The calling thread is the emitter: strict plan order.
             for point in &prepared {
-                let report = slots.wait(point.distinct);
+                let report = match slots.wait(point.distinct) {
+                    Ok(report) => report,
+                    Err(err) => {
+                        abort.store(true, Ordering::Relaxed);
+                        return Err(SweepError::Sim(err));
+                    }
+                };
                 if let Err(e) = sink.point(&point.spec, &report) {
                     abort.store(true, Ordering::Relaxed);
-                    return Err(e);
+                    return Err(SweepError::Io(e));
                 }
                 self.points_total.inc();
                 if let Some(ticker) = ticker.as_mut() {
