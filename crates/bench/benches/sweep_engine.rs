@@ -16,10 +16,12 @@
 //! of each cache tier (cold / traced-cold / layer-warm / point-warm) and
 //! writes it to
 //! `BENCH_sweep.json` at the repo root together with the demand-stream
-//! compression ratio, the layer-cache hit rate and the explore tier
+//! compression ratio, the layer-cache hit rate, the explore tier
 //! (stage-0 candidates/sec over a 10^5-point plan, plus end-to-end
 //! analytical-guided exploration of the Fig. 9 plan against its
-//! exhaustive cold sweep), so perf regressions show up in review as a
+//! exhaustive cold sweep), and a tail-latency tier (p50/p99 per-point
+//! latency, steal count and per-worker busy fractions from the
+//! work-stealing executor), so perf regressions show up in review as a
 //! diff of committed numbers.
 
 use std::time::Instant;
@@ -175,10 +177,34 @@ fn write_bench_json() {
     let elements_before = counter(telemetry_names::DEMAND_ELEMENTS);
     let runs_before = counter(telemetry_names::DEMAND_RUNS);
     let started = Instant::now();
-    engine.run(&plan, jobs).expect("cold sweep runs");
+    let cold_outcome = engine.run(&plan, jobs).expect("cold sweep runs");
     let cold_seconds = started.elapsed().as_secs_f64();
     let demand_elements = counter(telemetry_names::DEMAND_ELEMENTS) - elements_before;
     let demand_runs = counter(telemetry_names::DEMAND_RUNS) - runs_before;
+
+    // Tail-latency tier: per-point wall latency (first layer task started
+    // to report assembled) under the work-stealing executor, plus how busy
+    // each worker stayed. Unlucky static scheduling shows up here as a fat
+    // p99 and idle workers; stealing is supposed to keep both flat.
+    let mut latencies = cold_outcome.point_latencies_micros.clone();
+    latencies.sort_unstable();
+    let percentile = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let rank = ((p / 100.0) * (latencies.len() - 1) as f64).round() as usize;
+        latencies[rank.min(latencies.len() - 1)]
+    };
+    let tail_p50_micros = percentile(50.0);
+    let tail_p99_micros = percentile(99.0);
+    let exec_steals = cold_outcome.exec.steals;
+    let worker_busy = cold_outcome
+        .exec
+        .worker_busy
+        .iter()
+        .map(|b| format!("{b:.3}"))
+        .collect::<Vec<_>>()
+        .join(", ");
 
     // Tier 0b — traced cold: the same cold sweep with the trace ring
     // installed and recording, so the span overhead (clock reads + ring
@@ -245,6 +271,10 @@ fn write_bench_json() {
     let json = format!(
         "{{\n  \"plan\": \"fig9-tf0\",\n  \"points\": {points},\n  \"jobs\": {jobs},\n  \
          \"cold_seconds\": {cold_seconds:.6},\n  \
+         \"tail_p50_micros\": {tail_p50_micros},\n  \
+         \"tail_p99_micros\": {tail_p99_micros},\n  \
+         \"exec_steals\": {exec_steals},\n  \
+         \"worker_busy\": [{worker_busy}],\n  \
          \"traced_cold_seconds\": {traced_cold_seconds:.6},\n  \
          \"layer_warm_seconds\": {layer_warm_seconds:.6},\n  \
          \"point_warm_seconds\": {point_warm_seconds:.6},\n  \

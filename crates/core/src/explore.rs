@@ -425,6 +425,13 @@ impl ExploreEngine {
         &self.sweep
     }
 
+    /// Installs a fault-injection plan on the wrapped sweep engine, so
+    /// tests can panic or delay stage-2 simulations. See
+    /// [`crate::exec::FaultPlan`]; an empty plan clears injection.
+    pub fn inject_faults(&self, plan: crate::exec::FaultPlan) {
+        self.sweep.inject_faults(plan);
+    }
+
     /// Runs stages 0–1 only: analytically evaluates every candidate and
     /// prunes to the slack band around the per-workload frontier. This is
     /// the shared front half of [`ExploreEngine::run`], public so callers

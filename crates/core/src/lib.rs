@@ -69,7 +69,7 @@ pub mod sweep;
 pub use crate::cache::{ContentKey, ShardedLru};
 pub use crate::config::{parse_config, SimConfig, SimConfigBuilder};
 pub use crate::error::ParseConfigError;
-pub use crate::exec::{FaultPlan, SimError};
+pub use crate::exec::{ExecSummary, FaultPlan, SimError};
 pub use crate::explore::{
     predict_cycles, ExploreBudget, ExploreEngine, ExploreOptions, ExploreOutcome, MeasuredPoint,
     PruneOutcome, SurvivorPoint,

@@ -24,7 +24,7 @@
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::io;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -37,7 +37,7 @@ use scalesim_topology::{networks, topology_to_csv, Dataflow, Layer, Topology};
 
 use crate::cache::{ContentKey, ShardedLru};
 use crate::config::{parse_config, SimConfig};
-use crate::exec::{self, FaultPlan, SimError};
+use crate::exec::{ExecSummary, Executor, FaultPlan, SimError};
 use crate::report::{LayerReport, NetworkReport};
 use crate::simulator::Simulator;
 
@@ -58,6 +58,11 @@ pub mod telemetry_names {
     pub const CACHE_EVICTIONS: &str = "scalesim_sweep_cache_evictions_total";
     /// Gauge: results currently held by the sweep result cache.
     pub const CACHE_RESIDENT: &str = "scalesim_sweep_cache_resident_entries";
+    /// Counter: layer-granularity tasks executed by the sweep's
+    /// work-stealing pool (re-exported from [`crate::exec`]).
+    pub const EXEC_TASKS: &str = crate::exec::telemetry_names::TASKS;
+    /// Counter: tasks obtained by stealing from another worker.
+    pub const EXEC_STEALS: &str = crate::exec::telemetry_names::STEALS;
 }
 
 /// Splits a power-of-two `n` into the most square `(rows, cols)` pair with
@@ -726,6 +731,13 @@ pub struct SweepOutcome {
     /// Points served without a fresh simulation (in-plan duplicates plus
     /// LRU hits from earlier plans on the same engine).
     pub cache_hits: u64,
+    /// Wall latency of each freshly simulated point — first layer task
+    /// start to assembly — in microseconds, in work-list order. One entry
+    /// per entry of `simulations`; feeds the tail-latency bench tier.
+    pub point_latencies_micros: Vec<u64>,
+    /// Work-stealing scheduler counters for this run (tasks, steals,
+    /// per-worker busy fractions).
+    pub exec: ExecSummary,
 }
 
 /// A per-group sweep summary: the fastest point and the paper's runtime/
@@ -1027,6 +1039,17 @@ struct DistinctJob {
     workload: usize,
 }
 
+/// Mutable per-pending-job state shared by that job's layer tasks: the
+/// filled layer reports, the count of tasks still owed, the first-task
+/// start instant (point latency runs from the first layer start to
+/// assembly) and the finished latency.
+struct JobState {
+    layers: Mutex<Vec<Option<LayerReport>>>,
+    remaining: AtomicUsize,
+    started: Mutex<Option<Instant>>,
+    latency_micros: AtomicU64,
+}
+
 /// Completion slots shared between workers and the in-order emitter.
 ///
 /// A slot may complete with a report or — when a simulation panics — be
@@ -1080,6 +1103,28 @@ impl Slots {
             filled = self.ready.wait(filled).unwrap();
         }
     }
+
+    /// Like [`Slots::wait`], but gives up after `timeout` so the caller
+    /// can do periodic work (the progress ticker's heartbeat) while a
+    /// slow head-of-line point is still simulating.
+    fn wait_for(
+        &self,
+        i: usize,
+        timeout: Duration,
+    ) -> Option<Result<Arc<NetworkReport>, SimError>> {
+        let deadline = Instant::now() + timeout;
+        let mut filled = self.filled.lock().unwrap();
+        loop {
+            if let Some(result) = &filled[i] {
+                return Some(result.clone());
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            filled = self.ready.wait_timeout(filled, left).unwrap().0;
+        }
+    }
 }
 
 /// The parallel, memoizing sweep executor: a content-addressed result
@@ -1096,6 +1141,8 @@ pub struct SweepEngine {
     cache_hits: Arc<Counter>,
     simulations: Arc<Counter>,
     point_seconds: Arc<Histogram>,
+    exec_tasks: Arc<Counter>,
+    exec_steals: Arc<Counter>,
     progress: bool,
     faults: Mutex<FaultPlan>,
 }
@@ -1108,6 +1155,11 @@ pub struct SweepEngine {
 struct ProgressTicker {
     label: String,
     total: usize,
+    /// Fresh simulations this run must execute; rate and ETA are based on
+    /// how many of these have completed, *not* on emitted points —
+    /// instantly-emitted cache hits used to make warm sweeps report
+    /// absurdly optimistic ETAs.
+    sims_total: usize,
     cache_hits: u64,
     done: usize,
     started: Instant,
@@ -1117,11 +1169,12 @@ struct ProgressTicker {
 impl ProgressTicker {
     const INTERVAL: Duration = Duration::from_millis(500);
 
-    fn new(label: &str, total: usize, cache_hits: u64) -> ProgressTicker {
+    fn new(label: &str, total: usize, sims_total: usize, cache_hits: u64) -> ProgressTicker {
         let now = Instant::now();
         ProgressTicker {
             label: label.to_owned(),
             total,
+            sims_total,
             cache_hits,
             done: 0,
             started: now,
@@ -1130,21 +1183,44 @@ impl ProgressTicker {
     }
 
     /// Counts one emitted point and prints a line when the interval is up
-    /// (and always for the final point).
-    fn tick(&mut self) {
+    /// (and always for the final point). `sims_done` is the workers'
+    /// completed-simulation count (the shared atomic), which drives rate
+    /// and ETA.
+    fn tick(&mut self, sims_done: usize) {
         self.done += 1;
         let finished = self.done >= self.total;
         if !finished && self.last_tick.elapsed() < ProgressTicker::INTERVAL {
             return;
         }
+        self.print(sims_done);
+    }
+
+    /// Prints a line without counting a point: the emitter calls this
+    /// while blocked on a slow head-of-line point, so the rate keeps
+    /// moving with the workers instead of freezing at the emitted count.
+    fn heartbeat(&mut self, sims_done: usize) {
+        if self.last_tick.elapsed() < ProgressTicker::INTERVAL {
+            return;
+        }
+        self.print(sims_done);
+    }
+
+    fn print(&mut self, sims_done: usize) {
         self.last_tick = Instant::now();
         let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
-        let rate = self.done as f64 / elapsed;
-        let eta = (self.total - self.done) as f64 / rate.max(1e-9);
+        let rate = sims_done as f64 / elapsed;
+        let remaining = self.sims_total.saturating_sub(sims_done);
+        let eta = if remaining == 0 {
+            "0s".to_owned()
+        } else if rate <= 0.0 {
+            "?".to_owned()
+        } else {
+            format!("{:.0}s", remaining as f64 / rate)
+        };
         let pct = 100.0 * self.done as f64 / self.total.max(1) as f64;
         let hit_pct = 100.0 * self.cache_hits as f64 / self.total.max(1) as f64;
         eprintln!(
-            "{}: {}/{} points ({pct:.1}%), {rate:.1} rows/s, {hit_pct:.0}% cache hits, ETA {eta:.0}s",
+            "{}: {}/{} points ({pct:.1}%), {rate:.1} sims/s, {hit_pct:.0}% cache hits, ETA {eta}",
             self.label, self.done, self.total,
         );
     }
@@ -1192,6 +1268,14 @@ impl SweepEngine {
                 telemetry_names::POINT_SECONDS,
                 "Wall time per freshly simulated sweep point.",
                 &Histogram::duration_buckets(),
+            ),
+            exec_tasks: registry.counter(
+                telemetry_names::EXEC_TASKS,
+                "Layer-granularity tasks executed by the work-stealing pool.",
+            ),
+            exec_steals: registry.counter(
+                telemetry_names::EXEC_STEALS,
+                "Tasks obtained by stealing from another worker's deque.",
             ),
             progress: false,
             faults: Mutex::new(FaultPlan::default()),
@@ -1328,82 +1412,161 @@ impl SweepEngine {
         self.cache_hits.add(cache_hits);
 
         sink.begin(plan, prepared.len())?;
-        let workers = jobs.max(1).min(pending.len());
-        let next = AtomicUsize::new(0);
-        let abort = AtomicBool::new(false);
         let faults = self.faults.lock().unwrap().clone();
+
+        // One task per (pending job, layer): layer costs vary by orders
+        // of magnitude with fold count, so layer-granularity tasks plus
+        // work stealing keep the pool balanced where whole-point
+        // scheduling lets one unlucky worker set the tail latency.
+        let layer_lists: Vec<Vec<&Layer>> = plan
+            .workloads
+            .iter()
+            .map(|w| w.topology.iter().collect())
+            .collect();
+        let mut tasks: Vec<(usize, usize)> = Vec::new(); // (pending index, layer)
+        let mut states: Vec<JobState> = Vec::with_capacity(pending.len());
+        for (p, &job_index) in pending.iter().enumerate() {
+            let layers = layer_lists[distinct[job_index].workload].len();
+            // An empty topology still gets one task, so its slot is
+            // filled by the same assembly path as everything else.
+            let job_tasks = layers.max(1);
+            for layer in 0..job_tasks {
+                tasks.push((p, layer));
+            }
+            states.push(JobState {
+                layers: Mutex::new(vec![None; layers]),
+                remaining: AtomicUsize::new(job_tasks),
+                started: Mutex::new(None),
+                latency_micros: AtomicU64::new(0),
+            });
+        }
+        let sims_done = AtomicUsize::new(0);
+        let exec = Executor::new(tasks.len(), jobs.max(1));
+
         let mut results: Vec<SweepResult> = Vec::with_capacity(prepared.len());
         let mut ticker = self.progress.then(|| {
-            ProgressTicker::new(&format!("sweep {}", plan.name), prepared.len(), cache_hits)
+            ProgressTicker::new(
+                &format!("sweep {}", plan.name),
+                prepared.len(),
+                pending.len(),
+                cache_hits,
+            )
         });
+
+        let run_task = |t: usize| {
+            let (p, layer_index) = tasks[t];
+            let job_index = pending[p];
+            let job = &distinct[job_index];
+            let workload = &plan.workloads[job.workload];
+            let state = &states[p];
+            {
+                let mut started = state.started.lock().unwrap();
+                if started.is_none() {
+                    *started = Some(Instant::now());
+                }
+            }
+            faults.apply(workload.topology.name());
+            if let Some(layer) = layer_lists[job.workload].get(layer_index) {
+                let mut sim = Simulator::new(job.config).with_grid(job.grid);
+                if job.auto {
+                    sim = sim.with_auto_dataflow();
+                }
+                let report = sim.run_layer(layer);
+                state.layers.lock().unwrap()[layer_index] = Some(report);
+            }
+            if state.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last task of the job: assemble the layer reports in
+                // layer order — exactly what `run_topology` produces, so
+                // the result is byte-identical to a serial run no matter
+                // which workers simulated which layers.
+                let layers = std::mem::take(&mut *state.layers.lock().unwrap())
+                    .into_iter()
+                    .map(|r| r.expect("every layer task stored its report"))
+                    .collect();
+                scalesim_telemetry::global()
+                    .counter(
+                        crate::simulator::telemetry_names::NETWORK_RUNS,
+                        "Topologies simulated end to end.",
+                    )
+                    .inc();
+                let report = Arc::new(NetworkReport::new(workload.topology.name(), layers));
+                let elapsed = state
+                    .started
+                    .lock()
+                    .unwrap()
+                    .expect("assembly follows the first task")
+                    .elapsed();
+                state
+                    .latency_micros
+                    .store(elapsed.as_micros() as u64, Ordering::Relaxed);
+                self.point_seconds.observe_duration(elapsed);
+                self.simulations.inc();
+                sims_done.fetch_add(1, Ordering::Relaxed);
+                self.cache.insert(job.key, Arc::clone(&report));
+                slots.fill(job_index, report);
+            }
+        };
+        let task_label = |t: usize| {
+            let (p, _) = tasks[t];
+            plan.workloads[distinct[pending[p]].workload]
+                .topology
+                .name()
+                .to_owned()
+        };
+
         let emit = crossbeam::thread::scope(|scope| -> Result<(), SweepError> {
-            for worker in 0..workers {
-                let pending = &pending;
-                let distinct = &distinct;
-                let slots = &slots;
-                let next = &next;
-                let abort = &abort;
-                let faults = &faults;
-                scope.spawn(move |_| {
-                    let _worker_span = scalesim_telemetry::trace::span_with("sweep.worker", || {
-                        vec![("worker", worker.to_string())]
+            if !tasks.is_empty() {
+                for worker in 0..exec.workers() {
+                    let exec = &exec;
+                    let run_task = &run_task;
+                    let task_label = &task_label;
+                    let slots = &slots;
+                    scope.spawn(move |_| {
+                        let _worker_span =
+                            scalesim_telemetry::trace::span_with("sweep.worker", || {
+                                vec![("worker", worker.to_string())]
+                            });
+                        if let Some(err) = exec.run_worker(worker, run_task, task_label) {
+                            // A panic must fail the sweep, not hang it:
+                            // poison every unfilled slot so the emitter
+                            // wakes with the typed error.
+                            slots.poison(&err);
+                        }
                     });
-                    loop {
-                        if abort.load(Ordering::Relaxed) {
-                            break;
-                        }
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(&job_index) = pending.get(i) else {
-                            break;
-                        };
-                        let job = &distinct[job_index];
-                        let workload = plan.workloads[job.workload].topology.name();
-                        let started = Instant::now();
-                        // A panicking simulation must fail the sweep, not
-                        // hang it: catch at the task boundary, poison the
-                        // completion slots so the emitter wakes with the
-                        // error, and stop every worker.
-                        let run = exec::run_caught(workload, || {
-                            faults.apply(workload);
-                            let mut sim = Simulator::new(job.config).with_grid(job.grid);
-                            if job.auto {
-                                sim = sim.with_auto_dataflow();
-                            }
-                            sim.run_topology(&plan.workloads[job.workload].topology)
-                        });
-                        match run {
-                            Ok(report) => {
-                                let report = Arc::new(report);
-                                self.point_seconds.observe_duration(started.elapsed());
-                                self.simulations.inc();
-                                self.cache.insert(job.key, Arc::clone(&report));
-                                slots.fill(job_index, report);
-                            }
-                            Err(err) => {
-                                abort.store(true, Ordering::Relaxed);
-                                slots.poison(&err);
-                                break;
-                            }
-                        }
-                    }
-                });
+                }
             }
             // The calling thread is the emitter: strict plan order.
             for point in &prepared {
-                let report = match slots.wait(point.distinct) {
+                let state = if ticker.is_some() {
+                    // Bounded waits so the ticker keeps printing worker
+                    // progress while a slow head-of-line point runs.
+                    loop {
+                        match slots.wait_for(point.distinct, ProgressTicker::INTERVAL) {
+                            Some(state) => break state,
+                            None => {
+                                if let Some(ticker) = ticker.as_mut() {
+                                    ticker.heartbeat(sims_done.load(Ordering::Relaxed));
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    slots.wait(point.distinct)
+                };
+                let report = match state {
                     Ok(report) => report,
                     Err(err) => {
-                        abort.store(true, Ordering::Relaxed);
+                        exec.abort();
                         return Err(SweepError::Sim(err));
                     }
                 };
                 if let Err(e) = sink.point(&point.spec, &report) {
-                    abort.store(true, Ordering::Relaxed);
+                    exec.abort();
                     return Err(SweepError::Io(e));
                 }
                 self.points_total.inc();
                 if let Some(ticker) = ticker.as_mut() {
-                    ticker.tick();
+                    ticker.tick(sims_done.load(Ordering::Relaxed));
                 }
                 results.push(SweepResult {
                     spec: point.spec.clone(),
@@ -1412,15 +1575,28 @@ impl SweepEngine {
             }
             Ok(())
         })
-        .expect("sweep worker panicked");
+        .expect("sweep workers never unwind");
         emit?;
         sink.end()?;
+
+        let exec_summary = if tasks.is_empty() {
+            ExecSummary::default()
+        } else {
+            exec.summary()
+        };
+        self.exec_tasks.add(exec_summary.tasks);
+        self.exec_steals.add(exec_summary.steals);
 
         Ok(SweepOutcome {
             plan_name: plan.name.clone(),
             results,
             simulations,
             cache_hits,
+            point_latencies_micros: states
+                .iter()
+                .map(|s| s.latency_micros.load(Ordering::Relaxed))
+                .collect(),
+            exec: exec_summary,
         })
     }
 }

@@ -31,9 +31,16 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+#[cfg(test)]
+use std::time::Duration;
+use std::time::Instant;
 
 use scalesim::{NetworkReport, Simulator};
+
+// The fault-injection hook lives with the panic-safe executor in core, so
+// the sweep engine, the explore pipeline and this worker pool share one
+// injection point; re-exported here to keep the server API unchanged.
+pub use scalesim::exec::FaultPlan;
 use scalesim_telemetry::{log, Counter, FlightRecorder, Gauge, Histogram, Registry};
 
 use crate::cache::ShardedLru;
@@ -432,57 +439,6 @@ impl Default for EngineOptions {
 /// workloads (batch manifests, sweeps) never notice it, shallow enough
 /// that an overload burst is shed in bounded memory and bounded latency.
 pub const DEFAULT_QUEUE_DEPTH: usize = 256;
-
-/// Deterministic fault injection for tests: match jobs by workload name
-/// and delay or panic their simulation inside the worker. This is how the
-/// shedding, deadline, panic-recovery and drain paths are exercised
-/// without real overload; it is a test hook, not a production feature
-/// (an empty plan — the default — injects nothing).
-#[derive(Debug, Clone, Default)]
-pub struct FaultPlan {
-    rules: Vec<(String, FaultAction)>,
-}
-
-#[derive(Debug, Clone)]
-enum FaultAction {
-    Delay(Duration),
-    Panic(String),
-}
-
-impl FaultPlan {
-    /// An empty plan (injects nothing).
-    pub fn new() -> FaultPlan {
-        FaultPlan::default()
-    }
-
-    /// Sleep `delay` inside the worker before simulating any job whose
-    /// workload name is `workload` — a deterministic stand-in for a slow
-    /// simulation.
-    pub fn delay(mut self, workload: &str, delay: Duration) -> FaultPlan {
-        self.rules
-            .push((workload.into(), FaultAction::Delay(delay)));
-        self
-    }
-
-    /// Panic with `message` instead of simulating any job whose workload
-    /// name is `workload` — exercises the worker's panic recovery.
-    pub fn panic(mut self, workload: &str, message: &str) -> FaultPlan {
-        self.rules
-            .push((workload.into(), FaultAction::Panic(message.into())));
-        self
-    }
-
-    fn apply(&self, workload: &str) {
-        for (name, action) in &self.rules {
-            if name == workload {
-                match action {
-                    FaultAction::Delay(d) => std::thread::sleep(*d),
-                    FaultAction::Panic(msg) => panic!("{msg}"),
-                }
-            }
-        }
-    }
-}
 
 /// A queued leader job: the normalized work plus its completion slot, the
 /// enqueue instant (for the queue-wait histogram) and the leader's request
@@ -930,16 +886,14 @@ fn worker_loop(shared: Arc<Shared>) {
         shared.stats.in_flight.add(1);
         let faults = shared.faults.lock().unwrap().clone();
         let started = Instant::now();
-        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            // Test-only fault injection; an empty plan is a no-op. Panics
-            // raised here exercise the same recovery path as simulator bugs.
-            faults.apply(job.topology.name());
-            let mut sim = Simulator::new(job.config).with_grid(job.grid);
-            if job.auto_dataflow {
-                sim = sim.with_auto_dataflow();
-            }
-            sim.run_topology(&job.topology)
-        }));
+        let mut sim = Simulator::new(job.config).with_grid(job.grid);
+        if job.auto_dataflow {
+            sim = sim.with_auto_dataflow();
+        }
+        // The panic-safe executor catches panics (including injected
+        // faults) at every layer-task boundary, so a simulator bug in one
+        // layer surfaces as a typed error instead of unwinding the worker.
+        let run = scalesim::exec::run_topology_guarded(&sim, &job.topology, 1, &faults);
         let sim_wall = started.elapsed();
         let sim_wall_micros = sim_wall.as_micros() as u64;
         let worker = std::thread::current();
@@ -965,9 +919,7 @@ fn worker_loop(shared: Arc<Shared>) {
                     sim_wall_micros,
                 }))
             }
-            // `as_ref` matters: `&panic` would coerce the *Box* itself to
-            // `&dyn Any` and every payload downcast would miss.
-            Err(panic) => {
+            Err(err) => {
                 shared.record_job(
                     &key,
                     route,
@@ -980,7 +932,7 @@ fn worker_loop(shared: Arc<Shared>) {
                 // A panicking simulation is exactly the post-mortem the
                 // recorder exists for: preserve it on stderr immediately.
                 shared.dump_recorder("worker panic");
-                Err(JobError::Internal(panic_message(panic.as_ref())))
+                Err(JobError::Internal(err.to_string()))
             }
         };
 
@@ -997,16 +949,6 @@ fn worker_loop(shared: Arc<Shared>) {
             .joiners_per_key
             .observe(slot.joiners.load(Ordering::Relaxed) as f64);
         slot.fill(outcome);
-    }
-}
-
-fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = panic.downcast_ref::<&str>() {
-        (*s).to_owned()
-    } else if let Some(s) = panic.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "simulation panicked".to_owned()
     }
 }
 

@@ -428,3 +428,55 @@ fn debug_jobs_reports_shed_and_fresh_outcomes() {
 
     handle.stop();
 }
+
+/// A worker panic (here injected, in production a simulator bug) must
+/// surface to the client as a 500 with the panic payload — never a hang —
+/// and leave a `failed` record in the flight recorder. The server keeps
+/// serving afterwards.
+#[test]
+fn injected_panic_returns_500_and_a_failed_record() {
+    let handle = start(
+        ServerOptions::default(),
+        EngineOptions {
+            workers: 2,
+            cache_capacity: 16,
+            queue_depth: 8,
+        },
+        FaultPlan::new().panic("tiny", "injected worker panic"),
+    );
+
+    let started = Instant::now();
+    let response = request(handle.addr(), "POST", "/simulate", Some(&tiny_job(0)))
+        .expect("the panicking job still gets a response");
+    assert_eq!(response.status, 500, "panic maps to 500: {}", response.body);
+    assert!(
+        response.body.contains("injected worker panic"),
+        "500 body carries the panic payload: {}",
+        response.body
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "the panic path must answer promptly, not hang"
+    );
+
+    let debug = request(handle.addr(), "GET", "/debug/jobs", None).unwrap();
+    let body = Json::parse(&debug.body).expect("debug body is JSON");
+    let jobs = body.get("jobs").and_then(Json::as_array).expect("jobs[]");
+    let failed = jobs
+        .iter()
+        .filter(|j| j.get("outcome").and_then(Json::as_str) == Some("failed"))
+        .count();
+    assert_eq!(failed, 1, "the panicked job left a failed record");
+
+    // The pool survived the panic: a non-faulted workload still serves.
+    let ok = request(
+        handle.addr(),
+        "POST",
+        "/simulate",
+        Some(r#"{"topology_name": "fine", "topology_csv": "L1,8,8,3,3,4,8,1"}"#),
+    )
+    .expect("follow-up job");
+    assert_eq!(ok.status, 200, "workers keep serving after a panic");
+
+    handle.stop();
+}

@@ -12,7 +12,7 @@ use scalesim::sweep::{
     AspectAxis, CsvSink, DataflowChoice, GridAxis, SweepEngine, SweepError, SweepPlan,
     SweepWorkload,
 };
-use scalesim::{ArrayShape, FaultPlan, SimConfig};
+use scalesim::{ArrayShape, ExploreEngine, ExploreOptions, FaultPlan, SimConfig};
 use scalesim_topology::{Layer, Topology};
 
 /// Fails the calling test if `f` does not finish within `secs` seconds —
@@ -115,4 +115,26 @@ fn engine_survives_a_panicking_run() {
 /// Expanded point count of `plan`, via a fresh single-job engine run.
 fn plan_points(plan: &SweepPlan) -> usize {
     plan.expand().expect("plan is valid").len()
+}
+
+#[test]
+fn explore_stage_two_surfaces_injected_panics() {
+    let err = watchdog(120, || {
+        let engine = ExploreEngine::new(64);
+        engine.inject_faults(FaultPlan::new().panic("BAD", "explore fault"));
+        let plan = two_workload_plan();
+        let options = ExploreOptions {
+            jobs: 4,
+            ..ExploreOptions::default()
+        };
+        engine.run(&plan, &options).map(|_| ())
+    })
+    .expect_err("a panicking survivor simulation must fail the explore run");
+    match err {
+        SweepError::Sim(e) => {
+            assert_eq!(e.task, "BAD");
+            assert!(e.message.contains("explore fault"));
+        }
+        other => panic!("expected SweepError::Sim, got {other}"),
+    }
 }
