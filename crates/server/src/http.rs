@@ -403,6 +403,14 @@ fn handle_connection(stream: TcpStream, context: &Context) -> std::io::Result<()
 
     let mut headers: Vec<(&str, &str)> = vec![("X-Scalesim-Request-Id", &request_id)];
     headers.extend(routed.headers.iter().map(|(k, v)| (*k, v.as_str())));
+
+    // Observe latency *before* writing the response: once the client has
+    // the body it may immediately scrape `/metrics` and must see this
+    // request in the histogram. (The wire time is not in `elapsed`, but
+    // the histogram's contract is request handling, not socket flush.)
+    let elapsed = received.elapsed();
+    request_latency(context, &path).observe_duration(elapsed);
+
     let result = respond(
         &stream,
         routed.status,
@@ -410,9 +418,6 @@ fn handle_connection(stream: TcpStream, context: &Context) -> std::io::Result<()
         routed.content_type,
         &routed.body,
     );
-
-    let elapsed = received.elapsed();
-    request_latency(context, &path).observe_duration(elapsed);
     log::info(
         "http.request",
         &[

@@ -14,10 +14,18 @@
 //! atomic load per span with no allocation — [`span`] returns an inert
 //! guard and [`span_with`] never calls its argument closure. When enabled,
 //! recording a finished span is a `fetch_add` to claim a ring slot plus
-//! one store under that slot's own (uncontended) lock; the ring is
-//! preallocated at [`install`] time, so the steady state allocates only
-//! the span's argument strings. The buffer is bounded: once full, new
+//! one store under that slot's own (almost always uncontended) lock; the
+//! ring is preallocated at [`install`] time, so the steady state allocates
+//! only the span's argument strings. The buffer is bounded: once full, new
 //! events overwrite the oldest — tracing can run forever without growing.
+//!
+//! Recording **never blocks**: the slot store uses `try_lock`, so if a
+//! concurrent snapshot (or a wrap-around writer racing for the same slot)
+//! holds the lock, the event is dropped instead of stalling the simulating
+//! thread, and `scalesim_trace_events_dropped_total` in the global metric
+//! registry counts the loss. The claim itself is a lock-free `fetch_add`;
+//! the per-slot copy is mutex-guarded, which is why the ring as a whole is
+//! *non-blocking for writers* rather than strictly lock-free.
 //!
 //! # Hierarchy
 //!
@@ -40,6 +48,27 @@ use std::time::Instant;
 /// (a few MiB) to preallocate without thought.
 pub const DEFAULT_CAPACITY: usize = 65_536;
 
+/// Registry name of the counter of events dropped because their ring slot
+/// was contended (see the module docs' cost model).
+pub const DROPPED_COUNTER: &str = "scalesim_trace_events_dropped_total";
+
+/// The contention-drop counter, registered in the global metric registry
+/// on first use so `/metrics` exposes it alongside the simulator counters.
+fn dropped_counter() -> &'static std::sync::Arc<crate::Counter> {
+    static DROPPED: OnceLock<std::sync::Arc<crate::Counter>> = OnceLock::new();
+    DROPPED.get_or_init(|| {
+        crate::global().counter(
+            DROPPED_COUNTER,
+            "Trace events dropped because their ring slot was contended.",
+        )
+    })
+}
+
+/// Total trace events dropped on slot contention since process start.
+pub fn events_dropped() -> u64 {
+    dropped_counter().get()
+}
+
 /// One finished span, as stored in the ring and returned by [`events`].
 #[derive(Debug, Clone)]
 pub struct TraceEvent {
@@ -61,7 +90,8 @@ pub struct TraceEvent {
 
 /// Bounded ring of trace events. Slot claim is a single `fetch_add`;
 /// each slot has its own lock, contended only against a concurrent
-/// snapshot or a wrap-around overwrite of that exact slot.
+/// snapshot or a wrap-around overwrite of that exact slot — and writers
+/// `try_lock`, dropping (and counting) the event rather than blocking.
 struct Ring {
     slots: Vec<Mutex<Option<TraceEvent>>>,
     /// Total events ever recorded; `head % capacity` is the next slot.
@@ -80,7 +110,12 @@ impl Ring {
     fn record(&self, event: TraceEvent) {
         let i = self.head.fetch_add(1, Ordering::Relaxed);
         let slot = &self.slots[(i % self.slots.len() as u64) as usize];
-        *slot.lock().unwrap() = Some(event);
+        // Never block a simulating thread on telemetry: if a snapshot (or
+        // a wrapping writer) holds this slot, drop the event and count it.
+        match slot.try_lock() {
+            Ok(mut slot) => *slot = Some(event),
+            Err(_) => dropped_counter().inc(),
+        }
     }
 
     /// Snapshot in record order, oldest surviving event first.
@@ -378,6 +413,34 @@ mod tests {
         assert_eq!(kept, vec![6, 7, 8, 9], "oldest events are overwritten");
         ring.clear();
         assert!(ring.snapshot().is_empty());
+    }
+
+    #[test]
+    fn contended_slot_drops_the_event_instead_of_blocking() {
+        let ring = Ring::new(2);
+        let event = |i: u64| TraceEvent {
+            name: "e",
+            id: i,
+            parent: 0,
+            tid: 1,
+            start_micros: i,
+            dur_micros: 1,
+            args: Vec::new(),
+        };
+        // Simulate a snapshot holding slot 0: recording into it must
+        // return immediately (a hang here would time the suite out),
+        // drop the event, and bump the drop counter.
+        let dropped_before = events_dropped();
+        {
+            let _held = ring.slots[0].lock().unwrap();
+            ring.record(event(1));
+        }
+        assert_eq!(events_dropped(), dropped_before + 1);
+        // The claim still advanced past the contended slot, so the next
+        // event lands in slot 1 and survives.
+        ring.record(event(2));
+        let kept: Vec<u64> = ring.snapshot().iter().map(|e| e.id).collect();
+        assert_eq!(kept, vec![2], "the contended event is gone, not stuck");
     }
 
     #[test]
