@@ -19,10 +19,11 @@
 //! compression ratio, the layer-cache hit rate, the explore tier
 //! (stage-0 candidates/sec over a 10^5-point plan, plus end-to-end
 //! analytical-guided exploration of the Fig. 9 plan against its
-//! exhaustive cold sweep), and a tail-latency tier (p50/p99 per-point
+//! exhaustive cold sweep), a tail-latency tier (p50/p99 per-point
 //! latency, steal count and per-worker busy fractions from the
-//! work-stealing executor), so perf regressions show up in review as a
-//! diff of committed numbers.
+//! work-stealing executor), and a kernel tier (ns/run through the
+//! data-oriented run-merge / buffer-epoch / reuse-profile kernels), so
+//! perf regressions show up in review as a diff of committed numbers.
 
 use std::time::Instant;
 
@@ -30,6 +31,7 @@ use criterion::{criterion_group, BatchSize, Criterion};
 
 use scalesim::sweep::{AspectAxis, DataflowChoice, SweepEngine, SweepPlan, SweepWorkload};
 use scalesim::{layer_cache, telemetry_names, Dataflow, ExploreEngine, ExploreOptions};
+use scalesim_memory::{AddrRuns, ReuseProfile, RunBuffer};
 use scalesim_topology::{Layer, Topology};
 
 /// The Fig. 9 search-space study for TF0 at a 2^10 MAC budget: every
@@ -159,6 +161,63 @@ fn bench_sweep_engine(c: &mut Criterion) {
     group.finish();
 }
 
+/// Kernel tier: nanoseconds per *run* through each data-oriented hot-path
+/// kernel, on a fig9-shaped synthetic stream (runs of 16-64 elements over
+/// a bounded window with periodic revisits). The per-kernel comparisons
+/// against their scalar twins live in the `kernels` criterion bench; this
+/// single number per kernel goes into `BENCH_sweep.json` so regressions
+/// show up in review.
+fn kernel_tier() -> (f64, f64, f64) {
+    let mut seed = 0x2545F4914F6CDD1Du64;
+    let mut next = move || {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        seed >> 33
+    };
+    let runs = 4096usize;
+    let window = 1u64 << 16;
+    let mut stream = AddrRuns::with_capacity(runs);
+    for i in 0..runs {
+        let start = if i % 5 == 4 {
+            next() % window
+        } else {
+            (i as u64 * 48) % window
+        };
+        stream.push(start, 16 + next() % 48);
+    }
+    let total_runs = stream.run_count() as f64;
+
+    let time_per_run = |mut body: Box<dyn FnMut() -> u64>| -> f64 {
+        let iters = 64u32;
+        let mut sink = 0u64;
+        let started = Instant::now();
+        for _ in 0..iters {
+            sink = sink.wrapping_add(body());
+        }
+        let nanos = started.elapsed().as_nanos() as f64;
+        std::hint::black_box(sink);
+        nanos / (iters as f64 * total_runs)
+    };
+
+    let merge_src = stream.clone();
+    let run_merge_ns = time_per_run(Box::new(move || {
+        let mut acc = AddrRuns::new();
+        acc.extend_runs(&merge_src);
+        acc.element_count()
+    }));
+    let epoch_src = stream.clone();
+    let epoch_ns = time_per_run(Box::new(move || {
+        let mut buf = RunBuffer::new(window / 2);
+        buf.epoch(&epoch_src).misses
+    }));
+    let reuse_src = stream.clone();
+    let reuse_ns = time_per_run(Box::new(move || {
+        ReuseProfile::from_runs(&reuse_src).total_accesses()
+    }));
+    (run_merge_ns, epoch_ns, reuse_ns)
+}
+
 /// One timed pass per cache tier, written as machine-readable JSON.
 fn write_bench_json() {
     let registry = scalesim_telemetry::global();
@@ -266,6 +325,9 @@ fn write_bench_json() {
     let explore_cold_seconds = started.elapsed().as_secs_f64();
     let explore_simulated = outcome.simulated;
 
+    // Kernel tier: ns/run through each data-oriented hot-path kernel.
+    let (kernel_run_merge_ns, kernel_epoch_ns, kernel_reuse_ns) = kernel_tier();
+
     let compression = demand_elements as f64 / (demand_runs.max(1)) as f64;
     let hit_rate = hits as f64 / ((hits + misses).max(1)) as f64;
     let json = format!(
@@ -286,7 +348,10 @@ fn write_bench_json() {
          \"explore_stage0_candidates_per_sec\": {stage0_rate:.0},\n  \
          \"explore_cold_seconds\": {explore_cold_seconds:.6},\n  \
          \"explore_simulated\": {explore_simulated},\n  \
-         \"exhaustive_cold_seconds\": {cold_seconds:.6}\n}}\n",
+         \"exhaustive_cold_seconds\": {cold_seconds:.6},\n  \
+         \"kernel_run_merge_ns_per_run\": {kernel_run_merge_ns:.2},\n  \
+         \"kernel_buffer_epoch_ns_per_run\": {kernel_epoch_ns:.2},\n  \
+         \"kernel_reuse_profile_ns_per_run\": {kernel_reuse_ns:.2}\n}}\n",
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
     std::fs::write(path, &json).expect("write BENCH_sweep.json");

@@ -55,6 +55,7 @@
 //! assert_eq!(report.active_partitions, 4);
 //! ```
 
+pub mod arena;
 pub mod cache;
 mod config;
 mod error;
@@ -66,6 +67,7 @@ mod report;
 mod simulator;
 pub mod sweep;
 
+pub use crate::arena::{with_arena, SimArena};
 pub use crate::cache::{ContentKey, ShardedLru};
 pub use crate::config::{parse_config, SimConfig, SimConfigBuilder};
 pub use crate::error::ParseConfigError;

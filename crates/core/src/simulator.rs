@@ -13,7 +13,7 @@ use scalesim_memory::{
     StallModel, StallSummary, SubGemmMap,
 };
 use scalesim_systolic::{
-    analyze, fold_demand_runs, fold_demands, simulate, ComputeReport, CsvTraceSink, SramCounts,
+    analyze, fold_demand_runs_in, fold_demands, simulate, ComputeReport, CsvTraceSink, SramCounts,
 };
 use scalesim_topology::{GemmShape, Layer, Topology};
 
@@ -579,35 +579,55 @@ fn run_partitions(
             analyze(&dims, config.array)
         };
         phases.add_compute(compute_started.elapsed());
-        let mut dram = DramModel::new(
-            config.ifmap_buffer(provisioned),
-            config.filter_buffer(provisioned),
-            config.ofmap_buffer(provisioned),
-        );
-        let mut stall = bandwidth_share.map(StallModel::new);
         let dram_started = Instant::now();
-        {
+        let (dram, stall) = {
             let _phase = scalesim_telemetry::trace::span("phase.dram");
-            let mut elements = 0u64;
-            let mut runs = 0u64;
-            for demand in fold_demand_runs(&dims, config.array, &sub_map) {
-                elements += demand.element_count();
-                runs += demand.run_count();
-                let traffic = dram.fold_runs(
-                    demand.fold.duration,
-                    &demand.a,
-                    &demand.b,
-                    &demand.o_spill,
-                    &demand.o_writes,
+            // The fold loop draws all of its scratch from this worker's
+            // arena: operand buffers from the pool, the per-fold demand
+            // streams filled in place. After the thread's first layer the
+            // loop performs no steady-state heap allocation.
+            crate::arena::with_arena(|arena| {
+                let mut dram = DramModel::new_in(
+                    config.ifmap_buffer(provisioned),
+                    config.filter_buffer(provisioned),
+                    config.ofmap_buffer(provisioned),
+                    &mut arena.pool,
                 );
-                if let Some(stall) = stall.as_mut() {
-                    stall.fold(traffic.duration, traffic.read_bytes, traffic.write_bytes);
+                let mut stall = bandwidth_share.map(StallModel::new);
+                let mut elements = 0u64;
+                let mut runs = 0u64;
+                let mut demands = fold_demand_runs_in(
+                    &dims,
+                    config.array,
+                    &sub_map,
+                    std::mem::take(&mut arena.a_seen),
+                    std::mem::take(&mut arena.a_scratch),
+                );
+                while demands.next_into(&mut arena.demand) {
+                    let demand = &arena.demand;
+                    elements += demand.element_count();
+                    runs += demand.run_count();
+                    let traffic = dram.fold_runs(
+                        demand.fold.duration,
+                        &demand.a,
+                        &demand.b,
+                        &demand.o_spill,
+                        &demand.o_writes,
+                    );
+                    if let Some(stall) = stall.as_mut() {
+                        stall.fold(traffic.duration, traffic.read_bytes, traffic.write_bytes);
+                    }
                 }
-            }
-            volume.add(elements, runs);
-        }
+                (arena.a_seen, arena.a_scratch) = demands.into_scratch();
+                volume.add(elements, runs);
+                (
+                    dram.finish_into(&mut arena.pool),
+                    stall.map(StallModel::finish),
+                )
+            })
+        };
         phases.add_dram(dram_started.elapsed());
-        (compute, dram.finish(), stall.map(StallModel::finish))
+        (compute, dram, stall)
     };
 
     if tiles.len() <= 1 {

@@ -1,0 +1,116 @@
+//! Reusable simulation scratch: buffer pooling for the fold hot loop.
+//!
+//! A cold sweep simulates thousands of layer × config points, and each
+//! point builds a [`crate::DramModel`] with three operand
+//! [`crate::RunBuffer`]s plus per-fold miss scratch. The structures are
+//! small but their backing vectors grow to the layer's working set; letting
+//! each point allocate them fresh puts the allocator on the hot path. A
+//! [`BufferPool`] keeps retired buffers (with their grown capacity) for
+//! the next point on the same worker, so steady-state simulation performs
+//! no heap allocation — see `SimArena` in `scalesim-core` for the
+//! per-worker aggregate that owns one.
+
+use crate::buffer::RunBuffer;
+use crate::runs::AddrRuns;
+
+/// A free list of retired [`RunBuffer`]s.
+///
+/// `take` prefers a pooled buffer (reset to the requested capacity, its
+/// allocations intact) and falls back to a fresh one; `put` returns a
+/// buffer to the pool. The pool is deliberately dumb — buffers are
+/// interchangeable after [`RunBuffer::reset`], so LIFO reuse maximizes
+/// allocation warmth.
+///
+/// ```
+/// use scalesim_memory::BufferPool;
+///
+/// let mut pool = BufferPool::new();
+/// let buf = pool.take(1024);
+/// assert_eq!(buf.capacity(), 1024);
+/// pool.put(buf);
+/// let again = pool.take(64); // same backing storage, new capacity
+/// assert_eq!(again.capacity(), 64);
+/// ```
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    free: Vec<RunBuffer>,
+    free_runs: Vec<AddrRuns>,
+}
+
+impl BufferPool {
+    /// An empty pool.
+    pub fn new() -> BufferPool {
+        BufferPool::default()
+    }
+
+    /// Number of buffers currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Takes a buffer with the given element capacity, reusing a retired
+    /// one when available.
+    pub fn take(&mut self, capacity_elems: u64) -> RunBuffer {
+        match self.free.pop() {
+            Some(mut buf) => {
+                buf.reset(capacity_elems);
+                buf
+            }
+            None => RunBuffer::new(capacity_elems),
+        }
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn put(&mut self, buffer: RunBuffer) {
+        self.free.push(buffer);
+    }
+
+    /// Takes an empty [`AddrRuns`] scratch stream, reusing a retired one's
+    /// grown storage when available.
+    pub fn take_runs(&mut self) -> AddrRuns {
+        match self.free_runs.pop() {
+            Some(mut runs) => {
+                runs.clear();
+                runs
+            }
+            None => AddrRuns::new(),
+        }
+    }
+
+    /// Returns a scratch stream to the pool for reuse.
+    pub fn put_runs(&mut self, runs: AddrRuns) {
+        self.free_runs.push(runs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runs::AddrRuns;
+
+    #[test]
+    fn take_reuses_retired_buffers() {
+        let mut pool = BufferPool::new();
+        let mut buf = pool.take(8);
+        let demand: AddrRuns = (0..4u64).collect();
+        buf.epoch(&demand);
+        assert_eq!(buf.resident_count(), 4);
+        pool.put(buf);
+        assert_eq!(pool.pooled(), 1);
+        // The reused buffer starts empty at the new capacity.
+        let buf = pool.take(2);
+        assert_eq!(pool.pooled(), 0);
+        assert_eq!(buf.capacity(), 2);
+        assert_eq!(buf.resident_count(), 0);
+    }
+
+    #[test]
+    fn empty_pool_allocates_fresh() {
+        let mut pool = BufferPool::new();
+        let a = pool.take(1);
+        let b = pool.take(1);
+        pool.put(a);
+        pool.put(b);
+        assert_eq!(pool.pooled(), 2);
+    }
+}

@@ -224,8 +224,8 @@ impl RunBuffer {
     /// equivalent element stream.
     pub fn epoch(&mut self, demand: &AddrRuns) -> EpochStats {
         let mut stats = EpochStats::default();
-        for run in demand.runs() {
-            self.epoch_run(*run, &mut stats, None);
+        for run in demand.iter_runs() {
+            self.epoch_run(run, &mut stats, None);
         }
         stats
     }
@@ -234,8 +234,8 @@ impl RunBuffer {
     /// fetch order) to `misses`.
     pub fn epoch_with_misses(&mut self, demand: &AddrRuns, misses: &mut AddrRuns) -> EpochStats {
         let mut stats = EpochStats::default();
-        for run in demand.runs() {
-            self.epoch_run(*run, &mut stats, Some(misses));
+        for run in demand.iter_runs() {
+            self.epoch_run(run, &mut stats, Some(misses));
         }
         stats
     }
@@ -247,6 +247,26 @@ impl RunBuffer {
         mut misses: Option<&mut AddrRuns>,
     ) {
         let end = run.end();
+        // Fast path: the whole run fits without eviction, so the alternating
+        // hit/miss spans never change under insertion — classify and insert
+        // in one fused probe instead of re-querying per span.
+        if self.capacity > 0 && self.resident.len().saturating_add(run.len) <= self.capacity {
+            let mut missed = 0;
+            let queue = &mut self.queue;
+            self.resident.insert_with_gaps(run.start, end, |s, e| {
+                missed += e - s;
+                if let Some(misses) = misses.as_deref_mut() {
+                    misses.push(s, e - s);
+                }
+                queue.push_back(AddrRun {
+                    start: s,
+                    len: e - s,
+                });
+            });
+            stats.misses += missed;
+            stats.hits += run.len - missed;
+            return;
+        }
         let mut pos = run.start;
         // Walk the run in alternating resident/missing spans. Residency is
         // re-queried per span because an insert can evict addresses later
@@ -281,8 +301,19 @@ impl RunBuffer {
             return 0;
         }
         let mut evictions = 0;
-        for run in runs.runs() {
+        for run in runs.iter_runs() {
             let end = run.end();
+            // Same no-eviction fast path as `epoch_run`.
+            if self.resident.len().saturating_add(run.len) <= self.capacity {
+                let queue = &mut self.queue;
+                self.resident.insert_with_gaps(run.start, end, |s, e| {
+                    queue.push_back(AddrRun {
+                        start: s,
+                        len: e - s,
+                    });
+                });
+                continue;
+            }
             let mut pos = run.start;
             while pos < end {
                 if let Some((_, span_end)) = self.resident.span_at(pos) {
@@ -329,6 +360,14 @@ impl RunBuffer {
     pub fn clear(&mut self) {
         self.resident.clear();
         self.queue.clear();
+    }
+
+    /// Re-purposes this buffer for a new simulation: empties the working
+    /// set (keeping allocations) and adopts a new capacity. The pooling
+    /// hook used by [`crate::BufferPool`].
+    pub fn reset(&mut self, capacity_elems: u64) {
+        self.capacity = capacity_elems;
+        self.clear();
     }
 }
 

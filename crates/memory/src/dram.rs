@@ -15,8 +15,9 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::arena::BufferPool;
 use crate::bandwidth::BandwidthProfile;
-use crate::buffer::RunBuffer;
+use crate::buffer::{EpochStats, RunBuffer};
 use crate::runs::AddrRuns;
 
 /// Sizing of one operand SRAM.
@@ -154,6 +155,17 @@ pub struct DramModel {
     word_bytes: u64,
     prev_duration: Option<u64>,
     summary: DramSummary,
+    /// Reused across [`DramModel::fold_traced`] calls (clear-don't-drop)
+    /// so the traced path allocates per layer, not per fold.
+    trace_miss_runs: AddrRuns,
+    trace_miss_elems: Vec<u64>,
+    /// Output installs deferred until the next non-empty spill epoch. The
+    /// OFMAP buffer is only observable through spill epochs, so installs
+    /// from spill-free folds (all of OS, the first contraction fold of
+    /// WS/IS) need never be applied unless a spill arrives later — the
+    /// flush replays them in order, so buffer state at every epoch is
+    /// identical to eager installation.
+    pending_o: AddrRuns,
 }
 
 impl DramModel {
@@ -161,16 +173,64 @@ impl DramModel {
     /// the A-operand spec is used for traffic accounting (all three specs
     /// should agree in practice).
     pub fn new(a: OperandBufferSpec, b: OperandBufferSpec, o: OperandBufferSpec) -> Self {
+        Self::with_buffers(
+            a,
+            RunBuffer::new(a.capacity_elems() as u64),
+            RunBuffer::new(b.capacity_elems() as u64),
+            RunBuffer::new(o.capacity_elems() as u64),
+        )
+    }
+
+    /// Like [`DramModel::new`], but draws the operand buffers from `pool`
+    /// so repeated simulations reuse grown allocations. Pair with
+    /// [`DramModel::finish_into`] to retire them back.
+    pub fn new_in(
+        a: OperandBufferSpec,
+        b: OperandBufferSpec,
+        o: OperandBufferSpec,
+        pool: &mut BufferPool,
+    ) -> Self {
+        // Take in reverse of the `finish_into` put order (LIFO pool), so
+        // each operand buffer gets its own grown storage back.
+        let o_buf = pool.take(o.capacity_elems() as u64);
+        let b_buf = pool.take(b.capacity_elems() as u64);
+        let a_buf = pool.take(a.capacity_elems() as u64);
+        let mut model = Self::with_buffers(a, a_buf, b_buf, o_buf);
+        // Reverse of the `finish_into` put order (LIFO pool), so each
+        // scratch stream gets its own grown storage back.
+        model.trace_miss_runs = pool.take_runs();
+        model.pending_o = pool.take_runs();
+        model
+    }
+
+    fn with_buffers(
+        a: OperandBufferSpec,
+        a_buf: RunBuffer,
+        b_buf: RunBuffer,
+        o_buf: RunBuffer,
+    ) -> Self {
         DramModel {
-            a_buf: RunBuffer::new(a.capacity_elems() as u64),
-            b_buf: RunBuffer::new(b.capacity_elems() as u64),
-            o_buf: RunBuffer::new(o.capacity_elems() as u64),
+            a_buf,
+            b_buf,
+            o_buf,
             word_bytes: a.word_bytes,
             prev_duration: None,
             summary: DramSummary {
                 word_bytes: a.word_bytes,
                 ..DramSummary::default()
             },
+            trace_miss_runs: AddrRuns::new(),
+            trace_miss_elems: Vec::new(),
+            pending_o: AddrRuns::new(),
+        }
+    }
+
+    /// Applies deferred output installs in order. Must run before any
+    /// operation that observes OFMAP buffer state.
+    fn flush_pending_o(&mut self) {
+        if !self.pending_o.is_empty() {
+            self.o_buf.install(&self.pending_o);
+            self.pending_o.clear();
         }
     }
 
@@ -222,9 +282,15 @@ impl DramModel {
         let b_stats = self.b_buf.epoch(b_demand);
         // Partial sums live in the OFMAP buffer; a spill address that is not
         // resident must be fetched back from DRAM (it was written out
-        // earlier when produced).
-        let o_stats = self.o_buf.epoch(o_spill);
-        self.o_buf.install(o_writes);
+        // earlier when produced). An empty spill epoch observes nothing, so
+        // deferred installs only flush when a real probe arrives.
+        let o_stats = if o_spill.is_empty() {
+            EpochStats::default()
+        } else {
+            self.flush_pending_o();
+            self.o_buf.epoch(o_spill)
+        };
+        self.pending_o.extend_runs(o_writes);
         self.account(
             duration,
             a_stats.misses,
@@ -257,12 +323,18 @@ impl DramModel {
         // Miss runs come out in fetch order; expanding them reproduces the
         // element-granular miss sequence exactly (within a missing span the
         // element order is ascending, and spans appear in demand order).
-        let mut miss_runs = AddrRuns::new();
-        let a_stats = self.a_buf.epoch_with_misses(&a, &mut miss_runs);
-        let b_stats = self.b_buf.epoch_with_misses(&b, &mut miss_runs);
-        let o_stats = self.o_buf.epoch_with_misses(&o_spill, &mut miss_runs);
-        let read_misses: Vec<u64> = miss_runs.iter_elements().collect();
-        tracer.fold(duration, &read_misses, &o_writes)?;
+        // Both scratch buffers persist across folds (clear-don't-drop).
+        self.flush_pending_o();
+        self.trace_miss_runs.clear();
+        let a_stats = self.a_buf.epoch_with_misses(&a, &mut self.trace_miss_runs);
+        let b_stats = self.b_buf.epoch_with_misses(&b, &mut self.trace_miss_runs);
+        let o_stats = self
+            .o_buf
+            .epoch_with_misses(&o_spill, &mut self.trace_miss_runs);
+        self.trace_miss_elems.clear();
+        self.trace_miss_elems
+            .extend(self.trace_miss_runs.iter_elements());
+        tracer.fold(duration, &self.trace_miss_elems, &o_writes)?;
         let o_write_count = o_writes.len() as u64;
         let o_write_runs: AddrRuns = o_writes.into_iter().collect();
         self.o_buf.install(&o_write_runs);
@@ -318,6 +390,18 @@ impl DramModel {
 
     /// Finalizes and returns the layer summary.
     pub fn finish(self) -> DramSummary {
+        self.summary
+    }
+
+    /// Finalizes the layer summary and retires the operand buffers into
+    /// `pool` for the next simulation — the counterpart of
+    /// [`DramModel::new_in`].
+    pub fn finish_into(self, pool: &mut BufferPool) -> DramSummary {
+        pool.put(self.a_buf);
+        pool.put(self.b_buf);
+        pool.put(self.o_buf);
+        pool.put_runs(self.pending_o);
+        pool.put_runs(self.trace_miss_runs);
         self.summary
     }
 }

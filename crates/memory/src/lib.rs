@@ -19,6 +19,7 @@
 //! both SRAM and DRAM reporting share.
 
 pub mod address;
+pub mod arena;
 pub mod bandwidth;
 pub mod buffer;
 pub mod dram;
@@ -26,14 +27,17 @@ pub mod dram_trace;
 pub mod fast_hash;
 pub mod reuse;
 pub mod runs;
+#[cfg(any(test, feature = "scalar-twins"))]
+pub mod scalar;
 pub mod stall;
 
 pub use address::{AddressMap, ConvAddressMap, GemmAddressMap, RegionOffsets, SubGemmMap};
+pub use arena::BufferPool;
 pub use bandwidth::BandwidthProfile;
 pub use buffer::{DoubleBuffer, EpochStats, RunBuffer};
 pub use dram::{DramModel, DramSummary, FoldTraffic, OperandBufferSpec};
 pub use dram_trace::DramTraceWriter;
 pub use fast_hash::{AddrBuildHasher, AddrMap, AddrSet};
-pub use reuse::ReuseProfile;
+pub use reuse::{ReuseProfile, ReuseScratch};
 pub use runs::{AddrRun, AddrRuns, IntervalSet};
 pub use stall::{StallModel, StallSummary};

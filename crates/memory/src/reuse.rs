@@ -9,8 +9,6 @@
 //! profiles LRU stack distances, which upper-bounds the FIFO buffer's hit
 //! rate and pinpoints the working-set knees exactly.
 
-use std::collections::BTreeMap;
-
 use crate::fast_hash::AddrMap;
 use crate::runs::{AddrRuns, IntervalSet};
 
@@ -33,17 +31,16 @@ impl ReuseProfile {
     /// Builds the profile of `demands` (processed in order).
     ///
     /// Runs in O(N log N) using an order-statistics walk over a Fenwick
-    /// tree of "most-recent-touch" flags.
+    /// tree of "most-recent-touch" flags. The stream is consumed as it
+    /// arrives — the Fenwick tree grows by doubling (with an O(n) rebuild
+    /// from its kept value array), so no pass materializes the stream.
     pub fn from_demands(demands: impl IntoIterator<Item = u64>) -> Self {
-        let demands: Vec<u64> = demands.into_iter().collect();
         let mut last_position: AddrMap<usize> = AddrMap::default();
-        // Fenwick trees cannot be grown by zero-extension (new nodes would
-        // miss counts already recorded below them), so size it up front.
-        let mut fenwick = Fenwick::with_len(demands.len());
+        let mut fenwick = Fenwick::new();
         let mut histogram: Vec<u64> = Vec::new();
         let mut cold = 0u64;
         let mut total = 0u64;
-        for (pos, &addr) in demands.iter().enumerate() {
+        for (pos, addr) in demands.into_iter().enumerate() {
             total += 1;
             match last_position.insert(addr, pos) {
                 None => cold += 1,
@@ -83,31 +80,57 @@ impl ReuseProfile {
     /// one "touched earlier in the current run" address and loses exactly
     /// one "still-live above" address of the previous toucher.
     pub fn from_runs(runs: &AddrRuns) -> Self {
+        Self::from_runs_in(runs, &mut ReuseScratch::new())
+    }
+
+    /// [`ReuseProfile::from_runs`] with caller-provided scratch, so
+    /// repeated profiling (sweeps, per-layer telemetry) reuses the Fenwick
+    /// storage, live-interval pool and last-touch segment arrays instead
+    /// of reallocating them per call.
+    pub fn from_runs_in(runs: &AddrRuns, scratch: &mut ReuseScratch) -> Self {
         let n = runs.run_count();
+        assert!(
+            u32::try_from(n).is_ok(),
+            "from_runs supports at most u32::MAX runs per stream"
+        );
+        let ReuseScratch {
+            fenwick,
+            live,
+            seg_starts,
+            seg_ends,
+            seg_owners,
+        } = scratch;
         // fenwick[t] = number of still-live addresses whose most recent
         // touch was run t (decremented eagerly as later runs re-touch them).
-        let mut fenwick = Fenwick::with_len(n);
-        let mut live: Vec<IntervalSet> = Vec::with_capacity(n);
-        // Disjoint last-touch segments: start -> (end, most recent run).
-        let mut last_touch: BTreeMap<u64, (u64, usize)> = BTreeMap::new();
+        fenwick.reset(n);
+        if live.len() < n {
+            live.resize_with(n, IntervalSet::new);
+        }
+        for set in live[..n].iter_mut() {
+            set.clear();
+        }
+        // Disjoint last-touch segments, SoA and sorted: segment k covers
+        // [seg_starts[k], seg_ends[k]) and was last touched by run
+        // seg_owners[k]. Starts and ends are both strictly increasing, so
+        // the segments overlapping a run form one contiguous index range
+        // found by two binary probes.
+        seg_starts.clear();
+        seg_ends.clear();
+        seg_owners.clear();
         let mut histogram: Vec<u64> = Vec::new();
         let mut cold = 0u64;
         let mut total = 0u64;
-        for (i, run) in runs.runs().iter().enumerate() {
-            let (s, e) = (run.start, run.end());
-            total += run.len;
-            // Last-touch segments overlapping [s, e), ascending. They are
-            // disjoint with ascending ends, so the overlap is a contiguous
-            // suffix of the entries starting below `e`.
-            let mut overlapping: Vec<(u64, u64, usize)> = last_touch
-                .range(..e)
-                .rev()
-                .take_while(|&(_, &(en, _))| en > s)
-                .map(|(&st, &(en, j))| (st, en, j))
-                .collect();
-            overlapping.reverse();
+        for i in 0..n {
+            let s = runs.starts()[i];
+            let len = runs.lens()[i];
+            let e = s + len;
+            total += len;
+            let lo = seg_ends.partition_point(|&en| en <= s);
+            let hi = seg_starts.partition_point(|&st| st < e);
             let mut pos = s;
-            for &(seg_start, seg_end, j) in &overlapping {
+            for k in lo..hi {
+                let (seg_start, seg_end) = (seg_starts[k], seg_ends[k]);
+                let j = seg_owners[k] as usize;
                 let a1 = seg_start.max(s);
                 let a2 = seg_end.min(e);
                 cold += a1 - pos; // uncovered gap: first touches
@@ -129,25 +152,26 @@ impl ReuseProfile {
                 fenwick.add(j, -(seg as i64));
             }
             cold += e - pos; // tail gap
-                             // Rewrite the last-touch map for [s, e).
-            for &(st, _, _) in &overlapping {
-                last_touch.remove(&st);
+                             // Rewrite the last-touch segments covering [s, e): an optional
+                             // kept head of the first overlap, the new segment, an optional
+                             // kept tail of the last overlap.
+            let mut repl = [(0u64, 0u64, 0u32); 3];
+            let mut count = 0;
+            if hi > lo && seg_starts[lo] < s {
+                repl[count] = (seg_starts[lo], s, seg_owners[lo]);
+                count += 1;
             }
-            if let Some(&(st, _, j)) = overlapping.first() {
-                if st < s {
-                    last_touch.insert(st, (s, j));
-                }
+            let tail = (hi > lo && seg_ends[hi - 1] > e)
+                .then(|| (e, seg_ends[hi - 1], seg_owners[hi - 1]));
+            repl[count] = (s, e, i as u32);
+            count += 1;
+            if let Some(tail) = tail {
+                repl[count] = tail;
+                count += 1;
             }
-            if let Some(&(_, en, j)) = overlapping.last() {
-                if en > e {
-                    last_touch.insert(e, (en, j));
-                }
-            }
-            last_touch.insert(s, (e, i));
-            let mut now_live = IntervalSet::new();
-            now_live.insert(s, e);
-            live.push(now_live);
-            fenwick.add(i, run.len as i64);
+            splice_segments(seg_starts, seg_ends, seg_owners, lo, hi, &repl[..count]);
+            live[i].insert(s, e);
+            fenwick.add(i, len as i64);
         }
         ReuseProfile {
             histogram,
@@ -197,22 +221,110 @@ impl ReuseProfile {
     }
 }
 
-/// A fixed-size Fenwick (binary indexed) tree over access positions.
-#[derive(Debug)]
+/// Reusable scratch for [`ReuseProfile::from_runs_in`]: Fenwick storage,
+/// the per-run live-interval pool, and the SoA last-touch segment arrays.
+/// All vectors are cleared, never dropped, between profiles.
+#[derive(Debug, Default)]
+pub struct ReuseScratch {
+    fenwick: Fenwick,
+    live: Vec<IntervalSet>,
+    seg_starts: Vec<u64>,
+    seg_ends: Vec<u64>,
+    seg_owners: Vec<u32>,
+}
+
+impl ReuseScratch {
+    /// Empty scratch; grows to the largest profiled stream and stays there.
+    pub fn new() -> ReuseScratch {
+        ReuseScratch::default()
+    }
+}
+
+/// Replaces segments `[lo, hi)` of the parallel SoA arrays with `repl`
+/// (at most 3 entries), reusing the overwritten slots.
+fn splice_segments(
+    starts: &mut Vec<u64>,
+    ends: &mut Vec<u64>,
+    owners: &mut Vec<u32>,
+    lo: usize,
+    hi: usize,
+    repl: &[(u64, u64, u32)],
+) {
+    let old = hi - lo;
+    let common = repl.len().min(old);
+    for (offset, &(s, e, o)) in repl[..common].iter().enumerate() {
+        starts[lo + offset] = s;
+        ends[lo + offset] = e;
+        owners[lo + offset] = o;
+    }
+    if repl.len() < old {
+        starts.drain(lo + repl.len()..hi);
+        ends.drain(lo + repl.len()..hi);
+        owners.drain(lo + repl.len()..hi);
+    } else {
+        for (offset, &(s, e, o)) in repl[old..].iter().enumerate() {
+            starts.insert(hi + offset, s);
+            ends.insert(hi + offset, e);
+            owners.insert(hi + offset, o);
+        }
+    }
+}
+
+/// A growable Fenwick (binary indexed) tree over access positions.
+///
+/// Fenwick trees cannot be grown by zero-extension (new nodes would miss
+/// counts already recorded below them), so the raw per-index values are
+/// kept alongside: growth doubles the value array and rebuilds the tree in
+/// O(n), amortizing to O(1) per insertion. `reset` re-sizes in place for
+/// scratch reuse.
+#[derive(Debug, Default)]
 struct Fenwick {
     tree: Vec<i64>,
+    values: Vec<i64>,
 }
 
 impl Fenwick {
-    fn with_len(len: usize) -> Self {
-        Fenwick { tree: vec![0; len] }
+    fn new() -> Self {
+        Fenwick::default()
     }
 
-    fn add(&mut self, mut index: usize, delta: i64) {
+    /// Zeroes the tree at exactly `len` positions, keeping allocations.
+    fn reset(&mut self, len: usize) {
+        self.values.clear();
+        self.values.resize(len, 0);
+        self.tree.clear();
+        self.tree.resize(len, 0);
+    }
+
+    fn ensure(&mut self, index: usize) {
+        if index < self.values.len() {
+            return;
+        }
+        self.values.resize((index + 1).next_power_of_two(), 0);
+        self.rebuild();
+    }
+
+    /// O(n) tree construction from the value array.
+    fn rebuild(&mut self) {
+        let n = self.values.len();
+        self.tree.clear();
+        self.tree.extend_from_slice(&self.values);
+        for i in 0..n {
+            let j = i | (i + 1);
+            if j < n {
+                self.tree[j] += self.tree[i];
+            }
+        }
+    }
+
+    fn add(&mut self, index: usize, delta: i64) {
+        self.ensure(index);
+        self.values[index] += delta;
         let n = self.tree.len();
-        while index < n {
-            self.tree[index] += delta;
-            index |= index + 1;
+        let mut i = index;
+        while i < n {
+            self.tree[i] += delta;
+            i |= i + 1;
         }
     }
 
@@ -227,7 +339,7 @@ impl Fenwick {
     /// Sum of flags in `[0, end)`.
     fn prefix(&self, end: usize) -> i64 {
         let mut sum = 0;
-        let mut i = end;
+        let mut i = end.min(self.tree.len());
         while i > 0 {
             sum += self.tree[i - 1];
             i &= i - 1;
@@ -402,6 +514,22 @@ mod tests {
             let by_runs = ReuseProfile::from_runs(&runs);
             let by_elems = ReuseProfile::from_demands(runs.iter_elements());
             assert_eq!(by_runs, by_elems, "trial {trial}: {intervals:?}");
+        }
+    }
+
+    #[test]
+    fn reused_scratch_gives_identical_profiles() {
+        let mut scratch = ReuseScratch::new();
+        let streams: [&[(u64, u64)]; 3] = [
+            &[(0, 10), (20, 10), (5, 20), (0, 40)],
+            &[(3, 1), (1, 1), (3, 1)],
+            &[(0, 16), (0, 16), (100, 4), (0, 120)],
+        ];
+        for intervals in streams {
+            let runs = runs_from_intervals(intervals);
+            let fresh = ReuseProfile::from_runs(&runs);
+            let pooled = ReuseProfile::from_runs_in(&runs, &mut scratch);
+            assert_eq!(fresh, pooled, "intervals {intervals:?}");
         }
     }
 }

@@ -18,8 +18,15 @@
 //! * [`IntervalSet`] — a disjoint, coalesced set of address intervals,
 //!   used for run-granular residency tracking ([`crate::RunBuffer`]) and
 //!   first-use deduplication in the demand generators.
-
-use std::collections::BTreeMap;
+//!
+//! Both are laid out struct-of-arrays: parallel `starts[]` / `lens[]`
+//! (resp. `ends[]`) vectors rather than a `Vec` of two-field structs. The
+//! hot kernels — bulk append, span probe, union insert, gap walk — then
+//! touch dense homogeneous arrays: probes are `partition_point` binary
+//! searches, bulk appends are `extend_from_slice` (memcpy), and the
+//! length/coverage reductions autovectorize. The previous element-granular
+//! and `BTreeMap`-based implementations survive as scalar twins in
+//! [`crate::scalar`] for differential testing.
 
 /// One maximal contiguous address run: `start, start+1, …, start+len-1`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -56,7 +63,8 @@ impl AddrRun {
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AddrRuns {
-    runs: Vec<AddrRun>,
+    starts: Vec<u64>,
+    lens: Vec<u64>,
     elements: u64,
 }
 
@@ -69,7 +77,8 @@ impl AddrRuns {
     /// An empty stream with room for `runs` runs.
     pub fn with_capacity(runs: usize) -> AddrRuns {
         AddrRuns {
-            runs: Vec::with_capacity(runs),
+            starts: Vec::with_capacity(runs),
+            lens: Vec::with_capacity(runs),
             elements: 0,
         }
     }
@@ -81,25 +90,61 @@ impl AddrRuns {
             return;
         }
         self.elements += len;
-        if let Some(last) = self.runs.last_mut() {
-            if last.end() == start {
-                last.len += len;
+        if let Some(last_len) = self.lens.last_mut() {
+            let last_start = *self.starts.last().unwrap();
+            if last_start + *last_len == start {
+                *last_len += len;
                 return;
             }
         }
-        self.runs.push(AddrRun { start, len });
+        self.starts.push(start);
+        self.lens.push(len);
     }
 
     /// Appends every run of `other`, preserving order.
+    ///
+    /// Bulk kernel: at most the boundary pair can coalesce (each side is
+    /// already maximally coalesced), so this is one boundary check plus two
+    /// `extend_from_slice` copies — not a per-run loop.
     pub fn extend_runs(&mut self, other: &AddrRuns) {
-        for run in other.runs() {
-            self.push(run.start, run.len);
+        let mut from = 0;
+        if let (Some(&last_start), Some(&last_len)) = (self.starts.last(), self.lens.last()) {
+            if let Some(&first_start) = other.starts.first() {
+                if last_start + last_len == first_start {
+                    *self.lens.last_mut().unwrap() += other.lens[0];
+                    from = 1;
+                }
+            }
+        }
+        self.starts.extend_from_slice(&other.starts[from..]);
+        self.lens.extend_from_slice(&other.lens[from..]);
+        self.elements += other.elements;
+    }
+
+    /// The run at index `i` in stream order.
+    pub fn run(&self, i: usize) -> AddrRun {
+        AddrRun {
+            start: self.starts[i],
+            len: self.lens[i],
         }
     }
 
     /// The runs in stream order.
-    pub fn runs(&self) -> &[AddrRun] {
-        &self.runs
+    pub fn iter_runs(&self) -> impl Iterator<Item = AddrRun> + '_ {
+        self.starts
+            .iter()
+            .zip(&self.lens)
+            .map(|(&start, &len)| AddrRun { start, len })
+    }
+
+    /// The run start addresses, parallel to [`AddrRuns::lens`].
+    pub fn starts(&self) -> &[u64] {
+        &self.starts
+    }
+
+    /// The run lengths, parallel to [`AddrRuns::starts`].
+    pub fn lens(&self) -> &[u64] {
+        &self.lens
     }
 
     /// Total element count (sum of run lengths).
@@ -109,23 +154,24 @@ impl AddrRuns {
 
     /// Number of runs.
     pub fn run_count(&self) -> usize {
-        self.runs.len()
+        self.starts.len()
     }
 
     /// Whether the stream is empty.
     pub fn is_empty(&self) -> bool {
-        self.runs.is_empty()
+        self.starts.is_empty()
     }
 
     /// Empties the stream, keeping allocations.
     pub fn clear(&mut self) {
-        self.runs.clear();
+        self.starts.clear();
+        self.lens.clear();
         self.elements = 0;
     }
 
     /// The uncompressed element sequence.
     pub fn iter_elements(&self) -> impl Iterator<Item = u64> + '_ {
-        self.runs.iter().flat_map(|r| r.start..r.end())
+        self.iter_runs().flat_map(|r| r.start..r.end())
     }
 }
 
@@ -144,14 +190,20 @@ impl FromIterator<u64> for AddrRuns {
 
 /// A disjoint, coalesced set of half-open address intervals `[start, end)`.
 ///
+/// Stored as parallel sorted `starts[]` / `ends[]` vectors (both strictly
+/// increasing, spans never adjacent). Probes are `partition_point` binary
+/// searches; mutations splice with `Vec::insert`/`drain`, which in the
+/// simulator's streams (a handful of live spans, mutations clustered at
+/// the probe point) beats the pointer-chasing `BTreeMap` twin
+/// ([`crate::scalar::ScalarIntervalSet`]) by a wide margin.
+///
 /// Supports the queries the run-granular models need: membership span
-/// lookup, next-covered-start, union insert, covered-range removal, and
-/// gap enumeration — each O(log n) in the number of disjoint spans (plus
-/// output size).
+/// lookup, next-covered-start, union insert (with fused gap enumeration),
+/// covered-range removal, and gap enumeration.
 #[derive(Debug, Clone, Default)]
 pub struct IntervalSet {
-    /// start -> end, disjoint and non-adjacent (always coalesced).
-    spans: BTreeMap<u64, u64>,
+    starts: Vec<u64>,
+    ends: Vec<u64>,
     len: u64,
 }
 
@@ -171,64 +223,102 @@ impl IntervalSet {
         self.len == 0
     }
 
+    /// Number of disjoint spans.
+    pub fn span_count(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// The spans in ascending order, as `(start, end)` pairs.
+    pub fn iter_spans(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.starts.iter().copied().zip(self.ends.iter().copied())
+    }
+
+    /// Index of the span covering `pos`, if any.
+    #[inline]
+    fn span_index_at(&self, pos: u64) -> Option<usize> {
+        let idx = self.starts.partition_point(|&s| s <= pos);
+        let i = idx.checked_sub(1)?;
+        (self.ends[i] > pos).then_some(i)
+    }
+
     /// Whether `addr` is covered.
     pub fn contains(&self, addr: u64) -> bool {
-        self.span_at(addr).is_some()
+        self.span_index_at(addr).is_some()
     }
 
     /// The `(start, end)` of the span covering `pos`, if any.
     pub fn span_at(&self, pos: u64) -> Option<(u64, u64)> {
-        let (&start, &end) = self.spans.range(..=pos).next_back()?;
-        (end > pos).then_some((start, end))
+        let i = self.span_index_at(pos)?;
+        Some((self.starts[i], self.ends[i]))
     }
 
     /// The start of the first span at or after `pos`, if any.
     pub fn first_start_at_or_after(&self, pos: u64) -> Option<u64> {
-        self.spans.range(pos..).next().map(|(&s, _)| s)
+        let idx = self.starts.partition_point(|&s| s < pos);
+        self.starts.get(idx).copied()
     }
 
     /// Number of covered addresses `>= pos`.
     pub fn len_at_or_above(&self, pos: u64) -> u64 {
+        let idx = self.starts.partition_point(|&s| s <= pos);
         let mut total = 0;
-        if let Some((_, end)) = self.span_at(pos) {
-            total += end - pos;
+        if idx > 0 && self.ends[idx - 1] > pos {
+            total += self.ends[idx - 1] - pos;
         }
-        for (&s, &e) in self.spans.range(pos..) {
-            if s >= pos {
-                total += e - s;
-            }
-        }
+        // Branch-free tail reduction over the parallel arrays.
         total
+            + self.ends[idx..]
+                .iter()
+                .zip(&self.starts[idx..])
+                .map(|(e, s)| e - s)
+                .sum::<u64>()
     }
 
     /// Unions `[start, end)` into the set, merging overlapping or adjacent
     /// spans.
     pub fn insert(&mut self, start: u64, end: u64) {
+        self.insert_with_gaps(start, end, |_, _| {});
+    }
+
+    /// Unions `[start, end)` into the set and calls `gap(s, e)` for each
+    /// maximal subrange of `[start, end)` that was *not* previously
+    /// covered, in ascending order — [`IntervalSet::for_gaps`] fused with
+    /// [`IntervalSet::insert`] so the affected spans are probed once.
+    pub fn insert_with_gaps(&mut self, start: u64, end: u64, mut gap: impl FnMut(u64, u64)) {
         if start >= end {
             return;
         }
-        let mut new_start = start;
-        let mut new_end = end;
-        if let Some((&ps, &pe)) = self.spans.range(..=start).next_back() {
-            if pe >= start {
-                if pe >= end {
-                    return; // already fully covered
-                }
-                new_start = ps;
-                new_end = new_end.max(pe);
-                self.len -= pe - ps;
-                self.spans.remove(&ps);
+        // Spans in [lo, hi) overlap or are exactly adjacent to [start, end):
+        // both bounds are binary searches (ends[] is sorted because spans
+        // are disjoint and non-adjacent).
+        let lo = self.ends.partition_point(|&e| e < start);
+        let hi = self.starts.partition_point(|&s| s <= end);
+        let mut pos = start;
+        let mut covered = 0;
+        for j in lo..hi {
+            let (s, e) = (self.starts[j], self.ends[j]);
+            covered += e - s;
+            if s > pos {
+                gap(pos, s);
             }
+            pos = pos.max(e.min(end));
         }
-        // Absorb every span starting within the (grown) range, including
-        // one starting exactly at new_end (adjacent).
-        while let Some((&s, &e)) = self.spans.range(new_start..=new_end).next() {
-            self.len -= e - s;
-            new_end = new_end.max(e);
-            self.spans.remove(&s);
+        if pos < end {
+            gap(pos, end);
         }
-        self.spans.insert(new_start, new_end);
-        self.len += new_end - new_start;
+        if lo == hi {
+            self.starts.insert(lo, start);
+            self.ends.insert(lo, end);
+            self.len += end - start;
+            return;
+        }
+        let new_start = start.min(self.starts[lo]);
+        let new_end = end.max(self.ends[hi - 1]);
+        self.starts[lo] = new_start;
+        self.ends[lo] = new_end;
+        self.starts.drain(lo + 1..hi);
+        self.ends.drain(lo + 1..hi);
+        self.len += (new_end - new_start) - covered;
     }
 
     /// Removes `[start, end)`, which must lie entirely within one span.
@@ -236,16 +326,24 @@ impl IntervalSet {
         if start >= end {
             return;
         }
-        let (span_start, span_end) = self
-            .span_at(start)
+        let i = self
+            .span_index_at(start)
             .expect("remove_covered: range not resident");
+        let (span_start, span_end) = (self.starts[i], self.ends[i]);
         debug_assert!(end <= span_end, "remove_covered: range spans a gap");
-        self.spans.remove(&span_start);
-        if span_start < start {
-            self.spans.insert(span_start, start);
-        }
-        if end < span_end {
-            self.spans.insert(end, span_end);
+        match (span_start < start, end < span_end) {
+            (true, true) => {
+                // Split: keep [span_start, start), insert [end, span_end).
+                self.ends[i] = start;
+                self.starts.insert(i + 1, end);
+                self.ends.insert(i + 1, span_end);
+            }
+            (true, false) => self.ends[i] = start,
+            (false, true) => self.starts[i] = end,
+            (false, false) => {
+                self.starts.remove(i);
+                self.ends.remove(i);
+            }
         }
         self.len -= end - start;
     }
@@ -253,27 +351,34 @@ impl IntervalSet {
     /// Calls `gap(s, e)` for each maximal subrange of `[start, end)` *not*
     /// covered by the set, in ascending order.
     pub fn for_gaps(&self, start: u64, end: u64, mut gap: impl FnMut(u64, u64)) {
+        if start >= end {
+            return;
+        }
         let mut pos = start;
-        if let Some((_, span_end)) = self.span_at(pos) {
-            pos = span_end.min(end);
+        // First span that can matter: the one covering `start` (its start
+        // is <= start) or the first starting after it.
+        let mut i = self.starts.partition_point(|&s| s <= start);
+        if i > 0 && self.ends[i - 1] > start {
+            pos = self.ends[i - 1].min(end);
         }
         while pos < end {
-            match self.first_start_at_or_after(pos) {
-                Some(next) if next < end => {
-                    gap(pos, next);
-                    pos = self.spans[&next].min(end);
+            if i < self.starts.len() && self.starts[i] < end {
+                if self.starts[i] > pos {
+                    gap(pos, self.starts[i]);
                 }
-                _ => {
-                    gap(pos, end);
-                    pos = end;
-                }
+                pos = self.ends[i].min(end);
+                i += 1;
+            } else {
+                gap(pos, end);
+                break;
             }
         }
     }
 
-    /// Empties the set.
+    /// Empties the set, keeping allocations.
     pub fn clear(&mut self) {
-        self.spans.clear();
+        self.starts.clear();
+        self.ends.clear();
         self.len = 0;
     }
 }
@@ -292,7 +397,7 @@ mod tests {
         runs.push(30, 1); // adjacent to the previous push: coalesces
         assert_eq!(runs.run_count(), 3);
         assert_eq!(runs.element_count(), 13);
-        assert_eq!(runs.runs()[0], AddrRun { start: 10, len: 10 });
+        assert_eq!(runs.run(0), AddrRun { start: 10, len: 10 });
         let elems: Vec<u64> = runs.iter_elements().collect();
         assert_eq!(
             elems,
@@ -318,6 +423,33 @@ mod tests {
     }
 
     #[test]
+    fn extend_runs_merges_only_the_boundary() {
+        let mut a = AddrRuns::new();
+        a.push(0, 4);
+        a.push(10, 2);
+        let mut b = AddrRuns::new();
+        b.push(12, 3); // adjacent to a's last run
+        b.push(0, 1);
+        a.extend_runs(&b);
+        assert_eq!(a.run_count(), 3);
+        assert_eq!(a.run(1), AddrRun { start: 10, len: 5 });
+        assert_eq!(a.element_count(), 10);
+        // Non-adjacent boundary: plain concatenation.
+        let mut c = AddrRuns::new();
+        c.push(100, 1);
+        a.extend_runs(&c);
+        assert_eq!(a.run_count(), 4);
+        // Extending an empty stream copies wholesale.
+        let mut empty = AddrRuns::new();
+        empty.extend_runs(&a);
+        assert_eq!(empty, a);
+        // Extending with an empty stream is a no-op.
+        let snapshot = a.clone();
+        a.extend_runs(&AddrRuns::new());
+        assert_eq!(a, snapshot);
+    }
+
+    #[test]
     fn interval_set_insert_merges_overlaps_and_adjacency() {
         let mut set = IntervalSet::new();
         set.insert(10, 20);
@@ -331,6 +463,7 @@ mod tests {
         assert_eq!(set.span_at(5), Some((5, 50)));
         set.insert(7, 9); // fully covered: no-op
         assert_eq!(set.len(), 45);
+        assert_eq!(set.span_count(), 1);
     }
 
     #[test]
@@ -367,6 +500,24 @@ mod tests {
         gaps.clear();
         set.for_gaps(100, 110, |s, e| gaps.push((s, e)));
         assert_eq!(gaps, vec![(100, 110)]);
+    }
+
+    #[test]
+    fn insert_with_gaps_reports_exactly_the_uncovered_parts() {
+        let mut set = IntervalSet::new();
+        set.insert(10, 20);
+        set.insert(30, 40);
+        let mut gaps = Vec::new();
+        set.insert_with_gaps(5, 45, |s, e| gaps.push((s, e)));
+        assert_eq!(gaps, vec![(5, 10), (20, 30), (40, 45)]);
+        assert_eq!(set.span_at(5), Some((5, 45)));
+        assert_eq!(set.len(), 40);
+        // Re-inserting a covered range reports nothing and changes nothing.
+        gaps.clear();
+        set.insert_with_gaps(10, 40, |s, e| gaps.push((s, e)));
+        assert!(gaps.is_empty());
+        assert_eq!(set.len(), 40);
+        assert_eq!(set.span_count(), 1);
     }
 
     #[test]

@@ -1,0 +1,178 @@
+//! Scalar twins of the data-oriented kernels, for differential testing.
+//!
+//! The SoA kernels in [`crate::runs`] replaced earlier reference
+//! implementations: a `BTreeMap`-backed interval set and per-run
+//! push-loop stream appends. Those originals are preserved here, compiled
+//! only for tests (or under the `scalar-twins` feature), so property
+//! suites can assert the optimized kernels are *observationally identical*
+//! on arbitrary span sets — the byte-identity guarantee for every
+//! simulator output rests on these equivalences.
+
+use std::collections::BTreeMap;
+
+use crate::runs::AddrRuns;
+
+/// Per-run scalar twin of [`AddrRuns::extend_runs`]: the original
+/// push-loop append. The bulk kernel must produce an identical stream.
+pub fn extend_runs_scalar(dst: &mut AddrRuns, other: &AddrRuns) {
+    for run in other.iter_runs() {
+        dst.push(run.start, run.len);
+    }
+}
+
+/// The original `BTreeMap`-backed interval set — scalar twin of
+/// [`crate::IntervalSet`].
+///
+/// Semantics are identical: a disjoint, coalesced set of half-open
+/// address intervals `[start, end)` supporting span probes, union
+/// insert, covered-range removal, and gap walks.
+#[derive(Debug, Clone, Default)]
+pub struct ScalarIntervalSet {
+    /// start -> end, disjoint and non-adjacent (always coalesced).
+    spans: BTreeMap<u64, u64>,
+    len: u64,
+}
+
+impl ScalarIntervalSet {
+    /// An empty set.
+    pub fn new() -> ScalarIntervalSet {
+        ScalarIntervalSet::default()
+    }
+
+    /// Total number of covered addresses.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether no addresses are covered.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of disjoint spans.
+    pub fn span_count(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// The spans in ascending order, as `(start, end)` pairs.
+    pub fn iter_spans(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.spans.iter().map(|(&s, &e)| (s, e))
+    }
+
+    /// Whether `addr` is covered.
+    pub fn contains(&self, addr: u64) -> bool {
+        self.span_at(addr).is_some()
+    }
+
+    /// The `(start, end)` of the span covering `pos`, if any.
+    pub fn span_at(&self, pos: u64) -> Option<(u64, u64)> {
+        let (&start, &end) = self.spans.range(..=pos).next_back()?;
+        (end > pos).then_some((start, end))
+    }
+
+    /// The start of the first span at or after `pos`, if any.
+    pub fn first_start_at_or_after(&self, pos: u64) -> Option<u64> {
+        self.spans.range(pos..).next().map(|(&s, _)| s)
+    }
+
+    /// Number of covered addresses `>= pos`.
+    pub fn len_at_or_above(&self, pos: u64) -> u64 {
+        // A span starting exactly at `pos` is picked up whole by the range
+        // walk below; only a strictly-earlier covering span needs the
+        // partial `end - pos` contribution.
+        let mut total = 0;
+        if let Some((start, end)) = self.span_at(pos) {
+            if start < pos {
+                total += end - pos;
+            }
+        }
+        for (&s, &e) in self.spans.range(pos..) {
+            total += e - s;
+        }
+        total
+    }
+
+    /// Unions `[start, end)` into the set, merging overlapping or adjacent
+    /// spans.
+    pub fn insert(&mut self, start: u64, end: u64) {
+        if start >= end {
+            return;
+        }
+        let mut new_start = start;
+        let mut new_end = end;
+        if let Some((&ps, &pe)) = self.spans.range(..=start).next_back() {
+            if pe >= start {
+                if pe >= end {
+                    return; // already fully covered
+                }
+                new_start = ps;
+                new_end = new_end.max(pe);
+                self.len -= pe - ps;
+                self.spans.remove(&ps);
+            }
+        }
+        // Absorb every span starting within the (grown) range, including
+        // one starting exactly at new_end (adjacent).
+        while let Some((&s, &e)) = self.spans.range(new_start..=new_end).next() {
+            self.len -= e - s;
+            new_end = new_end.max(e);
+            self.spans.remove(&s);
+        }
+        self.spans.insert(new_start, new_end);
+        self.len += new_end - new_start;
+    }
+
+    /// Gap walk followed by insert — scalar twin of
+    /// [`crate::IntervalSet::insert_with_gaps`], built from the two
+    /// primitive operations it fuses.
+    pub fn insert_with_gaps(&mut self, start: u64, end: u64, gap: impl FnMut(u64, u64)) {
+        self.for_gaps(start, end, gap);
+        self.insert(start, end);
+    }
+
+    /// Removes `[start, end)`, which must lie entirely within one span.
+    pub fn remove_covered(&mut self, start: u64, end: u64) {
+        if start >= end {
+            return;
+        }
+        let (span_start, span_end) = self
+            .span_at(start)
+            .expect("remove_covered: range not resident");
+        debug_assert!(end <= span_end, "remove_covered: range spans a gap");
+        self.spans.remove(&span_start);
+        if span_start < start {
+            self.spans.insert(span_start, start);
+        }
+        if end < span_end {
+            self.spans.insert(end, span_end);
+        }
+        self.len -= end - start;
+    }
+
+    /// Calls `gap(s, e)` for each maximal subrange of `[start, end)` *not*
+    /// covered by the set, in ascending order.
+    pub fn for_gaps(&self, start: u64, end: u64, mut gap: impl FnMut(u64, u64)) {
+        let mut pos = start;
+        if let Some((_, span_end)) = self.span_at(pos) {
+            pos = span_end.min(end);
+        }
+        while pos < end {
+            match self.first_start_at_or_after(pos) {
+                Some(next) if next < end => {
+                    gap(pos, next);
+                    pos = self.spans[&next].min(end);
+                }
+                _ => {
+                    gap(pos, end);
+                    pos = end;
+                }
+            }
+        }
+    }
+
+    /// Empties the set.
+    pub fn clear(&mut self) {
+        self.spans.clear();
+        self.len = 0;
+    }
+}

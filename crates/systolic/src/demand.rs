@@ -230,6 +230,38 @@ impl FoldDemandRuns {
             + self.o_spill.run_count()
             + self.o_writes.run_count()) as u64
     }
+
+    /// Empties all four streams, keeping their allocations — the reset
+    /// used by [`FoldDemandsRuns::next_into`] scratch reuse.
+    pub fn clear(&mut self) {
+        self.a.clear();
+        self.b.clear();
+        self.o_spill.clear();
+        self.o_writes.clear();
+    }
+}
+
+impl Default for FoldDemandRuns {
+    /// An empty demand attached to a zeroed placeholder fold — scratch
+    /// state for [`FoldDemandsRuns::next_into`], which overwrites it.
+    fn default() -> FoldDemandRuns {
+        FoldDemandRuns {
+            fold: Fold {
+                fr: 0,
+                fc: 0,
+                row_base: 0,
+                col_base: 0,
+                rows_used: 0,
+                cols_used: 0,
+                base_cycle: 0,
+                duration: 0,
+            },
+            a: AddrRuns::new(),
+            b: AddrRuns::new(),
+            o_spill: AddrRuns::new(),
+            o_writes: AddrRuns::new(),
+        }
+    }
 }
 
 /// Iterator over run-compressed per-fold demands. Created by
@@ -267,12 +299,57 @@ pub fn fold_demand_runs<'a, M: AddressMap + ?Sized>(
     array: ArrayShape,
     map: &'a M,
 ) -> FoldDemandsRuns<'a, M> {
+    fold_demand_runs_in(dims, array, map, IntervalSet::new(), AddrRuns::new())
+}
+
+/// [`fold_demand_runs`] with caller-provided dedup scratch, so repeated
+/// layer simulations on one worker reuse the grown storage. Reclaim it
+/// with [`FoldDemandsRuns::into_scratch`] when the iterator is exhausted.
+pub fn fold_demand_runs_in<'a, M: AddressMap + ?Sized>(
+    dims: &MappedDims,
+    array: ArrayShape,
+    map: &'a M,
+    a_seen: IntervalSet,
+    a_scratch: AddrRuns,
+) -> FoldDemandsRuns<'a, M> {
     FoldDemandsRuns {
         dims: *dims,
         map,
         plan: FoldPlan::new(dims, array),
-        a_seen: IntervalSet::new(),
-        a_scratch: AddrRuns::new(),
+        a_seen,
+        a_scratch,
+    }
+}
+
+impl<'a, M: AddressMap + ?Sized> FoldDemandsRuns<'a, M> {
+    /// Produces the next fold's demand into caller-owned scratch instead
+    /// of allocating a fresh [`FoldDemandRuns`]. Returns `false` when the
+    /// plan is exhausted (leaving `out` cleared).
+    ///
+    /// This is the hot-path lending form of the [`Iterator`] impl: the
+    /// simulator fold loop reuses one `FoldDemandRuns` for the whole
+    /// layer, so steady-state demand generation performs no heap
+    /// allocation.
+    pub fn next_into(&mut self, out: &mut FoldDemandRuns) -> bool {
+        out.clear();
+        let Some(fold) = self.plan.next() else {
+            return false;
+        };
+        fill_demand_runs_for_fold(
+            &self.dims,
+            &fold,
+            self.map,
+            &mut self.a_seen,
+            &mut self.a_scratch,
+            out,
+        );
+        true
+    }
+
+    /// Returns the dedup scratch for reuse by the next layer's iterator —
+    /// the counterpart of [`fold_demand_runs_in`].
+    pub fn into_scratch(self) -> (IntervalSet, AddrRuns) {
+        (self.a_seen, self.a_scratch)
     }
 }
 
@@ -280,14 +357,8 @@ impl<'a, M: AddressMap + ?Sized> Iterator for FoldDemandsRuns<'a, M> {
     type Item = FoldDemandRuns;
 
     fn next(&mut self) -> Option<FoldDemandRuns> {
-        let fold = self.plan.next()?;
-        Some(demand_runs_for_fold(
-            &self.dims,
-            &fold,
-            self.map,
-            &mut self.a_seen,
-            &mut self.a_scratch,
-        ))
+        let mut out = FoldDemandRuns::default();
+        self.next_into(&mut out).then_some(out)
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
@@ -312,33 +383,39 @@ fn push_a_dedup<M: AddressMap + ?Sized>(
 ) {
     scratch.clear();
     map.a_span(m, k0, len, scratch);
-    for run in scratch.runs() {
-        seen.for_gaps(run.start, run.end(), |s, e| out.push(s, e - s));
-        seen.insert(run.start, run.end());
+    for run in scratch.iter_runs() {
+        // Fused probe: enumerate the novel sub-ranges and mark them seen
+        // with one binary search over the dedup set.
+        seen.insert_with_gaps(run.start, run.end(), |s, e| out.push(s, e - s));
     }
 }
 
-fn demand_runs_for_fold<M: AddressMap + ?Sized>(
+/// Fills `out` with the fold's demand. `out` must be cleared by the
+/// caller; its stream buffers (and `a_seen` / `a_scratch`) are reused
+/// across folds so the generator allocates nothing in steady state.
+fn fill_demand_runs_for_fold<M: AddressMap + ?Sized>(
     dims: &MappedDims,
     fold: &Fold,
     map: &M,
     a_seen: &mut IntervalSet,
     a_scratch: &mut AddrRuns,
-) -> FoldDemandRuns {
+    out: &mut FoldDemandRuns,
+) {
     let t = dims.temporal;
     let ru = fold.rows_used;
     let cu = fold.cols_used;
-    let mut a = AddrRuns::new();
-    let mut b = AddrRuns::new();
-    let mut o_spill = AddrRuns::new();
-    let mut o_writes = AddrRuns::new();
+    out.fold = *fold;
+    let a = &mut out.a;
+    let b = &mut out.b;
+    let o_spill = &mut out.o_spill;
+    let o_writes = &mut out.o_writes;
     a_seen.clear();
 
     match dims.dataflow {
         Dataflow::OutputStationary => {
             // A: real addresses, row-major over (i, k) — one span per row.
             for i in 0..ru {
-                push_a_dedup(map, fold.row_base + i, 0, t, a_seen, a_scratch, &mut a);
+                push_a_dedup(map, fold.row_base + i, 0, t, a_seen, a_scratch, a);
             }
             // B: loop (j, k) over B[k][col_base+j]; label (k, n) -> n·T + k
             // makes each j a run of T and the whole fold one run.
@@ -361,7 +438,7 @@ fn demand_runs_for_fold<M: AddressMap + ?Sized>(
             }
             // A: real addresses, loop (mt, i) -> A[mt][k_base+i].
             for mt in 0..t {
-                push_a_dedup(map, mt, k_base, ru, a_seen, a_scratch, &mut a);
+                push_a_dedup(map, mt, k_base, ru, a_seen, a_scratch, a);
             }
             // O: loop (mt, j) over O[mt][n_base+j]; label (m, n) -> m·SC + n.
             let spill = fold.fr > 0;
@@ -378,7 +455,7 @@ fn demand_runs_for_fold<M: AddressMap + ?Sized>(
             let m_base = fold.col_base;
             // A: real addresses, loop (j, i) -> A[m_base+j][k_base+i].
             for j in 0..cu {
-                push_a_dedup(map, m_base + j, k_base, ru, a_seen, a_scratch, &mut a);
+                push_a_dedup(map, m_base + j, k_base, ru, a_seen, a_scratch, a);
             }
             // B: loop (nt, i) over B[k_base+i][nt]; label (k, n) -> n·SR + k.
             let sr = dims.spatial_rows;
@@ -396,14 +473,6 @@ fn demand_runs_for_fold<M: AddressMap + ?Sized>(
                 o_writes.push(start, cu);
             }
         }
-    }
-
-    FoldDemandRuns {
-        fold: *fold,
-        a,
-        b,
-        o_spill,
-        o_writes,
     }
 }
 
